@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCorpusCLIBuiltin(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-grammar", "english"}, &buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "passed") {
+		t.Errorf("output: %s", buf.String())
+	}
+}
+
+func TestCorpusCLICustomFileAndVerbose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.txt")
+	if err := os.WriteFile(path, []byte("+ the program runs\n- program the\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-grammar", "demo", "-file", path, "-v"}, &buf); err != nil {
+		t.Fatalf("%v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "2/2 passed") || !strings.Contains(out, "PASS") {
+		t.Errorf("output: %s", out)
+	}
+}
+
+func TestCorpusCLIFailuresExitNonNil(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.txt")
+	if err := os.WriteFile(path, []byte("- the program runs\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := run([]string{"-grammar", "demo", "-file", path}, &buf); err == nil {
+		t.Error("mislabeled corpus should return an error")
+	}
+}
+
+func TestCorpusCLIErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-grammar", "zzz"}, &buf); err == nil {
+		t.Error("unknown grammar")
+	}
+	if err := run([]string{"-backend", "zzz"}, &buf); err == nil {
+		t.Error("unknown backend")
+	}
+	if err := run([]string{"-file", "/nonexistent"}, &buf); err == nil {
+		t.Error("missing file")
+	}
+}

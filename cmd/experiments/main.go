@@ -1,0 +1,47 @@
+// Command experiments regenerates the paper's tables and figures as
+// plain-text reports (see EXPERIMENTS.md for the paper-vs-measured
+// record).
+//
+// Usage:
+//
+//	experiments              # run everything
+//	experiments -e E2        # just Figure 8
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		which = flag.String("e", "all", "experiment id (E1..E6) or 'all'")
+		list  = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	if strings.EqualFold(*which, "all") {
+		for _, e := range experiments.All() {
+			fmt.Println(e.Run())
+		}
+		return
+	}
+	e, ok := experiments.ByID(*which)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown id %q; have %v\n", *which, experiments.IDs())
+		os.Exit(1)
+	}
+	fmt.Println(e.Run())
+}

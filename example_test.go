@@ -1,0 +1,84 @@
+package parsec_test
+
+import (
+	"fmt"
+
+	parsec "repro"
+)
+
+// Example parses the paper's running example on the simulated MasPar
+// MP-1 and prints the Figure 7 precedence graph.
+func Example() {
+	p := parsec.NewParser(parsec.PaperDemo(), parsec.WithBackend(parsec.MasPar))
+	res, err := p.Parse([]string{"the", "program", "runs"})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("accepted:", res.Accepted())
+	fmt.Println("virtual PEs:", res.Counters.Processors)
+	for _, a := range res.Parses(0) {
+		fmt.Print(a)
+	}
+	// Output:
+	// accepted: true
+	// virtual PEs: 324
+	// Word=the Position=1 governor=DET-2 needs=BLANK-nil
+	// Word=program Position=2 governor=SUBJ-3 needs=NP-1
+	// Word=runs Position=3 governor=ROOT-nil needs=S-2
+}
+
+// ExampleNewParser_backends shows that every machine model agrees on
+// the verdict.
+func ExampleNewParser_backends() {
+	for _, b := range []parsec.Backend{parsec.Serial, parsec.PRAM, parsec.MasPar, parsec.Mesh} {
+		p := parsec.NewParser(parsec.PaperDemo(), parsec.WithBackend(b))
+		res, err := p.Parse([]string{"the", "program", "runs"})
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%v: %v\n", b, res.Accepted())
+	}
+	// Output:
+	// serial: true
+	// pram: true
+	// maspar: true
+	// mesh: true
+}
+
+// ExampleCopyLanguage demonstrates CDG's super-context-free reach: the
+// copy language w·w.
+func ExampleCopyLanguage() {
+	p := parsec.NewParser(parsec.CopyLanguage(), parsec.WithBackend(parsec.Serial))
+	for _, s := range [][]string{
+		{"a", "b", "a", "b"},
+		{"a", "b", "b", "a"},
+	} {
+		res, err := p.Parse(s)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Println(s, "->", len(res.Parses(1)) > 0)
+	}
+	// Output:
+	// [a b a b] -> true
+	// [a b b a] -> false
+}
+
+// ExampleParseGrammar loads a grammar from its textual form.
+func ExampleParseGrammar() {
+	g, err := parsec.ParseGrammar(`
+(grammar
+  (labels HEAD IDLE)
+  (categories token)
+  (role main HEAD)
+  (role aux IDLE)
+  (word hello token)
+  (constraint (if (eq (role x) main) (and (eq (lab x) HEAD) (eq (mod x) nil))))
+  (constraint (if (eq (role x) aux) (and (eq (lab x) IDLE) (eq (mod x) nil)))))`)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("labels:", g.NumLabels(), "roles:", g.NumRoles())
+	// Output:
+	// labels: 2 roles: 2
+}

@@ -1,0 +1,110 @@
+// Grammardev: the grammar-writing workflow. Build a small grammar,
+// check it against a labeled regression corpus, and when a sentence
+// misbehaves, use the propagation trace to find the constraint that
+// killed it — the debugging loop the paper credits the MasPar
+// environment with supporting.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	parsec "repro"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/serial"
+	"repro/internal/trace"
+)
+
+func main() {
+	// A deliberately buggy grammar: the author wrote "gt" instead of
+	// "lt", so determiners look for their noun to the LEFT.
+	buggy, err := parsec.ParseGrammar(`
+(grammar
+  (labels DET SUBJ ROOT NP S BLANK)
+  (categories det noun verb)
+  (role governor DET SUBJ ROOT)
+  (role needs NP S BLANK)
+  (word the det) (word dog noun) (word runs verb)
+  (constraint "det-gov"
+    (if (and (eq (cat (word (pos x))) det) (eq (role x) governor))
+        (and (eq (lab x) DET) (not (eq (mod x) nil)) (lt (mod x) (pos x)))))
+  (constraint "noun-gov"
+    (if (and (eq (cat (word (pos x))) noun) (eq (role x) governor))
+        (and (eq (lab x) SUBJ) (not (eq (mod x) nil)) (gt (mod x) (pos x)))))
+  (constraint "verb-gov"
+    (if (and (eq (cat (word (pos x))) verb) (eq (role x) governor))
+        (and (eq (lab x) ROOT) (eq (mod x) nil))))
+  (constraint "det-needs"
+    (if (and (eq (cat (word (pos x))) det) (eq (role x) needs))
+        (and (eq (lab x) BLANK) (eq (mod x) nil))))
+  (constraint "noun-needs"
+    (if (and (eq (cat (word (pos x))) noun) (eq (role x) needs))
+        (and (eq (lab x) NP) (not (eq (mod x) nil)) (lt (mod x) (pos x)))))
+  (constraint "verb-needs"
+    (if (and (eq (cat (word (pos x))) verb) (eq (role x) needs))
+        (and (eq (lab x) S) (not (eq (mod x) nil)) (lt (mod x) (pos x))))))`)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. The regression corpus catches the bug.
+	c, err := corpus.Parse(`
++ the dog runs
+- runs dog the
+`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := core.NewParser(buggy, core.WithBackend(core.Serial))
+	rep := corpus.Run(buggy, p, c)
+	fmt.Print(rep.String())
+
+	// 2. The trace names the culprit constraint.
+	if len(rep.Failures()) > 0 {
+		fail := rep.Failures()[0]
+		fmt.Printf("\ntracing %v:\n", fail.Entry.Words)
+		_, tr, err := trace.Run(buggy, fail.Entry.Words, serial.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, culprit := range tr.Culprits() {
+			fmt.Println("  culprit:", culprit)
+		}
+		fmt.Println("\n  -> det-gov eliminated every DET role value of \"the\"",
+			"\n     (the constraint points determiners LEFT; it should be (gt (mod x) (pos x)))")
+	}
+
+	// 3. Fix the constraint incrementally and re-run the corpus.
+	fixed, err := parsec.NewGrammarBuilder().
+		Labels("DET", "SUBJ", "ROOT", "NP", "S", "BLANK").
+		Categories("det", "noun", "verb").
+		Role("governor", "DET", "SUBJ", "ROOT").
+		Role("needs", "NP", "S", "BLANK").
+		Word("the", "det").Word("dog", "noun").Word("runs", "verb").
+		Constraint("det-gov", `
+			(if (and (eq (cat (word (pos x))) det) (eq (role x) governor))
+			    (and (eq (lab x) DET) (not (eq (mod x) nil)) (gt (mod x) (pos x))))`).
+		Constraint("noun-gov", `
+			(if (and (eq (cat (word (pos x))) noun) (eq (role x) governor))
+			    (and (eq (lab x) SUBJ) (not (eq (mod x) nil)) (gt (mod x) (pos x))))`).
+		Constraint("verb-gov", `
+			(if (and (eq (cat (word (pos x))) verb) (eq (role x) governor))
+			    (and (eq (lab x) ROOT) (eq (mod x) nil)))`).
+		Constraint("det-needs", `
+			(if (and (eq (cat (word (pos x))) det) (eq (role x) needs))
+			    (and (eq (lab x) BLANK) (eq (mod x) nil)))`).
+		Constraint("noun-needs", `
+			(if (and (eq (cat (word (pos x))) noun) (eq (role x) needs))
+			    (and (eq (lab x) NP) (not (eq (mod x) nil)) (lt (mod x) (pos x))))`).
+		Constraint("verb-needs", `
+			(if (and (eq (cat (word (pos x))) verb) (eq (role x) needs))
+			    (and (eq (lab x) S) (not (eq (mod x) nil)) (lt (mod x) (pos x))))`).
+		Build()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nafter the fix:")
+	rep2 := corpus.Run(fixed, core.NewParser(fixed, core.WithBackend(core.Serial)), c)
+	fmt.Print(rep2.String())
+}

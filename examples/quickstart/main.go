@@ -1,0 +1,43 @@
+// Quickstart: parse the paper's running example "The program runs" on
+// all three machine models and show that they agree, along with the
+// MasPar statistics the paper reports (PE count, virtualization layers,
+// simulated wall clock).
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	parsec "repro"
+)
+
+func main() {
+	g := parsec.PaperDemo()
+	words := []string{"the", "program", "runs"}
+	fmt.Printf("sentence: %s\n\n", strings.Join(words, " "))
+
+	for _, backend := range []parsec.Backend{parsec.Serial, parsec.PRAM, parsec.MasPar} {
+		p := parsec.NewParser(g, parsec.WithBackend(backend))
+		res, err := p.Parse(words)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("[%v] accepted=%v ambiguous=%v\n", backend, res.Accepted(), res.Ambiguous())
+		if backend == parsec.MasPar {
+			fmt.Printf("      virtual PEs=%d layers=%d simulated MP-1 time=%.3fs\n",
+				res.Counters.Processors, res.Counters.VirtualLayers, res.ModelTime.Seconds())
+		}
+	}
+
+	// Extract the precedence graph (the paper's Figure 7).
+	p := parsec.NewParser(g)
+	res, err := p.Parse(words)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nprecedence graph:")
+	for _, a := range res.Parses(0) {
+		fmt.Print(parsec.RenderPrecedenceGraph(a))
+	}
+}

@@ -1,0 +1,69 @@
+package parsec_test
+
+// Integration check that every example program actually builds and
+// runs to completion — "runnable examples" is a deliverable, not a
+// hope. Each example is executed as a subprocess via the Go toolchain.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestExamplesRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode: examples run as subprocesses")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	entries, err := os.ReadDir("examples")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantOutput := map[string]string{
+		"quickstart": "accepted=true",
+		"ambiguity":  "2 readings",
+		"beyondcfg":  "cross-serial",
+		"speech":     "decoded utterance",
+		"grammardev": "2/2 passed",
+	}
+	found := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		found++
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			ctxArgs := []string{"run", "./" + filepath.Join("examples", name)}
+			cmd := exec.Command("go", ctxArgs...)
+			cmd.Dir = "."
+			done := make(chan struct{})
+			var out []byte
+			var runErr error
+			go func() {
+				out, runErr = cmd.CombinedOutput()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(120 * time.Second):
+				_ = cmd.Process.Kill()
+				t.Fatalf("example %s timed out", name)
+			}
+			if runErr != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, runErr, out)
+			}
+			if want := wantOutput[name]; want != "" && !strings.Contains(string(out), want) {
+				t.Errorf("example %s output missing %q:\n%s", name, want, out)
+			}
+		})
+	}
+	if found < 5 {
+		t.Errorf("expected at least 5 example programs, found %d", found)
+	}
+}

@@ -1,0 +1,53 @@
+package bitset
+
+import "testing"
+
+func BenchmarkSetCount(b *testing.B) {
+	s := New(4096)
+	for i := 0; i < 4096; i += 3 {
+		s.SetBit(i)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Count()
+	}
+}
+
+func BenchmarkSetForEach(b *testing.B) {
+	s := New(4096)
+	for i := 0; i < 4096; i += 5 {
+		s.SetBit(i)
+	}
+	sink := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ForEach(func(j int) { sink += j })
+	}
+	_ = sink
+}
+
+func BenchmarkMatrixRowAny(b *testing.B) {
+	m := NewMatrix(128, 1024)
+	m.SetBit(64, 1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RowAny(64)
+	}
+}
+
+func BenchmarkMatrixColAny(b *testing.B) {
+	m := NewMatrix(128, 1024)
+	m.SetBit(127, 512)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ColAny(512)
+	}
+}
+
+func BenchmarkMatrixZeroRow(b *testing.B) {
+	m := NewMatrix(128, 1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.ZeroRow(i % 128)
+	}
+}

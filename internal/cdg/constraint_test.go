@@ -1,0 +1,215 @@
+package cdg
+
+import (
+	"strings"
+	"testing"
+)
+
+// tiny grammar for evaluator tests.
+func tinyGrammar(t *testing.T) *Grammar {
+	t.Helper()
+	g, err := NewBuilder().
+		Labels("A", "B", "C").
+		Categories("ca", "cb").
+		Role("r1", "A", "B").
+		Role("r2", "C").
+		Word("wa", "ca").
+		Word("wb", "cb").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func tinySentence(t *testing.T, g *Grammar, words ...string) *Sentence {
+	t.Helper()
+	s, err := Resolve(g, words, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func compile(t *testing.T, g *Grammar, src string) *Constraint {
+	t.Helper()
+	c, err := compileConstraint(g, "test", src)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	return c
+}
+
+func TestArityInference(t *testing.T) {
+	g := tinyGrammar(t)
+	u := compile(t, g, "(if (eq (lab x) A) (eq (mod x) nil))")
+	if u.Arity != 1 {
+		t.Errorf("unary arity = %d", u.Arity)
+	}
+	b := compile(t, g, "(if (eq (lab x) A) (eq (lab y) B))")
+	if b.Arity != 2 {
+		t.Errorf("binary arity = %d", b.Arity)
+	}
+}
+
+func TestCompileErrors(t *testing.T) {
+	g := tinyGrammar(t)
+	for _, src := range []string{
+		"(eq (lab x) A)",                             // not an if
+		"(if (eq (lab x) A))",                        // missing consequent
+		"(if (eq (lab x) A) (eq (lab x) B) extra)",   // too many args
+		"(if (eq (lab z) A) (eq (mod z) nil))",       // unknown variable
+		"(if (eq (lab y) A) (eq (mod y) nil))",       // y without x
+		"(if (eq A B) (eq A B))",                     // no variable at all
+		"(if (eq (lab x) NOPE) (eq (mod x) nil))",    // unknown symbol
+		"(if (frob (lab x)) (eq (mod x) nil))",       // unknown operator
+		"(if (and (eq (lab x) A)) (eq (mod x) nil))", // and needs 2+ args
+		"(if (not) (eq (mod x) nil))",                // not needs 1 arg
+		"(if (gt (lab x) A) (eq (mod x) nil))",       // gt on labels
+		"(if (word x) (eq (mod x) nil))",             // word needs int expr
+		"(if (cat 3) (eq (mod x) nil))",              // cat needs word expr
+		"(if (lab 3) (eq (mod x) nil))",              // lab needs a variable
+		`(if (eq (lab x) "A") (eq (mod x) nil))`,     // string literal
+		"(if x (eq (mod x) nil))",                    // bare variable
+		"(if ((lab x)) (eq (mod x) nil))",            // non-symbol head
+	} {
+		if _, err := compileConstraint(g, "bad", src); err == nil {
+			t.Errorf("compile(%q): expected error", src)
+		}
+	}
+}
+
+func TestAccessFunctions(t *testing.T) {
+	g := tinyGrammar(t)
+	sent := tinySentence(t, g, "wa", "wb")
+	labA, _ := g.LabelByName("A")
+	r1, _ := g.RoleByName("r1")
+	env := &Env{
+		Sent: sent,
+		X:    RVRef{Pos: 1, Role: r1, Lab: labA, Mod: 2},
+	}
+	cases := []struct {
+		src  string
+		want bool
+	}{
+		{"(if (eq (lab x) A) (eq (lab x) A))", true},
+		{"(if (eq (lab x) B) (eq (lab x) A))", true}, // antecedent false → satisfied
+		{"(if (eq (lab x) A) (eq (lab x) B))", false},
+		{"(if (eq (role x) r1) (eq (pos x) 1))", true},
+		{"(if (eq (role x) r2) (eq (pos x) 99))", true}, // vacuous
+		{"(if (eq (mod x) 2) (eq (mod x) (pos x)))", false},
+		{"(if (eq (lab x) A) (not (eq (mod x) nil)))", true},
+		{"(if (eq (lab x) A) (gt (mod x) (pos x)))", true},
+		{"(if (eq (lab x) A) (lt (mod x) (pos x)))", false},
+		{"(if (eq (cat (word (pos x))) ca) (eq (cat (word (mod x))) cb))", true},
+		{"(if (eq (lab x) A) (or (eq (lab x) B) (eq (pos x) 1)))", true},
+		{"(if (and (eq (lab x) A) (eq (pos x) 1)) (eq (mod x) 2))", true},
+	}
+	for _, tc := range cases {
+		c := compile(t, g, tc.src)
+		if got := c.Satisfied(env); got != tc.want {
+			t.Errorf("Satisfied(%q) = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestNilModSemantics(t *testing.T) {
+	g := tinyGrammar(t)
+	sent := tinySentence(t, g, "wa", "wb")
+	labA, _ := g.LabelByName("A")
+	r1, _ := g.RoleByName("r1")
+	envNil := &Env{Sent: sent, X: RVRef{Pos: 1, Role: r1, Lab: labA, Mod: NilMod}}
+	// mod = nil: (eq (mod x) nil) true; comparisons with ints false.
+	for _, tc := range []struct {
+		src  string
+		want bool
+	}{
+		{"(if (eq (lab x) A) (eq (mod x) nil))", true},
+		{"(if (eq (lab x) A) (eq (mod x) 1))", false},
+		{"(if (eq (lab x) A) (gt (mod x) 0))", false}, // nil is not an integer
+		{"(if (eq (lab x) A) (lt (mod x) 9))", false},
+	} {
+		c := compile(t, g, tc.src)
+		if got := c.Satisfied(envNil); got != tc.want {
+			t.Errorf("nil-mod %q = %v, want %v", tc.src, got, tc.want)
+		}
+	}
+}
+
+func TestWordOutOfRangeIsInvalidNotPanic(t *testing.T) {
+	g := tinyGrammar(t)
+	sent := tinySentence(t, g, "wa")
+	labA, _ := g.LabelByName("A")
+	r1, _ := g.RoleByName("r1")
+	env := &Env{Sent: sent, X: RVRef{Pos: 1, Role: r1, Lab: labA, Mod: NilMod}}
+	// (word 99) is invalid → (cat (word 99)) invalid → eq false.
+	c := compile(t, g, "(if (eq (cat (word 99)) ca) (eq (lab x) B))")
+	if !c.Satisfied(env) {
+		t.Error("invalid word access should make the antecedent false (vacuously satisfied)")
+	}
+}
+
+func TestBinaryEnvSwap(t *testing.T) {
+	g := tinyGrammar(t)
+	sent := tinySentence(t, g, "wa", "wb")
+	labA, _ := g.LabelByName("A")
+	labB, _ := g.LabelByName("B")
+	r1, _ := g.RoleByName("r1")
+	c := compile(t, g, "(if (and (eq (lab x) A) (eq (lab y) B)) (lt (pos x) (pos y)))")
+	envXY := &Env{
+		Sent: sent,
+		X:    RVRef{Pos: 1, Role: r1, Lab: labA, Mod: 2},
+		Y:    RVRef{Pos: 2, Role: r1, Lab: labB, Mod: 1},
+	}
+	if !c.Satisfied(envXY) {
+		t.Error("A@1, B@2 should satisfy")
+	}
+	envYX := &Env{Sent: sent, X: envXY.Y, Y: envXY.X}
+	// x=B → antecedent false → satisfied vacuously.
+	if !c.Satisfied(envYX) {
+		t.Error("swapped orientation should be vacuous here")
+	}
+	envBad := &Env{
+		Sent: sent,
+		X:    RVRef{Pos: 2, Role: r1, Lab: labA, Mod: 1},
+		Y:    RVRef{Pos: 1, Role: r1, Lab: labB, Mod: 2},
+	}
+	if c.Satisfied(envBad) {
+		t.Error("A@2, B@1 should violate")
+	}
+}
+
+func TestWordEqualityComparesStrings(t *testing.T) {
+	g := tinyGrammar(t)
+	sent := tinySentence(t, g, "wa", "wa", "wb")
+	labA, _ := g.LabelByName("A")
+	r1, _ := g.RoleByName("r1")
+	env := &Env{Sent: sent, X: RVRef{Pos: 1, Role: r1, Lab: labA, Mod: 2}}
+	// word 1 and word 2 are both "wa": equal as words.
+	c := compile(t, g, "(if (eq (word (pos x)) (word (mod x))) (eq (lab x) A))")
+	if !c.Satisfied(env) {
+		t.Error("same-spelling words should be eq")
+	}
+	env.X.Mod = 3
+	c2 := compile(t, g, "(if (eq (word (pos x)) (word (mod x))) (eq (lab x) B))")
+	if !c2.Satisfied(env) {
+		t.Error("wa vs wb differ, antecedent false, satisfied")
+	}
+}
+
+func TestConstraintSourceRoundTrip(t *testing.T) {
+	g := tinyGrammar(t)
+	src := "(if (eq (lab x) A) (eq (mod x) nil))"
+	c := compile(t, g, src)
+	if !strings.Contains(c.Source, "(lab x)") {
+		t.Errorf("Source = %q", c.Source)
+	}
+	// Source must recompile to an equivalent constraint.
+	c2, err := compileConstraint(g, "again", c.Source)
+	if err != nil {
+		t.Fatalf("recompile: %v", err)
+	}
+	if c2.Arity != c.Arity {
+		t.Error("arity changed on round trip")
+	}
+}

@@ -1,0 +1,381 @@
+package cdg
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Sentence is a tokenized, category-resolved input sentence. Word
+// positions are 1-based, matching the paper.
+type Sentence struct {
+	words []string
+	cats  []CatID
+}
+
+// NewSentence builds a sentence from parallel word/category slices.
+func NewSentence(words []string, cats []CatID) (*Sentence, error) {
+	if len(words) != len(cats) {
+		return nil, fmt.Errorf("cdg: %d words but %d categories", len(words), len(cats))
+	}
+	if len(words) == 0 {
+		return nil, fmt.Errorf("cdg: empty sentence")
+	}
+	return &Sentence{
+		words: append([]string(nil), words...),
+		cats:  append([]CatID(nil), cats...),
+	}, nil
+}
+
+// Resolve tokenizes words against g's lexicon. Lexically ambiguous words
+// take their first listed category unless choose returns an override;
+// unknown words are an error.
+func Resolve(g *Grammar, words []string, choose func(pos int, word string, options []CatID) (CatID, bool)) (*Sentence, error) {
+	if len(words) == 0 {
+		return nil, fmt.Errorf("cdg: empty sentence")
+	}
+	cats := make([]CatID, len(words))
+	for i, w := range words {
+		opts := g.LookupWord(w)
+		if len(opts) == 0 {
+			return nil, fmt.Errorf("cdg: word %q (position %d) is not in the lexicon", w, i+1)
+		}
+		cats[i] = opts[0]
+		if choose != nil {
+			if c, ok := choose(i+1, w, opts); ok {
+				cats[i] = c
+			}
+		}
+	}
+	return &Sentence{words: append([]string(nil), words...), cats: cats}, nil
+}
+
+// ResolveAll enumerates every category assignment the lexicon admits
+// for words, up to limit sentences (limit <= 0: all). Lexically
+// ambiguous input — the paper's speech-understanding motivation — is
+// parsed by analyzing each reading; a recognizer would weight them.
+// The first returned sentence is the one Resolve would pick.
+func ResolveAll(g *Grammar, words []string, limit int) ([]*Sentence, error) {
+	if len(words) == 0 {
+		return nil, fmt.Errorf("cdg: empty sentence")
+	}
+	options := make([][]CatID, len(words))
+	for i, w := range words {
+		opts := g.LookupWord(w)
+		if len(opts) == 0 {
+			return nil, fmt.Errorf("cdg: word %q (position %d) is not in the lexicon", w, i+1)
+		}
+		options[i] = opts
+	}
+	var out []*Sentence
+	cats := make([]CatID, len(words))
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(words) {
+			s := &Sentence{words: append([]string(nil), words...), cats: append([]CatID(nil), cats...)}
+			out = append(out, s)
+			return limit > 0 && len(out) >= limit
+		}
+		for _, c := range options[i] {
+			cats[i] = c
+			if rec(i + 1) {
+				return true
+			}
+		}
+		return false
+	}
+	rec(0)
+	return out, nil
+}
+
+// Len returns the number of words n.
+func (s *Sentence) Len() int { return len(s.words) }
+
+// Word returns the word at 1-based position p ("" if out of range).
+func (s *Sentence) Word(p int) string {
+	if p < 1 || p > len(s.words) {
+		return ""
+	}
+	return s.words[p-1]
+}
+
+// Cat returns the category of the word at 1-based position p.
+func (s *Sentence) Cat(p int) (CatID, bool) {
+	if p < 1 || p > len(s.cats) {
+		return 0, false
+	}
+	return s.cats[p-1], true
+}
+
+// Words returns a copy of the word slice.
+func (s *Sentence) Words() []string { return append([]string(nil), s.words...) }
+
+// RVRef identifies one concrete role value during constraint evaluation:
+// the role value with label Lab and modifiee Mod sitting in role Role of
+// the word at position Pos.
+type RVRef struct {
+	Pos  int // 1-based word position
+	Role RoleID
+	Lab  LabelID
+	Mod  int // NilMod or a 1-based position
+}
+
+// String renders the reference with raw ids (grammar-aware rendering
+// lives in Space.RVString; this is for diagnostics and panics).
+func (r RVRef) String() string {
+	mod := "nil"
+	if r.Mod != NilMod {
+		mod = fmt.Sprintf("%d", r.Mod)
+	}
+	return fmt.Sprintf("rv{pos=%d role=%d lab=%d mod=%s}", r.Pos, r.Role, r.Lab, mod)
+}
+
+// Env is the evaluation context for a constraint: the sentence plus the
+// role-value bindings for the variables x (and, for binary constraints,
+// y).
+type Env struct {
+	Sent *Sentence
+	X    RVRef
+	Y    RVRef
+}
+
+// valKind tags the runtime values of the constraint language.
+type valKind uint8
+
+const (
+	vInvalid valKind = iota
+	vBool
+	vInt
+	vNil
+	vLabel
+	vRole
+	vCat
+	vWord // identified by sentence position; equality compares strings
+)
+
+func (k valKind) String() string {
+	switch k {
+	case vBool:
+		return "bool"
+	case vInt:
+		return "int"
+	case vNil:
+		return "nil"
+	case vLabel:
+		return "label"
+	case vRole:
+		return "role"
+	case vCat:
+		return "category"
+	case vWord:
+		return "word"
+	}
+	return "invalid"
+}
+
+type value struct {
+	kind valKind
+	n    int64
+}
+
+var (
+	valTrue    = value{kind: vBool, n: 1}
+	valFalse   = value{kind: vBool, n: 0}
+	valNil     = value{kind: vNil}
+	valInvalid = value{kind: vInvalid}
+)
+
+func boolVal(b bool) value {
+	if b {
+		return valTrue
+	}
+	return valFalse
+}
+
+func (v value) truthy() bool { return v.kind == vBool && v.n != 0 }
+
+// eqVals implements the (eq x y) predicate: true only when kinds match
+// and the payloads compare equal. Per the paper's predicate table, a
+// comparison across kinds is simply false, never an error.
+func eqVals(env *Env, a, b value) bool {
+	if a.kind == vInvalid || b.kind == vInvalid {
+		return false
+	}
+	if a.kind != b.kind {
+		return false
+	}
+	if a.kind == vWord {
+		return env.Sent.Word(int(a.n)) == env.Sent.Word(int(b.n))
+	}
+	return a.n == b.n
+}
+
+// expr is one compiled constraint-language expression.
+type expr interface {
+	eval(env *Env) value
+	// vars returns the bitmask of role-value variables referenced:
+	// bit 0 for x, bit 1 for y.
+	vars() uint8
+	String() string
+}
+
+// constExpr is a compile-time constant (label, role, category, integer,
+// or nil).
+type constExpr struct {
+	v    value
+	name string
+}
+
+func (e *constExpr) eval(*Env) value { return e.v }
+func (e *constExpr) vars() uint8     { return 0 }
+func (e *constExpr) String() string {
+	if e.name != "" {
+		return e.name
+	}
+	return strconv.FormatInt(e.v.n, 10)
+}
+
+// accessExpr reads a field of the role value bound to a variable:
+// (lab x), (mod x), (role x), (pos x).
+type accessExpr struct {
+	fn  string // "lab" | "mod" | "role" | "pos"
+	onY bool
+}
+
+func (e *accessExpr) eval(env *Env) value {
+	rv := env.X
+	if e.onY {
+		rv = env.Y
+	}
+	switch e.fn {
+	case "lab":
+		return value{kind: vLabel, n: int64(rv.Lab)}
+	case "mod":
+		if rv.Mod == NilMod {
+			return valNil
+		}
+		return value{kind: vInt, n: int64(rv.Mod)}
+	case "role":
+		return value{kind: vRole, n: int64(rv.Role)}
+	case "pos":
+		return value{kind: vInt, n: int64(rv.Pos)}
+	}
+	return valInvalid
+}
+
+func (e *accessExpr) vars() uint8 {
+	if e.onY {
+		return 2
+	}
+	return 1
+}
+
+func (e *accessExpr) String() string {
+	v := "x"
+	if e.onY {
+		v = "y"
+	}
+	return "(" + e.fn + " " + v + ")"
+}
+
+// wordExpr implements (word p): the word at sentence position p.
+type wordExpr struct{ arg expr }
+
+func (e *wordExpr) eval(env *Env) value {
+	p := e.arg.eval(env)
+	if p.kind != vInt {
+		return valInvalid
+	}
+	if int(p.n) < 1 || int(p.n) > env.Sent.Len() {
+		return valInvalid
+	}
+	return value{kind: vWord, n: p.n}
+}
+
+func (e *wordExpr) vars() uint8    { return e.arg.vars() }
+func (e *wordExpr) String() string { return "(word " + e.arg.String() + ")" }
+
+// catExpr implements (cat w): the part of speech of word w.
+type catExpr struct{ arg expr }
+
+func (e *catExpr) eval(env *Env) value {
+	w := e.arg.eval(env)
+	if w.kind != vWord {
+		return valInvalid
+	}
+	c, ok := env.Sent.Cat(int(w.n))
+	if !ok {
+		return valInvalid
+	}
+	return value{kind: vCat, n: int64(c)}
+}
+
+func (e *catExpr) vars() uint8    { return e.arg.vars() }
+func (e *catExpr) String() string { return "(cat " + e.arg.String() + ")" }
+
+// logicExpr implements (and …), (or …), (not p).
+type logicExpr struct {
+	op   string // "and" | "or" | "not"
+	args []expr
+}
+
+func (e *logicExpr) eval(env *Env) value {
+	switch e.op {
+	case "and":
+		for _, a := range e.args {
+			if !a.eval(env).truthy() {
+				return valFalse
+			}
+		}
+		return valTrue
+	case "or":
+		for _, a := range e.args {
+			if a.eval(env).truthy() {
+				return valTrue
+			}
+		}
+		return valFalse
+	case "not":
+		return boolVal(!e.args[0].eval(env).truthy())
+	}
+	return valInvalid
+}
+
+func (e *logicExpr) vars() uint8 {
+	var m uint8
+	for _, a := range e.args {
+		m |= a.vars()
+	}
+	return m
+}
+
+func (e *logicExpr) String() string {
+	s := "(" + e.op
+	for _, a := range e.args {
+		s += " " + a.String()
+	}
+	return s + ")"
+}
+
+// cmpExpr implements (eq a b), (gt a b), (lt a b).
+type cmpExpr struct {
+	op   string // "eq" | "gt" | "lt"
+	a, b expr
+}
+
+func (e *cmpExpr) eval(env *Env) value {
+	av := e.a.eval(env)
+	bv := e.b.eval(env)
+	switch e.op {
+	case "eq":
+		return boolVal(eqVals(env, av, bv))
+	case "gt":
+		// Per the paper: true iff both are integers and a > b.
+		return boolVal(av.kind == vInt && bv.kind == vInt && av.n > bv.n)
+	case "lt":
+		return boolVal(av.kind == vInt && bv.kind == vInt && av.n < bv.n)
+	}
+	return valInvalid
+}
+
+func (e *cmpExpr) vars() uint8    { return e.a.vars() | e.b.vars() }
+func (e *cmpExpr) String() string { return "(" + e.op + " " + e.a.String() + " " + e.b.String() + ")" }

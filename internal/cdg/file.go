@@ -1,0 +1,132 @@
+package cdg
+
+import (
+	"fmt"
+
+	"repro/internal/sexpr"
+)
+
+// ParseGrammar loads a grammar from its textual, s-expression form:
+//
+//	(grammar
+//	  (labels SUBJ ROOT DET NP S BLANK)
+//	  (categories det noun verb)
+//	  (role governor SUBJ ROOT DET)
+//	  (role needs NP S BLANK)
+//	  (restrict governor noun SUBJ)          ; optional table-T narrowing
+//	  (word the det)
+//	  (word program noun)
+//	  (constraint "verb-governor"
+//	    (if (and (eq (cat (word (pos x))) verb) (eq (role x) governor))
+//	        (and (eq (lab x) ROOT) (eq (mod x) nil))))
+//	  …)
+//
+// Declaration order matters only in that labels and categories must be
+// declared before roles, lexicon entries, and constraints that mention
+// them; putting (labels …) and (categories …) first is sufficient.
+func ParseGrammar(src string) (*Grammar, error) {
+	root, err := sexpr.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if root.Head() != "grammar" {
+		return nil, fmt.Errorf("cdg: %s: grammar file must start with (grammar …)", root.Pos)
+	}
+	b := NewBuilder()
+	autoName := 0
+	for _, form := range root.Args() {
+		head := form.Head()
+		args := form.Args()
+		switch head {
+		case "labels":
+			names, err := symbolNames(form, args)
+			if err != nil {
+				return nil, err
+			}
+			b.Labels(names...)
+
+		case "categories":
+			names, err := symbolNames(form, args)
+			if err != nil {
+				return nil, err
+			}
+			b.Categories(names...)
+
+		case "role":
+			names, err := symbolNames(form, args)
+			if err != nil {
+				return nil, err
+			}
+			if len(names) < 2 {
+				return nil, fmt.Errorf("cdg: %s: (role name label…) needs a name and at least one label", form.Pos)
+			}
+			b.Role(names[0], names[1:]...)
+
+		case "restrict":
+			names, err := symbolNames(form, args)
+			if err != nil {
+				return nil, err
+			}
+			if len(names) < 2 {
+				return nil, fmt.Errorf("cdg: %s: (restrict role category label…) needs role and category", form.Pos)
+			}
+			b.RestrictRoleForCat(names[0], names[1], names[2:]...)
+
+		case "word":
+			names, err := symbolNames(form, args)
+			if err != nil {
+				return nil, err
+			}
+			if len(names) < 2 {
+				return nil, fmt.Errorf("cdg: %s: (word form category…) needs a word and a category", form.Pos)
+			}
+			b.Word(names[0], names[1:]...)
+
+		case "constraint":
+			name := ""
+			body := args
+			if len(body) > 0 && body[0].Kind == sexpr.KString {
+				name = body[0].Str
+				body = body[1:]
+			}
+			if name == "" {
+				autoName++
+				name = fmt.Sprintf("constraint-%d", autoName)
+			}
+			if len(body) != 1 {
+				return nil, fmt.Errorf("cdg: %s: (constraint [\"name\"] (if …)) needs exactly one rule body", form.Pos)
+			}
+			if b.err == nil {
+				c, err := compileConstraintNode(b.g, name, body[0])
+				if err != nil {
+					return nil, fmt.Errorf("cdg: constraint %q: %w", name, err)
+				}
+				if c.Arity == 1 {
+					b.g.unary = append(b.g.unary, c)
+				} else {
+					b.g.binary = append(b.g.binary, c)
+				}
+			}
+
+		case "":
+			return nil, fmt.Errorf("cdg: %s: expected a declaration list, got %s", form.Pos, form)
+		default:
+			return nil, fmt.Errorf("cdg: %s: unknown declaration %q", form.Pos, head)
+		}
+		if b.err != nil {
+			return nil, b.err
+		}
+	}
+	return b.Build()
+}
+
+func symbolNames(form *sexpr.Node, args []*sexpr.Node) ([]string, error) {
+	names := make([]string, len(args))
+	for i, a := range args {
+		if a.Kind != sexpr.KSymbol {
+			return nil, fmt.Errorf("cdg: %s: (%s …) arguments must be symbols, got %s", a.Pos, form.Head(), a)
+		}
+		names[i] = a.Sym
+	}
+	return names, nil
+}

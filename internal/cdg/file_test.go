@@ -1,0 +1,132 @@
+package cdg
+
+import (
+	"strings"
+	"testing"
+)
+
+const demoGrammarSrc = `
+(grammar
+  (labels SUBJ ROOT DET NP S BLANK)
+  (categories det noun verb)
+  (role governor SUBJ ROOT DET)
+  (role needs NP S BLANK)
+  (word the det)
+  (word program noun)
+  (word runs verb)
+  (constraint "verbs-are-roots"
+    (if (and (eq (cat (word (pos x))) verb) (eq (role x) governor))
+        (and (eq (lab x) ROOT) (eq (mod x) nil))))
+  (constraint ; unnamed
+    (if (and (eq (lab x) SUBJ) (eq (lab y) ROOT))
+        (and (eq (mod x) (pos y)) (lt (pos x) (pos y)))))
+)`
+
+func TestParseGrammarFile(t *testing.T) {
+	g, err := ParseGrammar(demoGrammarSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumLabels() != 6 || g.NumRoles() != 2 || g.NumCats() != 3 {
+		t.Error("shape")
+	}
+	if len(g.Unary()) != 1 || len(g.Binary()) != 1 {
+		t.Errorf("constraints: %d unary, %d binary", len(g.Unary()), len(g.Binary()))
+	}
+	if g.Unary()[0].Name != "verbs-are-roots" {
+		t.Errorf("name = %q", g.Unary()[0].Name)
+	}
+	if g.Binary()[0].Name != "constraint-1" {
+		t.Errorf("auto name = %q", g.Binary()[0].Name)
+	}
+	if cats := g.LookupWord("runs"); len(cats) != 1 {
+		t.Error("lexicon missing runs")
+	}
+}
+
+func TestParseGrammarRestrict(t *testing.T) {
+	src := `
+(grammar
+  (labels A B)
+  (categories c1 c2)
+  (role r A B)
+  (restrict r c1 A)
+  (word w c1))`
+	g, err := ParseGrammar(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := g.RoleByName("r")
+	c1, _ := g.CatByName("c1")
+	if got := g.AllowedLabels(r, c1); len(got) != 1 {
+		t.Errorf("restriction not applied: %v", got)
+	}
+}
+
+func TestParseGrammarErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"not a grammar", `(grammer (labels A))`},
+		{"unknown decl", `(grammar (labelz A))`},
+		{"non-symbol arg", `(grammar (labels "A"))`},
+		{"role needs labels", `(grammar (labels A) (role r))`},
+		{"word needs cat", `(grammar (labels A) (categories c) (role r A) (word w))`},
+		{"restrict arity", `(grammar (labels A) (categories c) (role r A) (restrict r))`},
+		{"bad constraint body", `(grammar (labels A) (categories c) (role r A) (constraint "x"))`},
+		{"constraint compile error", `(grammar (labels A) (categories c) (role r A)
+			(constraint (if (eq (lab x) ZZZ) (eq (mod x) nil))))`},
+		{"bare atom decl", `(grammar labels)`},
+		{"syntax error", `(grammar (labels A)`},
+		{"empty grammar", `(grammar)`},
+	}
+	for _, tc := range cases {
+		if _, err := ParseGrammar(tc.src); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+// TestGrammarFileEquivalentToBuilder: the file form of the paper demo
+// must behave identically to the builder form on the running example.
+func TestGrammarFileParsesDemoSentence(t *testing.T) {
+	g, err := ParseGrammar(demoGrammarSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent, err := Resolve(g, []string{"the", "program", "runs"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := NewSpace(g, sent)
+	// Exercise constraint evaluation through the file-loaded grammar.
+	gov, _ := g.RoleByName("governor")
+	env := &Env{Sent: sent}
+	uc := g.Unary()[0]
+	violations := 0
+	for idx := 0; idx < sp.RVCount(gov); idx++ {
+		if !sp.InitialAlive(3, gov, idx) {
+			continue
+		}
+		env.X = sp.RVRef(3, gov, idx)
+		if !uc.Satisfied(env) {
+			violations++
+		}
+	}
+	// Verb governor: everything but ROOT-nil violates → 9 alive minus
+	// self-mod (none for ROOT-nil...) — of the alive values, exactly
+	// those that are not ROOT-nil violate.
+	alive := 0
+	for idx := 0; idx < sp.RVCount(gov); idx++ {
+		if sp.InitialAlive(3, gov, idx) {
+			alive++
+		}
+	}
+	if violations != alive-1 {
+		t.Errorf("violations = %d, want %d (all but ROOT-nil)", violations, alive-1)
+	}
+	if !strings.Contains(uc.Source, "(if") {
+		t.Error("source preserved")
+	}
+}

@@ -1,0 +1,97 @@
+package cdg
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestQuickParseGrammarNeverPanics hardens the loader against arbitrary
+// byte soup: every input must produce a grammar or an error, never a
+// panic.
+func TestQuickParseGrammarNeverPanics(t *testing.T) {
+	f := func(raw []byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Logf("panic on %q: %v", raw, r)
+				ok = false
+			}
+		}()
+		_, _ = ParseGrammar(string(raw))
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickParseGrammarMutatedValid mutates a valid grammar file at one
+// byte position; parse must still never panic, and whenever it
+// succeeds the grammar must be usable.
+func TestQuickParseGrammarMutatedValid(t *testing.T) {
+	const base = `
+(grammar
+  (labels A B IDLE)
+  (categories c1 c2)
+  (role r A B)
+  (role aux IDLE)
+  (word w1 c1)
+  (word w2 c2)
+  (constraint "u1" (if (eq (role x) aux) (and (eq (lab x) IDLE) (eq (mod x) nil))))
+  (constraint "b1" (if (and (eq (lab x) A) (eq (lab y) B)) (lt (pos x) (pos y)))))`
+	f := func(pos uint16, b byte) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		mutated := []byte(base)
+		mutated[int(pos)%len(mutated)] = b
+		g, err := ParseGrammar(string(mutated))
+		if err != nil {
+			return true
+		}
+		// Parsed fine: basic invariants must hold.
+		return g.NumLabels() > 0 && g.NumRoles() > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickConstraintCompileNeverPanics fuzzes the constraint compiler
+// with structurally plausible garbage.
+func TestQuickConstraintCompileNeverPanics(t *testing.T) {
+	g := tinyGrammar(t)
+	frags := []string{"(", ")", "if", "and", "eq", "lab", "x", "y", "A", "nil",
+		"(lab x)", "(mod y)", "3", "-", `"s"`, " "}
+	f := func(seed int64) (ok bool) {
+		defer func() {
+			if r := recover(); r != nil {
+				ok = false
+			}
+		}()
+		s := seed | 1
+		rnd := func(n int) int {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			v := int(s % int64(n))
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		var b strings.Builder
+		k := rnd(12) + 1
+		for i := 0; i < k; i++ {
+			b.WriteString(frags[rnd(len(frags))])
+			b.WriteByte(' ')
+		}
+		_, _ = compileConstraint(g, "fuzz", b.String())
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,232 @@
+package cdg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderValidation(t *testing.T) {
+	cases := []struct {
+		name  string
+		build func() (*Grammar, error)
+	}{
+		{"no labels", func() (*Grammar, error) {
+			return NewBuilder().Categories("c").Build()
+		}},
+		{"no roles", func() (*Grammar, error) {
+			return NewBuilder().Labels("A").Categories("c").Build()
+		}},
+		{"no categories", func() (*Grammar, error) {
+			return NewBuilder().Labels("A").Role("r", "A").Build()
+		}},
+		{"reserved label", func() (*Grammar, error) {
+			return NewBuilder().Labels("nil").Categories("c").Role("r", "nil").Build()
+		}},
+		{"reserved role", func() (*Grammar, error) {
+			return NewBuilder().Labels("A").Categories("c").Role("eq", "A").Build()
+		}},
+		{"duplicate across namespaces", func() (*Grammar, error) {
+			return NewBuilder().Labels("A").Categories("A").Role("r", "A").Build()
+		}},
+		{"role with unknown label", func() (*Grammar, error) {
+			return NewBuilder().Labels("A").Categories("c").Role("r", "B").Build()
+		}},
+		{"role with no labels", func() (*Grammar, error) {
+			return NewBuilder().Labels("A").Categories("c").Role("r").Build()
+		}},
+		{"word with unknown category", func() (*Grammar, error) {
+			return NewBuilder().Labels("A").Categories("c").Role("r", "A").Word("w", "zzz").Build()
+		}},
+		{"word with no category", func() (*Grammar, error) {
+			return NewBuilder().Labels("A").Categories("c").Role("r", "A").Word("w").Build()
+		}},
+		{"empty word", func() (*Grammar, error) {
+			return NewBuilder().Labels("A").Categories("c").Role("r", "A").Word("", "c").Build()
+		}},
+		{"bad constraint", func() (*Grammar, error) {
+			return NewBuilder().Labels("A").Categories("c").Role("r", "A").
+				Constraint("x", "(((").Build()
+		}},
+		{"restrict unknown role", func() (*Grammar, error) {
+			return NewBuilder().Labels("A").Categories("c").Role("r", "A").
+				RestrictRoleForCat("zz", "c", "A").Build()
+		}},
+		{"restrict label outside table", func() (*Grammar, error) {
+			return NewBuilder().Labels("A", "B").Categories("c").Role("r", "A").
+				RestrictRoleForCat("r", "c", "B").Build()
+		}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.build(); err == nil {
+			t.Errorf("%s: expected error", tc.name)
+		}
+	}
+}
+
+func TestBuilderFirstErrorWins(t *testing.T) {
+	b := NewBuilder().Labels("nil") // error here
+	b.Labels("A").Categories("c")   // ignored
+	if _, err := b.Build(); err == nil || !strings.Contains(err.Error(), "reserved") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+func TestMustBuildPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBuild should panic on invalid grammar")
+		}
+	}()
+	NewBuilder().MustBuild()
+}
+
+func TestGrammarAccessors(t *testing.T) {
+	g := tinyGrammar(t)
+	if g.NumLabels() != 3 || g.NumRoles() != 2 || g.NumCats() != 2 {
+		t.Error("counts")
+	}
+	if g.MaxLabelsPerRole() != 2 {
+		t.Errorf("l = %d", g.MaxLabelsPerRole())
+	}
+	if g.LabelName(0) != "A" || g.RoleName(1) != "r2" || g.CatName(1) != "cb" {
+		t.Error("names")
+	}
+	if _, ok := g.LabelByName("zzz"); ok {
+		t.Error("unknown label resolved")
+	}
+	if got := g.Labels(); len(got) != 3 || got[0] != "A" {
+		t.Error("Labels()")
+	}
+	if got := g.Roles(); len(got) != 2 {
+		t.Error("Roles()")
+	}
+	if got := g.Cats(); len(got) != 2 {
+		t.Error("Cats()")
+	}
+	if got := g.Words(); len(got) != 2 || got[0] != "wa" {
+		t.Errorf("Words() = %v", got)
+	}
+	if g.NumConstraints() != 0 {
+		t.Error("constraint count")
+	}
+}
+
+func TestLexiconCaseInsensitiveAndDedup(t *testing.T) {
+	g, err := NewBuilder().
+		Labels("A").Categories("c").Role("r", "A").
+		Word("The", "c").Word("THE", "c").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cats := g.LookupWord("the"); len(cats) != 1 {
+		t.Errorf("lookup the = %v", cats)
+	}
+	if cats := g.LookupWord("tHe"); len(cats) != 1 {
+		t.Error("case-insensitive lookup failed")
+	}
+	if g.LookupWord("missing") != nil {
+		t.Error("missing word should be nil")
+	}
+}
+
+func TestCategoryRestriction(t *testing.T) {
+	g, err := NewBuilder().
+		Labels("A", "B").Categories("c1", "c2").
+		Role("r", "A", "B").
+		RestrictRoleForCat("r", "c1", "A").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, _ := g.RoleByName("r")
+	c1, _ := g.CatByName("c1")
+	c2, _ := g.CatByName("c2")
+	if got := g.AllowedLabels(r, c1); len(got) != 1 || g.LabelName(got[0]) != "A" {
+		t.Errorf("restricted labels = %v", got)
+	}
+	if got := g.AllowedLabels(r, c2); len(got) != 2 {
+		t.Errorf("unrestricted labels = %v", got)
+	}
+}
+
+func TestResolve(t *testing.T) {
+	g := tinyGrammar(t)
+	if _, err := Resolve(g, nil, nil); err == nil {
+		t.Error("empty sentence")
+	}
+	if _, err := Resolve(g, []string{"nope"}, nil); err == nil {
+		t.Error("unknown word")
+	}
+	s, err := Resolve(g, []string{"wa", "WB"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 2 || s.Word(1) != "wa" || s.Word(2) != "WB" {
+		t.Error("words")
+	}
+	cb, _ := g.CatByName("cb")
+	if c, ok := s.Cat(2); !ok || c != cb {
+		t.Error("category resolution")
+	}
+	if _, ok := s.Cat(0); ok {
+		t.Error("position 0 invalid")
+	}
+	if _, ok := s.Cat(3); ok {
+		t.Error("position 3 invalid")
+	}
+	if s.Word(0) != "" || s.Word(99) != "" {
+		t.Error("out-of-range Word")
+	}
+	ws := s.Words()
+	ws[0] = "mutated"
+	if s.Word(1) != "wa" {
+		t.Error("Words() must copy")
+	}
+}
+
+func TestResolveChooser(t *testing.T) {
+	g, err := NewBuilder().
+		Labels("A").Categories("c1", "c2").
+		Role("r", "A").
+		Word("amb", "c1", "c2").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c2, _ := g.CatByName("c2")
+	// default: first category
+	s, err := Resolve(g, []string{"amb"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := s.Cat(1); g.CatName(c) != "c1" {
+		t.Error("default should take first category")
+	}
+	// chooser overrides
+	s2, err := Resolve(g, []string{"amb"}, func(pos int, w string, opts []CatID) (CatID, bool) {
+		if len(opts) != 2 {
+			t.Errorf("opts = %v", opts)
+		}
+		return c2, true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := s2.Cat(1); g.CatName(c) != "c2" {
+		t.Error("chooser ignored")
+	}
+}
+
+func TestNewSentenceValidation(t *testing.T) {
+	if _, err := NewSentence([]string{"a"}, nil); err == nil {
+		t.Error("length mismatch")
+	}
+	if _, err := NewSentence(nil, nil); err == nil {
+		t.Error("empty")
+	}
+	s, err := NewSentence([]string{"a", "b"}, []CatID{0, 1})
+	if err != nil || s.Len() != 2 {
+		t.Errorf("NewSentence: %v", err)
+	}
+}

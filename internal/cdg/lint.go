@@ -1,0 +1,133 @@
+package cdg
+
+import "fmt"
+
+// Lint inspects a grammar for likely authoring mistakes that the
+// builder cannot reject outright — the class of bug the grammardev
+// example chases with traces, caught statically instead:
+//
+//   - a constraint whose antecedent pins (role x) to r and (lab x) to a
+//     label outside table T for r can never fire;
+//   - a label that appears in no role's table can never occur in a
+//     role value (constraints mentioning it are dead);
+//   - a category with no lexicon entries can never appear in a
+//     sentence.
+//
+// Lint returns human-readable findings; an empty slice means clean.
+func Lint(g *Grammar) []string {
+	var out []string
+
+	// Labels never admitted by any role.
+	admitted := map[LabelID]bool{}
+	for r := range g.roles {
+		for _, l := range g.table[r] {
+			admitted[l] = true
+		}
+	}
+	for i, name := range g.labels {
+		if !admitted[LabelID(i)] {
+			out = append(out, fmt.Sprintf("label %q is in no role's table: role values can never carry it", name))
+		}
+	}
+
+	// Categories with no words.
+	used := map[CatID]bool{}
+	for _, cats := range g.lexicon {
+		for _, c := range cats {
+			used[c] = true
+		}
+	}
+	for i, name := range g.cats {
+		if !used[CatID(i)] {
+			out = append(out, fmt.Sprintf("category %q has no lexicon entries", name))
+		}
+	}
+
+	// Dead constraints: antecedent requires role=r ∧ lab=L with L
+	// outside table T for r.
+	check := func(c *Constraint) {
+		for _, v := range []bool{false, true} {
+			if c.Arity == 1 && v {
+				continue
+			}
+			role, haveRole := pinnedRole(c.ante, v)
+			lab, haveLab := pinnedLabel(c.ante, v)
+			if !haveRole || !haveLab {
+				continue
+			}
+			ok := false
+			for _, l := range g.table[role] {
+				if l == lab {
+					ok = true
+				}
+			}
+			if !ok {
+				varName := "x"
+				if v {
+					varName = "y"
+				}
+				out = append(out, fmt.Sprintf(
+					"constraint %q can never fire: it requires (role %s) = %s and (lab %s) = %s, but table T does not admit that label for that role",
+					c.Name, varName, g.roles[role], varName, g.labels[lab]))
+			}
+		}
+	}
+	for _, c := range g.unary {
+		check(c)
+	}
+	for _, c := range g.binary {
+		check(c)
+	}
+	return out
+}
+
+// pinnedRole walks a conjunction looking for (eq (role v) R).
+func pinnedRole(e expr, onY bool) (RoleID, bool) {
+	var found RoleID
+	ok := false
+	walkConjuncts(e, func(c *cmpExpr) {
+		if c.op != "eq" {
+			return
+		}
+		if a, isAcc := c.a.(*accessExpr); isAcc && a.fn == "role" && a.onY == onY {
+			if k, isConst := c.b.(*constExpr); isConst && k.v.kind == vRole {
+				found, ok = RoleID(k.v.n), true
+			}
+		}
+	})
+	return found, ok
+}
+
+// pinnedLabel walks a conjunction looking for (eq (lab v) L).
+func pinnedLabel(e expr, onY bool) (LabelID, bool) {
+	var found LabelID
+	ok := false
+	walkConjuncts(e, func(c *cmpExpr) {
+		if c.op != "eq" {
+			return
+		}
+		if a, isAcc := c.a.(*accessExpr); isAcc && a.fn == "lab" && a.onY == onY {
+			if k, isConst := c.b.(*constExpr); isConst && k.v.kind == vLabel {
+				found, ok = LabelID(k.v.n), true
+			}
+		}
+	})
+	return found, ok
+}
+
+// walkConjuncts visits every comparison that must hold for e to be
+// true: e itself if it is a comparison, and all conjuncts of nested
+// (and …) forms. Disjunctions are not descended into (their branches
+// are not all required).
+func walkConjuncts(e expr, f func(*cmpExpr)) {
+	switch t := e.(type) {
+	case *cmpExpr:
+		f(t)
+	case *logicExpr:
+		if t.op == "and" {
+			for _, a := range t.args {
+				walkConjuncts(a, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package cdg
+
+import "fmt"
+
+// Space fixes the dense numbering of roles and role values for one
+// (grammar, sentence) pair. Every engine — serial, P-RAM, and MasPar —
+// shares this numbering, which is what makes their results directly
+// comparable bit-for-bit.
+//
+// Global roles are numbered word-major: role q·(pos−1)+r is role r of
+// the word at position pos. Within a role, role values are numbered
+// label-major over the role's table-T label list: value l·(n+1)+m is
+// ⟨label tableT[r][l], modifiee m⟩ with m = 0 meaning nil. Dimensions
+// never shrink during parsing (the MasPar design decision #4: rows and
+// columns are zeroed, not removed), so these indices are stable for the
+// lifetime of a parse.
+type Space struct {
+	g    *Grammar
+	sent *Sentence
+	n    int // words
+	q    int // roles per word
+}
+
+// NewSpace builds the index space for sent under g.
+func NewSpace(g *Grammar, sent *Sentence) *Space {
+	return &Space{g: g, sent: sent, n: sent.Len(), q: g.NumRoles()}
+}
+
+// Grammar returns the grammar the space was built for.
+func (sp *Space) Grammar() *Grammar { return sp.g }
+
+// Sentence returns the sentence the space was built for.
+func (sp *Space) Sentence() *Sentence { return sp.sent }
+
+// N returns the number of words.
+func (sp *Space) N() int { return sp.n }
+
+// Q returns the number of roles per word.
+func (sp *Space) Q() int { return sp.q }
+
+// NumRoles returns the total number of roles q·n.
+func (sp *Space) NumRoles() int { return sp.q * sp.n }
+
+// GlobalRole returns the dense index of role r at word position pos
+// (1-based).
+func (sp *Space) GlobalRole(pos int, r RoleID) int {
+	return sp.q*(pos-1) + int(r)
+}
+
+// RoleAt decodes a global role index into (pos, r).
+func (sp *Space) RoleAt(global int) (pos int, r RoleID) {
+	return global/sp.q + 1, RoleID(global % sp.q)
+}
+
+// RVCount returns the number of role-value slots for role r:
+// |labels(r)|·(n+1). Slots whose modifiee equals the owning word's
+// position are permanently dead but still occupy an index.
+func (sp *Space) RVCount(r RoleID) int {
+	return len(sp.g.RoleLabels(r)) * (sp.n + 1)
+}
+
+// MaxRVCount returns the largest RVCount over all roles.
+func (sp *Space) MaxRVCount() int {
+	m := 0
+	for r := 0; r < sp.q; r++ {
+		if c := sp.RVCount(RoleID(r)); c > m {
+			m = c
+		}
+	}
+	return m
+}
+
+// RVIndex returns the dense index of ⟨label tableT[r][labIdx], mod⟩
+// within role r. mod ranges over 0..n with 0 = nil.
+func (sp *Space) RVIndex(r RoleID, labIdx, mod int) int {
+	return labIdx*(sp.n+1) + mod
+}
+
+// RVDecode splits a dense role-value index back into (labIdx, mod).
+func (sp *Space) RVDecode(r RoleID, idx int) (labIdx, mod int) {
+	return idx / (sp.n + 1), idx % (sp.n + 1)
+}
+
+// RVRef materializes the evaluation-context view of role value idx in
+// role r of the word at position pos.
+func (sp *Space) RVRef(pos int, r RoleID, idx int) RVRef {
+	labIdx, mod := sp.RVDecode(r, idx)
+	return RVRef{
+		Pos:  pos,
+		Role: r,
+		Lab:  sp.g.RoleLabels(r)[labIdx],
+		Mod:  mod,
+	}
+}
+
+// InitialAlive reports whether role-value slot idx of role r at word
+// position pos is alive before any constraints run: the word must not
+// modify itself, and the label must be admitted for the word's category
+// by table T (with the optional per-category restriction, the paper's
+// footnote 1 about lexical restriction of role values).
+func (sp *Space) InitialAlive(pos int, r RoleID, idx int) bool {
+	labIdx, mod := sp.RVDecode(r, idx)
+	if mod == pos {
+		return false
+	}
+	lab := sp.g.RoleLabels(r)[labIdx]
+	cat, ok := sp.sent.Cat(pos)
+	if !ok {
+		return false
+	}
+	for _, allowed := range sp.g.AllowedLabels(r, cat) {
+		if allowed == lab {
+			return true
+		}
+	}
+	return false
+}
+
+// RVString renders role value idx of role r the way the paper's figures
+// do: LABEL-mod with nil spelled out, e.g. "SUBJ-3" or "ROOT-nil".
+func (sp *Space) RVString(r RoleID, idx int) string {
+	labIdx, mod := sp.RVDecode(r, idx)
+	lab := sp.g.LabelName(sp.g.RoleLabels(r)[labIdx])
+	if mod == NilMod {
+		return lab + "-nil"
+	}
+	return fmt.Sprintf("%s-%d", lab, mod)
+}
+
+// NumArcs returns the number of undirected arcs in the constraint
+// network: C(qn, 2), one per unordered pair of distinct roles. The
+// paper counts this as O(n²).
+func (sp *Space) NumArcs() int {
+	t := sp.NumRoles()
+	return t * (t - 1) / 2
+}

@@ -1,0 +1,155 @@
+package cdg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func tinySpace(t *testing.T) (*Grammar, *Space) {
+	t.Helper()
+	g := tinyGrammar(t)
+	s := tinySentence(t, g, "wa", "wb", "wa")
+	return g, NewSpace(g, s)
+}
+
+func TestSpaceShape(t *testing.T) {
+	g, sp := tinySpace(t)
+	if sp.N() != 3 || sp.Q() != 2 {
+		t.Fatal("shape")
+	}
+	if sp.NumRoles() != 6 {
+		t.Errorf("roles = %d", sp.NumRoles())
+	}
+	if sp.NumArcs() != 15 { // C(6,2)
+		t.Errorf("arcs = %d", sp.NumArcs())
+	}
+	r1, _ := g.RoleByName("r1")
+	r2, _ := g.RoleByName("r2")
+	if sp.RVCount(r1) != 2*4 || sp.RVCount(r2) != 1*4 {
+		t.Errorf("rv counts = %d, %d", sp.RVCount(r1), sp.RVCount(r2))
+	}
+	if sp.MaxRVCount() != 8 {
+		t.Errorf("max rv = %d", sp.MaxRVCount())
+	}
+	if sp.Grammar() != g {
+		t.Error("Grammar()")
+	}
+	if sp.Sentence().Len() != 3 {
+		t.Error("Sentence()")
+	}
+}
+
+func TestGlobalRoleRoundTrip(t *testing.T) {
+	_, sp := tinySpace(t)
+	seen := map[int]bool{}
+	for pos := 1; pos <= sp.N(); pos++ {
+		for r := 0; r < sp.Q(); r++ {
+			gr := sp.GlobalRole(pos, RoleID(r))
+			if seen[gr] {
+				t.Fatalf("duplicate global role %d", gr)
+			}
+			seen[gr] = true
+			p2, r2 := sp.RoleAt(gr)
+			if p2 != pos || r2 != RoleID(r) {
+				t.Errorf("round trip (%d,%d) -> %d -> (%d,%d)", pos, r, gr, p2, r2)
+			}
+		}
+	}
+	if len(seen) != sp.NumRoles() {
+		t.Error("global roles not dense")
+	}
+}
+
+func TestRVIndexRoundTrip(t *testing.T) {
+	g, sp := tinySpace(t)
+	r1, _ := g.RoleByName("r1")
+	for li := 0; li < 2; li++ {
+		for mod := 0; mod <= sp.N(); mod++ {
+			idx := sp.RVIndex(r1, li, mod)
+			l2, m2 := sp.RVDecode(r1, idx)
+			if l2 != li || m2 != mod {
+				t.Errorf("(%d,%d) -> %d -> (%d,%d)", li, mod, idx, l2, m2)
+			}
+		}
+	}
+}
+
+func TestRVRefAndString(t *testing.T) {
+	g, sp := tinySpace(t)
+	r1, _ := g.RoleByName("r1")
+	idx := sp.RVIndex(r1, 1, 0) // label B, mod nil
+	ref := sp.RVRef(2, r1, idx)
+	if ref.Pos != 2 || ref.Role != r1 || g.LabelName(ref.Lab) != "B" || ref.Mod != NilMod {
+		t.Errorf("ref = %+v", ref)
+	}
+	if s := sp.RVString(r1, idx); s != "B-nil" {
+		t.Errorf("RVString = %q", s)
+	}
+	if s := sp.RVString(r1, sp.RVIndex(r1, 0, 3)); s != "A-3" {
+		t.Errorf("RVString = %q", s)
+	}
+}
+
+func TestInitialAlive(t *testing.T) {
+	g, sp := tinySpace(t)
+	r1, _ := g.RoleByName("r1")
+	// Self-modification always dead.
+	if sp.InitialAlive(2, r1, sp.RVIndex(r1, 0, 2)) {
+		t.Error("self-mod must be dead")
+	}
+	if !sp.InitialAlive(2, r1, sp.RVIndex(r1, 0, 1)) {
+		t.Error("A-1 at pos 2 should be alive")
+	}
+	if !sp.InitialAlive(2, r1, sp.RVIndex(r1, 0, 0)) {
+		t.Error("nil mod should be alive")
+	}
+}
+
+func TestInitialAliveWithCatRestriction(t *testing.T) {
+	g, err := NewBuilder().
+		Labels("A", "B").Categories("c1", "c2").
+		Role("r", "A", "B").
+		Role("r2", "A").
+		RestrictRoleForCat("r", "c1", "A").
+		Word("w1", "c1").Word("w2", "c2").
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sent, err := Resolve(g, []string{"w1", "w2"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := NewSpace(g, sent)
+	r, _ := g.RoleByName("r")
+	// w1 is c1: label B (index 1) disallowed.
+	if sp.InitialAlive(1, r, sp.RVIndex(r, 1, 0)) {
+		t.Error("restricted label should be dead for c1")
+	}
+	if !sp.InitialAlive(1, r, sp.RVIndex(r, 0, 0)) {
+		t.Error("allowed label should be alive")
+	}
+	// w2 is c2: both labels allowed.
+	if !sp.InitialAlive(2, r, sp.RVIndex(r, 1, 0)) {
+		t.Error("unrestricted cat should allow B")
+	}
+}
+
+// TestQuickRVIndexBijective: the encoding is a bijection on its range.
+func TestQuickRVIndexBijective(t *testing.T) {
+	g, sp := tinySpace(t)
+	r1, _ := g.RoleByName("r1")
+	f := func(rawL, rawM uint8) bool {
+		li := int(rawL) % 2
+		mod := int(rawM) % (sp.N() + 1)
+		idx := sp.RVIndex(r1, li, mod)
+		if idx < 0 || idx >= sp.RVCount(r1) {
+			return false
+		}
+		l2, m2 := sp.RVDecode(r1, idx)
+		return l2 == li && m2 == mod
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

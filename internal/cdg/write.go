@@ -1,0 +1,85 @@
+package cdg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/sexpr"
+)
+
+// WriteGrammar renders g in the textual form ParseGrammar reads. The
+// output is deterministic, and ParseGrammar(WriteGrammar(g)) rebuilds a
+// grammar with identical behavior (same name spaces, table, lexicon,
+// and constraint sources) — the round-trip property the tests pin.
+func WriteGrammar(g *Grammar) string {
+	var b strings.Builder
+	b.WriteString("(grammar\n")
+
+	b.WriteString("  (labels")
+	for _, l := range g.labels {
+		b.WriteByte(' ')
+		b.WriteString(l)
+	}
+	b.WriteString(")\n")
+
+	b.WriteString("  (categories")
+	for _, c := range g.cats {
+		b.WriteByte(' ')
+		b.WriteString(c)
+	}
+	b.WriteString(")\n")
+
+	for r, name := range g.roles {
+		b.WriteString("  (role ")
+		b.WriteString(name)
+		for _, id := range g.table[r] {
+			b.WriteByte(' ')
+			b.WriteString(g.labels[id])
+		}
+		b.WriteString(")\n")
+	}
+
+	// Per-category restrictions, sorted for determinism.
+	var restricts []string
+	for r, byCat := range g.catTable {
+		for c, labels := range byCat {
+			var names []string
+			for _, id := range labels {
+				names = append(names, g.labels[id])
+			}
+			restricts = append(restricts, fmt.Sprintf("  (restrict %s %s %s)\n",
+				g.roles[r], g.cats[c], strings.Join(names, " ")))
+		}
+	}
+	sort.Strings(restricts)
+	for _, r := range restricts {
+		b.WriteString(r)
+	}
+
+	for _, w := range g.Words() {
+		b.WriteString("  (word ")
+		b.WriteString(w)
+		for _, c := range g.lexicon[w] {
+			b.WriteByte(' ')
+			b.WriteString(g.cats[c])
+		}
+		b.WriteString(")\n")
+	}
+
+	writeConstraint := func(c *Constraint) {
+		body := c.Source
+		if node, err := sexpr.Parse(c.Source); err == nil {
+			body = strings.ReplaceAll(sexpr.Pretty(node, 66), "\n", "\n    ")
+		}
+		fmt.Fprintf(&b, "  (constraint %q\n    %s)\n", c.Name, body)
+	}
+	for _, c := range g.unary {
+		writeConstraint(c)
+	}
+	for _, c := range g.binary {
+		writeConstraint(c)
+	}
+	b.WriteString(")\n")
+	return b.String()
+}

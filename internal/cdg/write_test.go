@@ -1,0 +1,89 @@
+package cdg
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteGrammarRoundTrip(t *testing.T) {
+	src := `
+(grammar
+  (labels SUBJ ROOT DET NP S BLANK)
+  (categories det noun verb)
+  (role governor SUBJ ROOT DET)
+  (role needs NP S BLANK)
+  (restrict governor noun SUBJ)
+  (word the det)
+  (word program noun)
+  (word runs verb)
+  (constraint "verbs-are-roots"
+    (if (and (eq (cat (word (pos x))) verb) (eq (role x) governor))
+        (and (eq (lab x) ROOT) (eq (mod x) nil))))
+  (constraint "subj-left-of-root"
+    (if (and (eq (lab x) SUBJ) (eq (lab y) ROOT))
+        (lt (pos x) (pos y)))))`
+	g1, err := ParseGrammar(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := WriteGrammar(g1)
+	g2, err := ParseGrammar(text)
+	if err != nil {
+		t.Fatalf("re-parse of written grammar failed: %v\n%s", err, text)
+	}
+	// Same shape.
+	if g1.NumLabels() != g2.NumLabels() || g1.NumRoles() != g2.NumRoles() ||
+		g1.NumCats() != g2.NumCats() || g1.NumConstraints() != g2.NumConstraints() {
+		t.Fatal("shape changed in round trip")
+	}
+	// Same table.
+	for r := 0; r < g1.NumRoles(); r++ {
+		a, b := g1.RoleLabels(RoleID(r)), g2.RoleLabels(RoleID(r))
+		if len(a) != len(b) {
+			t.Fatalf("role %d labels changed", r)
+		}
+		for i := range a {
+			if g1.LabelName(a[i]) != g2.LabelName(b[i]) {
+				t.Fatalf("role %d label %d changed", r, i)
+			}
+		}
+	}
+	// Same restriction.
+	r, _ := g2.RoleByName("governor")
+	c, _ := g2.CatByName("noun")
+	if got := g2.AllowedLabels(r, c); len(got) != 1 || g2.LabelName(got[0]) != "SUBJ" {
+		t.Errorf("restriction lost: %v", got)
+	}
+	// Same lexicon.
+	if len(g2.LookupWord("runs")) != 1 {
+		t.Error("lexicon lost")
+	}
+	// Same constraint behavior: spot-check evaluation equivalence.
+	sent1, _ := Resolve(g1, []string{"the", "program", "runs"}, nil)
+	sent2, _ := Resolve(g2, []string{"the", "program", "runs"}, nil)
+	sp1, sp2 := NewSpace(g1, sent1), NewSpace(g2, sent2)
+	gov1, _ := g1.RoleByName("governor")
+	gov2, _ := g2.RoleByName("governor")
+	for idx := 0; idx < sp1.RVCount(gov1); idx++ {
+		env1 := &Env{Sent: sent1, X: sp1.RVRef(3, gov1, idx)}
+		env2 := &Env{Sent: sent2, X: sp2.RVRef(3, gov2, idx)}
+		if g1.Unary()[0].Satisfied(env1) != g2.Unary()[0].Satisfied(env2) {
+			t.Fatalf("constraint behavior changed at rv %d", idx)
+		}
+	}
+	// Idempotence: writing again gives the same text.
+	if again := WriteGrammar(g2); again != text {
+		t.Error("WriteGrammar not deterministic across a round trip")
+	}
+}
+
+func TestWriteGrammarContainsSections(t *testing.T) {
+	g := tinyGrammar(t)
+	out := WriteGrammar(g)
+	for _, want := range []string{"(grammar", "(labels A B C)", "(categories ca cb)",
+		"(role r1 A B)", "(role r2 C)", "(word wa ca)", "(word wb cb)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteGrammar missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+package cfg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// anbn returns the CNF grammar for {aⁿbⁿ : n ≥ 1}:
+// S → A X | A B ; X → S B ; A → a ; B → b.
+func anbn(t *testing.T) *Grammar {
+	t.Helper()
+	g, err := NewGrammar([]string{"S", "X", "A", "B"}, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][3]string{{"S", "A", "X"}, {"S", "A", "B"}, {"X", "S", "B"}} {
+		if err := g.AddBin(r[0], r[1], r[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddTerm("A", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddTerm("B", "b"); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func inAnBn(words []string) bool {
+	n := len(words)
+	if n == 0 || n%2 != 0 {
+		return false
+	}
+	for i, w := range words {
+		want := "a"
+		if i >= n/2 {
+			want = "b"
+		}
+		if w != want {
+			return false
+		}
+	}
+	return true
+}
+
+func TestCKYAnBn(t *testing.T) {
+	g := anbn(t)
+	for _, tc := range []struct {
+		words []string
+		want  bool
+	}{
+		{[]string{"a", "b"}, true},
+		{[]string{"a", "a", "b", "b"}, true},
+		{[]string{"a", "a", "a", "b", "b", "b"}, true},
+		{[]string{"a"}, false},
+		{[]string{"b", "a"}, false},
+		{[]string{"a", "b", "a", "b"}, false},
+		{[]string{"a", "a", "b"}, false},
+	} {
+		res, err := CKY(g, tc.words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted != tc.want {
+			t.Errorf("CKY(%v) = %v, want %v", tc.words, res.Accepted, tc.want)
+		}
+	}
+}
+
+func TestCKYUnknownWord(t *testing.T) {
+	g := anbn(t)
+	if _, err := CKY(g, []string{"a", "z"}); err == nil {
+		t.Error("expected unknown-terminal error")
+	}
+	if _, err := CKY(g, nil); err == nil {
+		t.Error("expected empty-input error")
+	}
+}
+
+func TestEarleyAnBn(t *testing.T) {
+	g := anbn(t)
+	for _, tc := range []struct {
+		words []string
+		want  bool
+	}{
+		{[]string{"a", "b"}, true},
+		{[]string{"a", "a", "b", "b"}, true},
+		{[]string{"a", "b", "b"}, false},
+		{[]string{"b"}, false},
+	} {
+		got, err := Earley(g, tc.words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != tc.want {
+			t.Errorf("Earley(%v) = %v, want %v", tc.words, got, tc.want)
+		}
+	}
+}
+
+func TestMeshAnBn(t *testing.T) {
+	g := anbn(t)
+	for _, tc := range []struct {
+		words []string
+		want  bool
+	}{
+		{[]string{"a", "b"}, true},
+		{[]string{"a", "a", "b", "b"}, true},
+		{[]string{"a", "a", "a", "b", "b", "b"}, true},
+		{[]string{"a", "b", "a"}, false},
+	} {
+		res, err := Mesh(g, tc.words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted != tc.want {
+			t.Errorf("Mesh(%v) = %v, want %v", tc.words, res.Accepted, tc.want)
+		}
+	}
+}
+
+// TestQuickThreeRecognizersAgree runs CKY, Earley, and the mesh
+// automaton on random grammars and strings; all three must agree.
+func TestQuickThreeRecognizersAgree(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := Random(seed, 3+int(seed%4), 2+int(seed%3), 6+int(seed%8))
+		for trial := uint64(0); trial < 4; trial++ {
+			n := 1 + int((seed+trial)%7)
+			words := RandomString(g, seed*31+trial, n)
+			cky, err := CKY(g, words)
+			if err != nil {
+				t.Logf("cky: %v", err)
+				return false
+			}
+			earley, err := Earley(g, words)
+			if err != nil {
+				t.Logf("earley: %v", err)
+				return false
+			}
+			mesh, err := Mesh(g, words)
+			if err != nil {
+				t.Logf("mesh: %v", err)
+				return false
+			}
+			if cky.Accepted != earley || cky.Accepted != mesh.Accepted {
+				t.Logf("disagreement on %v: cky=%v earley=%v mesh=%v\n%s",
+					words, cky.Accepted, earley, mesh.Accepted, g)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMeshLinearTicks verifies the O(n) tick bound of the cellular
+// automaton: ticks grow linearly, not quadratically.
+func TestMeshLinearTicks(t *testing.T) {
+	g := anbn(t)
+	ticksAt := func(n int) uint64 {
+		words := make([]string, 2*n)
+		for i := range words {
+			if i < n {
+				words[i] = "a"
+			} else {
+				words[i] = "b"
+			}
+		}
+		res, err := Mesh(g, words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatalf("a^%db^%d should be accepted", n, n)
+		}
+		return res.Ticks
+	}
+	t4, t8 := ticksAt(4), ticksAt(8) // inputs of length 8 and 16
+	ratio := float64(t8) / float64(t4)
+	if ratio > 3.0 {
+		t.Errorf("tick growth %0.2fx for doubled input — not linear (t4=%d t8=%d)", ratio, t4, t8)
+	}
+	if t8 <= t4 {
+		t.Errorf("ticks should grow with n (t4=%d t8=%d)", t4, t8)
+	}
+}
+
+func TestMeshCellCount(t *testing.T) {
+	g := anbn(t)
+	res, err := Mesh(g, []string{"a", "a", "b", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n=4: cells for all 0≤i<j≤4: C(5,2) = 10.
+	if res.Cells != 10 {
+		t.Errorf("cells = %d, want 10", res.Cells)
+	}
+}
+
+func TestCKYOpsGrowth(t *testing.T) {
+	g := anbn(t)
+	ops := func(n int) uint64 {
+		words := make([]string, 2*n)
+		for i := range words {
+			if i < n {
+				words[i] = "a"
+			} else {
+				words[i] = "b"
+			}
+		}
+		res, err := CKY(g, words)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Ops
+	}
+	o4, o8 := ops(4), ops(8)
+	// Doubling n multiplies O(n³) work by ~8.
+	ratio := float64(o8) / float64(o4)
+	if ratio < 4 || ratio > 12 {
+		t.Errorf("CKY op growth %.1fx for doubled input, want ~8x", ratio)
+	}
+}
+
+func TestGrammarValidation(t *testing.T) {
+	if _, err := NewGrammar(nil, "S"); err == nil {
+		t.Error("empty nonterminals should fail")
+	}
+	if _, err := NewGrammar([]string{"S", "S"}, "S"); err == nil {
+		t.Error("duplicate nonterminals should fail")
+	}
+	if _, err := NewGrammar([]string{"S"}, "T"); err == nil {
+		t.Error("unknown start should fail")
+	}
+	g, _ := NewGrammar([]string{"S"}, "S")
+	if err := g.AddBin("S", "S", "T"); err == nil {
+		t.Error("unknown nonterminal in rule should fail")
+	}
+	if err := g.AddTerm("T", "t"); err == nil {
+		t.Error("unknown lhs should fail")
+	}
+}
+
+func TestRandomGrammarDeterministic(t *testing.T) {
+	a := Random(42, 4, 3, 8)
+	b := Random(42, 4, 3, 8)
+	if a.String() != b.String() {
+		t.Error("Random not deterministic for equal seeds")
+	}
+	w1 := RandomString(a, 7, 5)
+	w2 := RandomString(b, 7, 5)
+	for i := range w1 {
+		if w1[i] != w2[i] {
+			t.Error("RandomString not deterministic")
+		}
+	}
+}

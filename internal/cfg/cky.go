@@ -1,0 +1,62 @@
+package cfg
+
+import "fmt"
+
+// CKYResult carries the recognizer verdict and its work accounting.
+type CKYResult struct {
+	Accepted bool
+	// Ops counts elementary rule applications — the quantity behind
+	// the Figure-8 row "Sequential machine: O(k·n³)".
+	Ops uint64
+	// Chart[i][j][A] reports whether A derives words[i:j] (i inclusive,
+	// j exclusive, j > i).
+	Chart [][][]bool
+}
+
+// CKY runs the Cocke–Kasami–Younger recognizer: O(|P|·n³) time, the
+// sequential CFG baseline of Figure 8.
+func CKY(g *Grammar, words []string) (*CKYResult, error) {
+	n := len(words)
+	if n == 0 {
+		return nil, fmt.Errorf("cfg: empty input")
+	}
+	res := &CKYResult{}
+	nt := g.NumNT()
+	chart := make([][][]bool, n+1)
+	for i := range chart {
+		chart[i] = make([][]bool, n+1)
+		for j := range chart[i] {
+			chart[i][j] = make([]bool, nt)
+		}
+	}
+	for i, w := range words {
+		t := g.TermIndex(w)
+		if t < 0 {
+			return nil, fmt.Errorf("cfg: word %q (position %d) is not in the terminal alphabet", w, i+1)
+		}
+		for _, r := range g.Term {
+			res.Ops++
+			if r.Term == t {
+				chart[i][i+1][r.A] = true
+			}
+		}
+	}
+	for span := 2; span <= n; span++ {
+		for i := 0; i+span <= n; i++ {
+			j := i + span
+			row := chart[i][j]
+			for k := i + 1; k < j; k++ {
+				left, right := chart[i][k], chart[k][j]
+				for _, r := range g.Bin {
+					res.Ops++
+					if left[r.B] && right[r.C] {
+						row[r.A] = true
+					}
+				}
+			}
+		}
+	}
+	res.Chart = chart
+	res.Accepted = chart[0][n][g.Start]
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package cfg
+
+import "fmt"
+
+// Earley runs an Earley recognizer over the CNF grammar. It exists as
+// an independently-implemented cross-check for CKY in the differential
+// tests (two recognizers, one truth).
+func Earley(g *Grammar, words []string) (bool, error) {
+	n := len(words)
+	if n == 0 {
+		return false, fmt.Errorf("cfg: empty input")
+	}
+	for i, w := range words {
+		if g.TermIndex(w) < 0 {
+			return false, fmt.Errorf("cfg: word %q (position %d) is not in the terminal alphabet", w, i+1)
+		}
+	}
+
+	// Items: for binary rules A→B C, dot positions 0..2; for terminal
+	// rules A→t, dot 0..1. An item is (rule id, dot, origin).
+	type item struct {
+		rule   int // index into rules: [0,len(Bin)) binary, then terminal
+		dot    int
+		origin int
+	}
+	numBin := len(g.Bin)
+
+	sets := make([]map[item]bool, n+1)
+	order := make([][]item, n+1)
+	add := func(s int, it item) {
+		if sets[s] == nil {
+			sets[s] = map[item]bool{}
+		}
+		if !sets[s][it] {
+			sets[s][it] = true
+			order[s] = append(order[s], it)
+		}
+	}
+
+	// predict schedules every rule for nonterminal a in set s; add()
+	// deduplicates, so re-prediction is a no-op.
+	predict := func(s int, a NT) {
+		for ri, r := range g.Bin {
+			if r.A == a {
+				add(s, item{rule: ri, dot: 0, origin: s})
+			}
+		}
+		for ri, r := range g.Term {
+			if r.A == a {
+				add(s, item{rule: numBin + ri, dot: 0, origin: s})
+			}
+		}
+	}
+
+	// head/next return the rule's lhs and the symbol after the dot
+	// (nonterminal or terminal), with kind flags.
+	headOf := func(rule int) NT {
+		if rule < numBin {
+			return g.Bin[rule].A
+		}
+		return g.Term[rule-numBin].A
+	}
+	complete := func(rule, dot int) bool {
+		if rule < numBin {
+			return dot == 2
+		}
+		return dot == 1
+	}
+
+	predict(0, g.Start)
+
+	for s := 0; s <= n; s++ {
+		// Process the set to closure (scans feed set s+1; in CNF there
+		// are no epsilon rules, so completions never extend their own
+		// origin set mid-walk).
+		for idx := 0; idx < len(order[s]); idx++ {
+			it := order[s][idx]
+			if complete(it.rule, it.dot) {
+				// Completer: advance items in origin waiting on headOf.
+				a := headOf(it.rule)
+				for _, wait := range order[it.origin] {
+					if complete(wait.rule, wait.dot) || wait.rule >= numBin {
+						continue
+					}
+					r := g.Bin[wait.rule]
+					var need NT
+					if wait.dot == 0 {
+						need = r.B
+					} else {
+						need = r.C
+					}
+					if need == a {
+						add(s, item{rule: wait.rule, dot: wait.dot + 1, origin: wait.origin})
+					}
+				}
+				continue
+			}
+			if it.rule < numBin {
+				// Predictor on the nonterminal after the dot.
+				r := g.Bin[it.rule]
+				var need NT
+				if it.dot == 0 {
+					need = r.B
+				} else {
+					need = r.C
+				}
+				predict(s, need)
+				continue
+			}
+			// Terminal rule with dot 0: scanner.
+			if s < n {
+				r := g.Term[it.rule-numBin]
+				if r.Term == g.TermIndex(words[s]) {
+					add(s+1, item{rule: it.rule, dot: 1, origin: it.origin})
+				}
+			}
+		}
+	}
+	for _, it := range order[n] {
+		if complete(it.rule, it.dot) && headOf(it.rule) == g.Start && it.origin == 0 {
+			return true, nil
+		}
+	}
+	return false, nil
+}

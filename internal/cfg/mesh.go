@@ -1,0 +1,170 @@
+package cfg
+
+import "fmt"
+
+// MeshResult reports the systolic recognizer's verdict and cost.
+type MeshResult struct {
+	Accepted bool
+	// Ticks is the number of synchronous automaton steps until
+	// quiescence — the Figure-8 quantity O(k·n) (each tick applies the
+	// whole rule set once per cell; we count ticks and rule ops
+	// separately).
+	Ticks uint64
+	// Cells is the number of automaton cells, O(n²).
+	Cells uint64
+	// Ops counts elementary rule applications across all cells/ticks.
+	Ops uint64
+}
+
+// message is a completed span's nonterminal set in flight along a row
+// (moving right) or a column (moving up).
+type message struct {
+	k   int // the split endpoint: row messages carry T[i,k], column messages T[k,j]
+	set []bool
+}
+
+// meshCell is one automaton cell computing T[i,j].
+type meshCell struct {
+	i, j int
+	// rowHave[k] / colHave[k] are the arrived halves for split k.
+	rowHave map[int][]bool
+	colHave map[int][]bool
+	set     []bool
+	pending int // splits not yet combined
+	done    bool
+	// outbound buffers for the next tick.
+	outRow []message // to (i, j+1)
+	outCol []message // to (i-1, j)
+}
+
+// Mesh runs CKY on a simulated two-dimensional mesh cellular automaton
+// in the style the paper's Figure 8 attributes to Kosaraju 1975: one
+// cell per chart span (O(n²) cells), nearest-neighbor communication
+// only (completed spans travel one cell per tick, rightward along their
+// row and upward along their column), O(k·n) recognition time.
+//
+// Cell memory grows with n in this simulator (arrived halves are
+// buffered per split); the real construction interleaves streams to
+// keep cells finite — the time and cell counts, which are what the
+// experiment measures, are unaffected.
+func Mesh(g *Grammar, words []string) (*MeshResult, error) {
+	n := len(words)
+	if n == 0 {
+		return nil, fmt.Errorf("cfg: empty input")
+	}
+	res := &MeshResult{}
+	nt := g.NumNT()
+
+	cells := make(map[[2]int]*meshCell, n*(n+1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j <= n; j++ {
+			cells[[2]int{i, j}] = &meshCell{
+				i: i, j: j,
+				rowHave: map[int][]bool{},
+				colHave: map[int][]bool{},
+				set:     make([]bool, nt),
+				pending: j - i - 1,
+			}
+		}
+	}
+	res.Cells = uint64(len(cells))
+
+	// Tick 0: the diagonal cells hold the preterminal sets and emit.
+	for i, w := range words {
+		t := g.TermIndex(w)
+		if t < 0 {
+			return nil, fmt.Errorf("cfg: word %q (position %d) is not in the terminal alphabet", w, i+1)
+		}
+		c := cells[[2]int{i, i + 1}]
+		c.set = g.PreterminalSet(t)
+		res.Ops += uint64(len(g.Term))
+		c.done = true
+		c.emit()
+	}
+
+	// combine applies every binary rule to one (left, right) pair.
+	combine := func(c *meshCell, left, right []bool) {
+		for _, r := range g.Bin {
+			res.Ops++
+			if left[r.B] && right[r.C] {
+				c.set[r.A] = true
+			}
+		}
+	}
+
+	for {
+		// Delivery phase: move every outbound message one cell.
+		moved := false
+		type delivery struct {
+			to  [2]int
+			row bool
+			msg message
+		}
+		var deliveries []delivery
+		for _, c := range cells {
+			for _, m := range c.outRow {
+				if to, ok := cells[[2]int{c.i, c.j + 1}]; ok {
+					deliveries = append(deliveries, delivery{to: [2]int{to.i, to.j}, row: true, msg: m})
+				}
+			}
+			for _, m := range c.outCol {
+				if to, ok := cells[[2]int{c.i - 1, c.j}]; ok {
+					deliveries = append(deliveries, delivery{to: [2]int{to.i, to.j}, row: false, msg: m})
+				}
+			}
+			c.outRow, c.outCol = nil, nil
+		}
+		if len(deliveries) == 0 {
+			break
+		}
+		res.Ticks++
+		for _, d := range deliveries {
+			moved = true
+			c := cells[d.to]
+			if d.row {
+				c.rowHave[d.msg.k] = d.msg.set
+				// forward along the row
+				c.outRow = append(c.outRow, d.msg)
+			} else {
+				c.colHave[d.msg.k] = d.msg.set
+				c.outCol = append(c.outCol, d.msg)
+			}
+		}
+		// Compute phase: combine newly complete halves; a cell that
+		// finishes all its splits completes and emits.
+		for _, c := range cells {
+			if c.done {
+				continue
+			}
+			for k := c.i + 1; k < c.j; k++ {
+				left, lok := c.rowHave[k]
+				right, rok := c.colHave[k]
+				if lok && rok {
+					combine(c, left, right)
+					delete(c.rowHave, k)
+					delete(c.colHave, k)
+					c.pending--
+				}
+			}
+			if c.pending == 0 {
+				c.done = true
+				c.emit()
+			}
+		}
+		if !moved {
+			break
+		}
+	}
+
+	top := cells[[2]int{0, n}]
+	res.Accepted = top.set[g.Start]
+	return res, nil
+}
+
+// emit queues the completed set onto both streams.
+func (c *meshCell) emit() {
+	// T[i,j] travels right along row i (as the left half for splits at
+	// k=j) and up along column j (as the right half for splits at k=i).
+	c.outRow = append(c.outRow, message{k: c.j, set: c.set})
+	c.outCol = append(c.outCol, message{k: c.i, set: c.set})
+}

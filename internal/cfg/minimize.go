@@ -1,0 +1,173 @@
+package cfg
+
+import "sort"
+
+// Minimize returns an equivalent DFA with the minimum number of states
+// (Moore's partition-refinement algorithm over the completed
+// automaton, with the dead state stripped again afterwards). For the
+// regex → DFA → CDG pipeline this matters directly: CDG labels are DFA
+// states, and the MasPar engine's per-PE work grows with l², so fewer
+// states mean a cheaper parse.
+func Minimize(d *DFA) *DFA {
+	// Work over a completed automaton: add an explicit dead state so
+	// every transition is defined.
+	n := d.NumStates
+	dead := n
+	total := n + 1
+	nc := len(d.Cats)
+	delta := make([][]int, total)
+	for s := 0; s < n; s++ {
+		delta[s] = make([]int, nc)
+		for c := 0; c < nc; c++ {
+			to := d.Delta[s][c]
+			if to < 0 {
+				to = dead
+			}
+			delta[s][c] = to
+		}
+	}
+	delta[dead] = make([]int, nc)
+	for c := 0; c < nc; c++ {
+		delta[dead][c] = dead
+	}
+	accept := make([]bool, total)
+	copy(accept, d.Accept)
+
+	// Remove unreachable states from consideration by marking them
+	// dead-equivalent (they can never matter, and keeping them could
+	// split classes spuriously).
+	reach := make([]bool, total)
+	stack := []int{d.Start}
+	reach[d.Start] = true
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for c := 0; c < nc; c++ {
+			t := delta[s][c]
+			if !reach[t] {
+				reach[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+
+	// Moore refinement: start with accept/reject classes (unreachable
+	// states are binned with the dead state).
+	class := make([]int, total)
+	for s := 0; s < total; s++ {
+		switch {
+		case !reach[s]:
+			class[s] = 0 // with dead; harmless
+		case accept[s]:
+			class[s] = 1
+		default:
+			class[s] = 0
+		}
+	}
+	if !reach[dead] {
+		reach[dead] = true // keep the dead state as the 0-class anchor
+	}
+
+	for {
+		// Signature: (class, class of successor per symbol).
+		type sig struct {
+			base int
+			key  string
+		}
+		sigOf := make([]sig, total)
+		for s := 0; s < total; s++ {
+			key := make([]byte, 0, nc*2)
+			for c := 0; c < nc; c++ {
+				cl := class[delta[s][c]]
+				key = append(key, byte(cl), byte(cl>>8))
+			}
+			sigOf[s] = sig{base: class[s], key: string(key)}
+		}
+		next := map[sig]int{}
+		newClass := make([]int, total)
+		for s := 0; s < total; s++ {
+			id, ok := next[sigOf[s]]
+			if !ok {
+				id = len(next)
+				next[sigOf[s]] = id
+			}
+			newClass[s] = id
+		}
+		same := true
+		for s := 0; s < total; s++ {
+			if newClass[s] != class[s] {
+				same = false
+				break
+			}
+		}
+		class = newClass
+		if same {
+			break
+		}
+	}
+
+	// Rebuild: one state per class with a *reachable* member, excluding
+	// the dead class. Unreachable states may refine into classes of
+	// their own, but those classes must not materialize — they would
+	// make Minimize non-idempotent.
+	deadClass := class[dead]
+	// Stable ordering: classes by their minimum reachable member.
+	minMember := map[int]int{}
+	for s := total - 1; s >= 0; s-- {
+		if reach[s] {
+			minMember[class[s]] = s
+		}
+	}
+	var classes []int
+	for cl := range minMember {
+		if cl != deadClass {
+			classes = append(classes, cl)
+		}
+	}
+	sort.Slice(classes, func(i, j int) bool { return minMember[classes[i]] < minMember[classes[j]] })
+	id := map[int]int{}
+	for i, cl := range classes {
+		id[cl] = i
+	}
+
+	out := &DFA{
+		NumStates: len(classes),
+		Start:     id[class[d.Start]],
+		Accept:    make([]bool, len(classes)),
+		Cats:      append([]string(nil), d.Cats...),
+		Delta:     make([][]int, len(classes)),
+	}
+	for i, cl := range classes {
+		rep := minMember[cl]
+		out.Accept[i] = accept[rep]
+		out.Delta[i] = make([]int, nc)
+		for c := 0; c < nc; c++ {
+			to := class[delta[rep][c]]
+			if to == deadClass {
+				out.Delta[i][c] = -1
+			} else {
+				out.Delta[i][c] = id[to]
+			}
+		}
+	}
+	// Degenerate case: the start state itself is dead-equivalent (the
+	// automaton accepts nothing). Keep a single rejecting state.
+	if class[d.Start] == deadClass {
+		return &DFA{
+			NumStates: 1,
+			Start:     0,
+			Accept:    []bool{false},
+			Cats:      append([]string(nil), d.Cats...),
+			Delta:     [][]int{rejectRow(nc)},
+		}
+	}
+	return out
+}
+
+func rejectRow(nc int) []int {
+	row := make([]int, nc)
+	for i := range row {
+		row[i] = -1
+	}
+	return row
+}

@@ -1,0 +1,154 @@
+package cfg
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMinimizeCollapsesDuplicateStates(t *testing.T) {
+	// States 1 and 2 are equivalent (both accept, both loop to
+	// themselves on a).
+	d := &DFA{
+		NumStates: 3,
+		Start:     0,
+		Accept:    []bool{false, true, true},
+		Cats:      []string{"a"},
+		Delta: [][]int{
+			{1},
+			{2},
+			{1},
+		},
+	}
+	m := Minimize(d)
+	if m.NumStates != 2 {
+		t.Errorf("minimized to %d states, want 2", m.NumStates)
+	}
+	// Language must be preserved: a, aa, aaa… all accepted; empty not.
+	for length := 1; length <= 5; length++ {
+		cats := make([]int, length)
+		if !m.Run(cats) {
+			t.Errorf("a^%d should be accepted", length)
+		}
+	}
+	if m.Run(nil) {
+		t.Error("empty string should be rejected")
+	}
+}
+
+func TestMinimizeRemovesUnreachable(t *testing.T) {
+	d := &DFA{
+		NumStates: 3,
+		Start:     0,
+		Accept:    []bool{false, true, true},
+		Cats:      []string{"a"},
+		Delta: [][]int{
+			{1},
+			{-1},
+			{1}, // unreachable
+		},
+	}
+	m := Minimize(d)
+	if m.NumStates != 2 {
+		t.Errorf("minimized to %d states, want 2 (unreachable dropped)", m.NumStates)
+	}
+}
+
+func TestMinimizeEmptyLanguage(t *testing.T) {
+	d := &DFA{
+		NumStates: 2,
+		Start:     0,
+		Accept:    []bool{false, false},
+		Cats:      []string{"a", "b"},
+		Delta:     [][]int{{1, 1}, {0, 0}},
+	}
+	m := Minimize(d)
+	if m.NumStates != 1 || m.Accept[0] {
+		t.Errorf("empty language should minimize to one rejecting state, got %+v", m)
+	}
+	if m.Run([]int{0, 1}) {
+		t.Error("must reject everything")
+	}
+	if err := m.Validate(); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinimizeRegexDFA(t *testing.T) {
+	// (a|b)*abb — the classic; its minimal DFA has 4 states.
+	d, err := CompileRegex("(a|b)*abb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := Minimize(d)
+	if m.NumStates != 4 {
+		t.Errorf("minimal DFA for (a|b)*abb has 4 states, got %d (from %d)", m.NumStates, d.NumStates)
+	}
+	if m.NumStates > d.NumStates {
+		t.Error("minimization grew the DFA")
+	}
+}
+
+// TestQuickMinimizePreservesLanguage: the minimized DFA agrees with the
+// original on random strings, and never has more states.
+func TestQuickMinimizePreservesLanguage(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := randomDFA(seed)
+		m := Minimize(d)
+		if err := m.Validate(); err != nil {
+			t.Logf("invalid minimized DFA: %v", err)
+			return false
+		}
+		if m.NumStates > d.NumStates+1 {
+			t.Logf("minimize grew: %d -> %d", d.NumStates, m.NumStates)
+			return false
+		}
+		r := newRNG(seed*131 + 17)
+		for trial := 0; trial < 12; trial++ {
+			n := r.Intn(7)
+			cats := make([]int, n)
+			for i := range cats {
+				cats[i] = r.Intn(len(d.Cats))
+			}
+			if d.Run(cats) != m.Run(cats) {
+				t.Logf("seed %d: disagreement on %v", seed, cats)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickMinimizeIdempotent: minimizing twice changes nothing.
+func TestQuickMinimizeIdempotent(t *testing.T) {
+	f := func(seed uint64) bool {
+		m1 := Minimize(randomDFA(seed))
+		m2 := Minimize(m1)
+		return m2.NumStates == m1.NumStates
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMinimizedCDGSmaller: minimization shrinks the derived CDG's label
+// alphabet (the MasPar l).
+func TestMinimizedCDGSmaller(t *testing.T) {
+	d, err := CompileRegex("(a|b)*abb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gBig, err := ToCDG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gSmall, err := ToCDG(Minimize(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gSmall.NumLabels() >= gBig.NumLabels() {
+		t.Errorf("labels: minimized %d vs raw %d", gSmall.NumLabels(), gBig.NumLabels())
+	}
+}

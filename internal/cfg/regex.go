@@ -1,0 +1,318 @@
+package cfg
+
+// A small regular-expression compiler: pattern → Thompson NFA → subset-
+// construction DFA. Combined with ToCDG this machine-derives a CDG
+// grammar for any regular language over word categories — the pipeline
+// regex → DFA → CDG exercised by the differential tests against Go's
+// regexp package.
+//
+// Syntax: single-letter literals, concatenation, '|' alternation,
+// '(…)' grouping, and the postfix operators '*', '+', '?'. The empty
+// string matches only via operators (e.g. "a*"), never as a bare
+// pattern; CDG sentences are nonempty anyway.
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cdg"
+)
+
+// nfa states are numbered; transitions are either epsilon or on one
+// symbol (a byte literal).
+type nfa struct {
+	// eps[s] lists epsilon successors of s.
+	eps map[int][]int
+	// step[s][c] lists successors of s on symbol c.
+	step  map[int]map[byte][]int
+	start int
+	acc   int
+	next  int
+	// alphabet collects every literal in the pattern.
+	alphabet map[byte]bool
+}
+
+func newNFA() *nfa {
+	return &nfa{
+		eps:      map[int][]int{},
+		step:     map[int]map[byte][]int{},
+		alphabet: map[byte]bool{},
+	}
+}
+
+func (n *nfa) state() int {
+	s := n.next
+	n.next++
+	return s
+}
+
+func (n *nfa) addEps(from, to int) { n.eps[from] = append(n.eps[from], to) }
+
+func (n *nfa) addStep(from int, c byte, to int) {
+	if n.step[from] == nil {
+		n.step[from] = map[byte][]int{}
+	}
+	n.step[from][c] = append(n.step[from][c], to)
+	n.alphabet[c] = true
+}
+
+// frag is a partial NFA with one entry and one exit state.
+type frag struct{ in, out int }
+
+// regexParser is a recursive-descent parser producing NFA fragments.
+type regexParser struct {
+	src string
+	pos int
+	n   *nfa
+}
+
+func (p *regexParser) errf(format string, args ...any) error {
+	return fmt.Errorf("cfg: regex %q at offset %d: %s", p.src, p.pos, fmt.Sprintf(format, args...))
+}
+
+func (p *regexParser) peek() (byte, bool) {
+	if p.pos >= len(p.src) {
+		return 0, false
+	}
+	return p.src[p.pos], true
+}
+
+// alternation := concat ('|' concat)*
+func (p *regexParser) alternation() (frag, error) {
+	f, err := p.concat()
+	if err != nil {
+		return frag{}, err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok || c != '|' {
+			return f, nil
+		}
+		p.pos++
+		g, err := p.concat()
+		if err != nil {
+			return frag{}, err
+		}
+		in, out := p.n.state(), p.n.state()
+		p.n.addEps(in, f.in)
+		p.n.addEps(in, g.in)
+		p.n.addEps(f.out, out)
+		p.n.addEps(g.out, out)
+		f = frag{in, out}
+	}
+}
+
+// concat := repeat repeat*
+func (p *regexParser) concat() (frag, error) {
+	f, err := p.repeat()
+	if err != nil {
+		return frag{}, err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok || c == '|' || c == ')' {
+			return f, nil
+		}
+		g, err := p.repeat()
+		if err != nil {
+			return frag{}, err
+		}
+		p.n.addEps(f.out, g.in)
+		f = frag{f.in, g.out}
+	}
+}
+
+// repeat := atom ('*' | '+' | '?')*
+func (p *regexParser) repeat() (frag, error) {
+	f, err := p.atom()
+	if err != nil {
+		return frag{}, err
+	}
+	for {
+		c, ok := p.peek()
+		if !ok {
+			return f, nil
+		}
+		switch c {
+		case '*':
+			p.pos++
+			in, out := p.n.state(), p.n.state()
+			p.n.addEps(in, f.in)
+			p.n.addEps(in, out)
+			p.n.addEps(f.out, f.in)
+			p.n.addEps(f.out, out)
+			f = frag{in, out}
+		case '+':
+			p.pos++
+			out := p.n.state()
+			p.n.addEps(f.out, f.in)
+			p.n.addEps(f.out, out)
+			f = frag{f.in, out}
+		case '?':
+			p.pos++
+			in, out := p.n.state(), p.n.state()
+			p.n.addEps(in, f.in)
+			p.n.addEps(in, out)
+			p.n.addEps(f.out, out)
+			f = frag{in, out}
+		default:
+			return f, nil
+		}
+	}
+}
+
+// atom := literal | '(' alternation ')'
+func (p *regexParser) atom() (frag, error) {
+	c, ok := p.peek()
+	if !ok {
+		return frag{}, p.errf("unexpected end of pattern")
+	}
+	switch c {
+	case '(':
+		p.pos++
+		f, err := p.alternation()
+		if err != nil {
+			return frag{}, err
+		}
+		if c2, ok := p.peek(); !ok || c2 != ')' {
+			return frag{}, p.errf("missing ')'")
+		}
+		p.pos++
+		return f, nil
+	case ')', '|', '*', '+', '?':
+		return frag{}, p.errf("unexpected %q", string(c))
+	default:
+		if c < 'a' || c > 'z' {
+			return frag{}, p.errf("literals must be lowercase letters, got %q", string(c))
+		}
+		p.pos++
+		in, out := p.n.state(), p.n.state()
+		p.n.addStep(in, c, out)
+		return frag{in, out}, nil
+	}
+}
+
+// CompileRegex compiles pattern into a DFA over its literal alphabet
+// (each letter becomes one category).
+func CompileRegex(pattern string) (*DFA, error) {
+	if pattern == "" {
+		return nil, fmt.Errorf("cfg: empty regex")
+	}
+	p := &regexParser{src: pattern, n: newNFA()}
+	f, err := p.alternation()
+	if err != nil {
+		return nil, err
+	}
+	if p.pos != len(pattern) {
+		return nil, p.errf("trailing input")
+	}
+	p.n.start, p.n.acc = f.in, f.out
+	return p.n.determinize()
+}
+
+// closure expands a state set through epsilon edges.
+func (n *nfa) closure(set map[int]bool) {
+	var stack []int
+	for s := range set {
+		stack = append(stack, s)
+	}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, t := range n.eps[s] {
+			if !set[t] {
+				set[t] = true
+				stack = append(stack, t)
+			}
+		}
+	}
+}
+
+func setKey(set map[int]bool) string {
+	ids := make([]int, 0, len(set))
+	for s := range set {
+		ids = append(ids, s)
+	}
+	sort.Ints(ids)
+	key := make([]byte, 0, len(ids)*3)
+	for _, id := range ids {
+		key = append(key, byte(id), byte(id>>8), ',')
+	}
+	return string(key)
+}
+
+// determinize runs the subset construction.
+func (n *nfa) determinize() (*DFA, error) {
+	letters := make([]byte, 0, len(n.alphabet))
+	for c := range n.alphabet {
+		letters = append(letters, c)
+	}
+	sort.Slice(letters, func(i, j int) bool { return letters[i] < letters[j] })
+	if len(letters) == 0 {
+		return nil, fmt.Errorf("cfg: regex has no literals (matches only the empty string)")
+	}
+	cats := make([]string, len(letters))
+	catOf := map[byte]int{}
+	for i, c := range letters {
+		cats[i] = string(c)
+		catOf[c] = i
+	}
+
+	start := map[int]bool{n.start: true}
+	n.closure(start)
+	index := map[string]int{setKey(start): 0}
+	sets := []map[int]bool{start}
+	var delta [][]int
+	var accept []bool
+
+	for i := 0; i < len(sets); i++ {
+		cur := sets[i]
+		row := make([]int, len(letters))
+		for li, c := range letters {
+			next := map[int]bool{}
+			for s := range cur {
+				for _, t := range n.step[s][c] {
+					next[t] = true
+				}
+			}
+			if len(next) == 0 {
+				row[li] = -1
+				continue
+			}
+			n.closure(next)
+			key := setKey(next)
+			id, ok := index[key]
+			if !ok {
+				id = len(sets)
+				index[key] = id
+				sets = append(sets, next)
+			}
+			row[li] = id
+		}
+		delta = append(delta, row)
+		accept = append(accept, cur[n.acc])
+	}
+
+	d := &DFA{
+		NumStates: len(sets),
+		Start:     0,
+		Accept:    accept,
+		Cats:      cats,
+		Delta:     delta,
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// RegexToCDG compiles a regular expression straight into a CDG grammar
+// over one-letter word categories: the full §1.5 pipeline for the
+// regular fragment (regex → NFA → DFA → constraints).
+func RegexToCDG(pattern string) (*cdg.Grammar, error) {
+	d, err := CompileRegex(pattern)
+	if err != nil {
+		return nil, err
+	}
+	return ToCDG(d)
+}

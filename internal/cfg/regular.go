@@ -1,0 +1,177 @@
+package cfg
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cdg"
+)
+
+// DFA is a deterministic finite automaton over word categories. It is
+// the source formalism for ToCDG, the executable fragment of Maruyama's
+// expressivity result (§1.5: CDG subsumes CFGs; here we machine-derive
+// CDG grammars for the regular subclass and verify them differentially,
+// while internal/grammars provides hand-built CDG grammars for
+// canonical context-free and super-context-free languages).
+type DFA struct {
+	NumStates int
+	Start     int
+	Accept    []bool
+	// Cats is the input alphabet; Delta[state][cat] is the successor
+	// state or -1 for reject.
+	Cats  []string
+	Delta [][]int
+}
+
+// Validate checks structural sanity.
+func (d *DFA) Validate() error {
+	if d.NumStates <= 0 {
+		return fmt.Errorf("cfg: DFA needs at least one state")
+	}
+	if d.Start < 0 || d.Start >= d.NumStates {
+		return fmt.Errorf("cfg: DFA start state %d out of range", d.Start)
+	}
+	if len(d.Accept) != d.NumStates {
+		return fmt.Errorf("cfg: DFA accept vector has %d entries for %d states", len(d.Accept), d.NumStates)
+	}
+	if len(d.Delta) != d.NumStates {
+		return fmt.Errorf("cfg: DFA delta has %d rows for %d states", len(d.Delta), d.NumStates)
+	}
+	for s, row := range d.Delta {
+		if len(row) != len(d.Cats) {
+			return fmt.Errorf("cfg: DFA delta row %d has %d entries for %d categories", s, len(row), len(d.Cats))
+		}
+		for c, to := range row {
+			if to < -1 || to >= d.NumStates {
+				return fmt.Errorf("cfg: DFA delta[%d][%d] = %d out of range", s, c, to)
+			}
+		}
+	}
+	return nil
+}
+
+// Run reports whether the DFA accepts the category sequence.
+func (d *DFA) Run(cats []int) bool {
+	s := d.Start
+	for _, c := range cats {
+		if c < 0 || c >= len(d.Cats) {
+			return false
+		}
+		s = d.Delta[s][c]
+		if s < 0 {
+			return false
+		}
+	}
+	return d.Accept[s]
+}
+
+// ToCDG compiles the DFA into a CDG grammar that accepts exactly the
+// same strings (as sequences of one word per category, the word being
+// the category name). The encoding threads the DFA state through the
+// sentence:
+//
+//   - role "state" of word i carries ⟨Q_s, i+1⟩ where s is the DFA
+//     state after consuming words 1..i; the final word carries ⟨Q_s, nil⟩.
+//   - unary constraints pin word 1's state, force non-final words to
+//     point right, and require the final state to be accepting;
+//   - binary constraints make the pointer chain adjacent (nothing may
+//     sit strictly between a word and its modifiee) and enforce the
+//     transition function between adjacent words.
+//
+// The constraint count is |Q|·|Σ| + O(|Q|) — a grammatical constant, as
+// CDG requires.
+func ToCDG(d *DFA) (*cdg.Grammar, error) {
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	stateLabel := func(s int) string { return fmt.Sprintf("Q%d", s) }
+
+	b := cdg.NewBuilder()
+	labels := make([]string, 0, d.NumStates+1)
+	for s := 0; s < d.NumStates; s++ {
+		labels = append(labels, stateLabel(s))
+	}
+	labels = append(labels, "IDLE")
+	b.Labels(labels...)
+	b.Categories(d.Cats...)
+	b.Role("state", labels[:d.NumStates]...)
+	b.Role("aux", "IDLE")
+	for _, c := range d.Cats {
+		b.Word(c, c)
+	}
+
+	// The aux role is inert: IDLE-nil always.
+	b.Constraint("aux-idle", `
+		(if (eq (role x) aux)
+		    (and (eq (lab x) IDLE) (eq (mod x) nil)))`)
+
+	// Non-final words point right; the chain pointer is mandatory
+	// except at the end of the sentence.
+	b.Constraint("state-points-right", `
+		(if (and (eq (role x) state) (not (eq (mod x) nil)))
+		    (gt (mod x) (pos x)))`)
+
+	// A nil pointer is only legal on the last word: any word to the
+	// right refutes it.
+	b.Constraint("nil-only-at-end", `
+		(if (and (eq (role x) state) (eq (mod x) nil) (gt (pos y) (pos x)))
+		    (lt (pos x) (pos x)))`)
+
+	// Adjacency: nothing sits strictly between a word and its modifiee.
+	b.Constraint("chain-adjacent", `
+		(if (and (eq (role x) state) (not (eq (mod x) nil))
+		         (gt (pos y) (pos x)) (lt (pos y) (mod x)))
+		    (lt (pos x) (pos x)))`)
+
+	// Word 1 must carry the state reached from the start state on its
+	// own category.
+	for c, cat := range d.Cats {
+		to := d.Delta[d.Start][c]
+		cons := "(lt (pos x) (pos x))" // reject
+		if to >= 0 {
+			cons = fmt.Sprintf("(eq (lab x) %s)", stateLabel(to))
+		}
+		b.Constraint(fmt.Sprintf("start-%s", cat), fmt.Sprintf(`
+			(if (and (eq (role x) state) (eq (pos x) 1)
+			         (eq (cat (word (pos x))) %s))
+			    %s)`, cat, cons))
+	}
+
+	// Transition function between adjacent words: if word x in state q
+	// points at word y of category c, then y's state is δ(q, c).
+	for s := 0; s < d.NumStates; s++ {
+		for c, cat := range d.Cats {
+			to := d.Delta[s][c]
+			cons := "(lt (pos x) (pos x))"
+			if to >= 0 {
+				cons = fmt.Sprintf("(eq (lab y) %s)", stateLabel(to))
+			}
+			b.Constraint(fmt.Sprintf("delta-%s-%s", stateLabel(s), cat), fmt.Sprintf(`
+				(if (and (eq (role x) state) (eq (role y) state)
+				         (eq (lab x) %s) (eq (mod x) (pos y))
+				         (eq (cat (word (pos y))) %s))
+				    %s)`, stateLabel(s), cat, cons))
+		}
+	}
+
+	// The chain's final state (the nil pointer) must be accepting.
+	var accepting []string
+	for s := 0; s < d.NumStates; s++ {
+		if d.Accept[s] {
+			accepting = append(accepting, fmt.Sprintf("(eq (lab x) %s)", stateLabel(s)))
+		}
+	}
+	var cons string
+	switch len(accepting) {
+	case 0:
+		cons = "(lt (pos x) (pos x))"
+	case 1:
+		cons = accepting[0]
+	default:
+		cons = "(or " + strings.Join(accepting, " ") + ")"
+	}
+	b.Constraint("final-accepting", fmt.Sprintf(`
+		(if (and (eq (role x) state) (eq (mod x) nil)) %s)`, cons))
+
+	return b.Build()
+}

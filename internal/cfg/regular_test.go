@@ -1,0 +1,192 @@
+package cfg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/serial"
+)
+
+// evenAs is a 2-state DFA over {a,b} accepting strings with an even
+// number of a's.
+func evenAs() *DFA {
+	return &DFA{
+		NumStates: 2,
+		Start:     0,
+		Accept:    []bool{true, false},
+		Cats:      []string{"a", "b"},
+		Delta: [][]int{
+			{1, 0},
+			{0, 1},
+		},
+	}
+}
+
+// aThenB accepts a⁺b⁺.
+func aThenB() *DFA {
+	return &DFA{
+		NumStates: 3,
+		Start:     0,
+		Accept:    []bool{false, false, true},
+		Cats:      []string{"a", "b"},
+		Delta: [][]int{
+			{1, -1}, // start: need an a
+			{1, 2},  // in a-run
+			{-1, 2}, // in b-run
+		},
+	}
+}
+
+func cdgAccepts(t *testing.T, d *DFA, words []string) bool {
+	t.Helper()
+	g, err := ToCDG(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := serial.ParseWords(g, words, serial.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Network.HasParse()
+}
+
+func TestToCDGEvenAs(t *testing.T) {
+	d := evenAs()
+	for _, tc := range []struct {
+		words []string
+		want  bool
+	}{
+		{[]string{"b"}, true},
+		{[]string{"a"}, false},
+		{[]string{"a", "a"}, true},
+		{[]string{"a", "b", "a"}, true},
+		{[]string{"a", "b", "b"}, false},
+		{[]string{"b", "b", "b", "b"}, true},
+		{[]string{"a", "a", "a"}, false},
+	} {
+		if got := cdgAccepts(t, d, tc.words); got != tc.want {
+			t.Errorf("CDG(evenAs)(%v) = %v, want %v", tc.words, got, tc.want)
+		}
+	}
+}
+
+func TestToCDGAThenB(t *testing.T) {
+	d := aThenB()
+	for _, tc := range []struct {
+		words []string
+		want  bool
+	}{
+		{[]string{"a", "b"}, true},
+		{[]string{"a", "a", "b", "b", "b"}, true},
+		{[]string{"b", "a"}, false},
+		{[]string{"a"}, false},
+		{[]string{"b"}, false},
+		{[]string{"a", "b", "a"}, false},
+	} {
+		if got := cdgAccepts(t, d, tc.words); got != tc.want {
+			t.Errorf("CDG(a+b+)(%v) = %v, want %v", tc.words, got, tc.want)
+		}
+	}
+}
+
+func TestToCDGNoAcceptingStates(t *testing.T) {
+	d := &DFA{
+		NumStates: 1,
+		Start:     0,
+		Accept:    []bool{false},
+		Cats:      []string{"a"},
+		Delta:     [][]int{{0}},
+	}
+	if cdgAccepts(t, d, []string{"a", "a"}) {
+		t.Error("DFA with no accepting states must reject everything")
+	}
+}
+
+func TestDFAValidate(t *testing.T) {
+	bad := []*DFA{
+		{NumStates: 0},
+		{NumStates: 1, Start: 2, Accept: []bool{true}, Cats: []string{"a"}, Delta: [][]int{{0}}},
+		{NumStates: 1, Start: 0, Accept: []bool{}, Cats: []string{"a"}, Delta: [][]int{{0}}},
+		{NumStates: 1, Start: 0, Accept: []bool{true}, Cats: []string{"a"}, Delta: [][]int{}},
+		{NumStates: 1, Start: 0, Accept: []bool{true}, Cats: []string{"a"}, Delta: [][]int{{5}}},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("case %d should fail validation", i)
+		}
+		if _, err := ToCDG(d); err == nil {
+			t.Errorf("case %d: ToCDG should reject invalid DFA", i)
+		}
+	}
+}
+
+// randomDFA derives a small DFA deterministically from a seed.
+func randomDFA(seed uint64) *DFA {
+	r := newRNG(seed)
+	states := 2 + r.Intn(3)
+	cats := []string{"a", "b"}
+	d := &DFA{
+		NumStates: states,
+		Start:     r.Intn(states),
+		Accept:    make([]bool, states),
+		Cats:      cats,
+		Delta:     make([][]int, states),
+	}
+	anyAccept := false
+	for s := 0; s < states; s++ {
+		d.Accept[s] = r.Intn(2) == 0
+		anyAccept = anyAccept || d.Accept[s]
+		d.Delta[s] = make([]int, len(cats))
+		for c := range cats {
+			// Occasional reject transitions exercise the dead-path
+			// constraints.
+			if r.Intn(5) == 0 {
+				d.Delta[s][c] = -1
+			} else {
+				d.Delta[s][c] = r.Intn(states)
+			}
+		}
+	}
+	if !anyAccept {
+		d.Accept[0] = true
+	}
+	return d
+}
+
+// TestQuickToCDGMatchesDFA is the weak-equivalence property test: the
+// derived CDG grammar accepts a string iff the DFA does.
+func TestQuickToCDGMatchesDFA(t *testing.T) {
+	f := func(seed uint64) bool {
+		d := randomDFA(seed)
+		g, err := ToCDG(d)
+		if err != nil {
+			t.Logf("ToCDG: %v", err)
+			return false
+		}
+		r := newRNG(seed * 977)
+		for trial := 0; trial < 4; trial++ {
+			n := 1 + r.Intn(5)
+			words := make([]string, n)
+			cats := make([]int, n)
+			for i := range words {
+				c := r.Intn(len(d.Cats))
+				cats[i] = c
+				words[i] = d.Cats[c]
+			}
+			want := d.Run(cats)
+			res, err := serial.ParseWords(g, words, serial.DefaultOptions())
+			if err != nil {
+				t.Logf("parse: %v", err)
+				return false
+			}
+			if got := res.Network.HasParse(); got != want {
+				t.Logf("seed=%d words=%v: CDG=%v DFA=%v", seed, words, got, want)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,91 @@
+package cn
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cdg"
+	"repro/internal/grammars"
+	"repro/internal/workload"
+)
+
+func benchNetwork(b *testing.B, n int) (*cdg.Grammar, *cdg.Space) {
+	b.Helper()
+	g := grammars.PaperDemo()
+	sent, err := cdg.Resolve(g, workload.DemoSentence(n), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, cdg.NewSpace(g, sent)
+}
+
+func BenchmarkNetworkConstruction(b *testing.B) {
+	for _, n := range []int{5, 10} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			_, sp := benchNetwork(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				New(sp)
+			}
+		})
+	}
+}
+
+func BenchmarkApplyBinary(b *testing.B) {
+	for _, n := range []int{5, 10} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			g, sp := benchNetwork(b, n)
+			base := New(sp)
+			for _, c := range g.Unary() {
+				base.ApplyUnary(c)
+			}
+			bc := g.Binary()[0]
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				b.StopTimer()
+				nw := base.Clone()
+				b.StartTimer()
+				nw.ApplyBinary(bc)
+			}
+		})
+	}
+}
+
+func BenchmarkConsistencyPass(b *testing.B) {
+	g, sp := benchNetwork(b, 8)
+	nw := New(sp)
+	for _, c := range g.Unary() {
+		nw.ApplyUnary(c)
+	}
+	for _, c := range g.Binary() {
+		nw.ApplyBinary(c)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		work := nw.Clone()
+		b.StartTimer()
+		work.ConsistencyPass()
+	}
+}
+
+func BenchmarkExtractParses(b *testing.B) {
+	g := grammars.English()
+	sent, err := cdg.Resolve(g, workload.AmbiguousEnglish(2), nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	nw := New(cdg.NewSpace(g, sent))
+	for _, c := range g.Unary() {
+		nw.ApplyUnary(c)
+	}
+	for _, c := range g.Binary() {
+		nw.ApplyBinary(c)
+		nw.ConsistencyPass()
+	}
+	nw.Filter(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		nw.ExtractParses(0)
+	}
+}

@@ -1,0 +1,76 @@
+package cn
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cdg"
+)
+
+// RenderDot emits a precedence graph in Graphviz DOT syntax: one node
+// per word (rank-ordered left to right) and one labeled edge per
+// non-nil role value, the visual form of the paper's Figure 7.
+func RenderDot(a *Assignment) string {
+	sp := a.sp
+	g := sp.Grammar()
+	var b strings.Builder
+	b.WriteString("digraph precedence {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box];\n")
+	for pos := 1; pos <= sp.N(); pos++ {
+		fmt.Fprintf(&b, "  w%d [label=%q];\n", pos,
+			fmt.Sprintf("%s/%d", sp.Sentence().Word(pos), pos))
+	}
+	// Keep the sentence order on one rank.
+	b.WriteString("  { rank=same;")
+	for pos := 1; pos <= sp.N(); pos++ {
+		fmt.Fprintf(&b, " w%d;", pos)
+	}
+	b.WriteString(" }\n")
+	for pos := 1; pos+1 <= sp.N(); pos++ {
+		fmt.Fprintf(&b, "  w%d -> w%d [style=invis];\n", pos, pos+1)
+	}
+	for _, e := range a.Edges() {
+		fmt.Fprintf(&b, "  w%d -> w%d [label=%q];\n",
+			e.From, e.To,
+			fmt.Sprintf("%s(%s)", g.LabelName(e.Label), g.RoleName(e.Role)))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// RenderNetworkDot emits the whole (possibly still ambiguous)
+// constraint network in DOT: words as boxes, one edge per surviving
+// non-nil role value, with multiplicity visible — ambiguity appears as
+// parallel candidate edges.
+func RenderNetworkDot(nw *Network) string {
+	sp := nw.sp
+	g := sp.Grammar()
+	var b strings.Builder
+	b.WriteString("digraph network {\n")
+	b.WriteString("  rankdir=LR;\n")
+	b.WriteString("  node [shape=box];\n")
+	for pos := 1; pos <= sp.N(); pos++ {
+		fmt.Fprintf(&b, "  w%d [label=%q];\n", pos,
+			fmt.Sprintf("%s/%d", sp.Sentence().Word(pos), pos))
+	}
+	for gr := 0; gr < sp.NumRoles(); gr++ {
+		pos, r := sp.RoleAt(gr)
+		nw.domains[gr].ForEach(func(idx int) {
+			ref := sp.RVRef(pos, r, idx)
+			if ref.Mod == cdg.NilMod {
+				return
+			}
+			style := ""
+			if nw.domains[gr].Count() > 1 {
+				style = ", style=dashed" // a still-ambiguous candidate
+			}
+			fmt.Fprintf(&b, "  w%d -> w%d [label=%q%s];\n",
+				pos, ref.Mod,
+				fmt.Sprintf("%s(%s)", g.LabelName(ref.Lab), g.RoleName(r)),
+				style)
+		})
+	}
+	b.WriteString("}\n")
+	return b.String()
+}

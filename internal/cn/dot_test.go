@@ -1,0 +1,62 @@
+package cn
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderDot(t *testing.T) {
+	g := testGrammar(t)
+	nw := buildNetwork(t, g, "w", "v", "w")
+	for _, c := range g.Unary() {
+		nw.ApplyUnary(c)
+	}
+	for _, c := range g.Binary() {
+		nw.ApplyBinary(c)
+		nw.ConsistencyPass()
+	}
+	nw.Filter(0)
+	parses := nw.ExtractParses(1)
+	if len(parses) != 1 {
+		t.Fatal("want a parse")
+	}
+	dot := RenderDot(parses[0])
+	for _, want := range []string{
+		"digraph precedence",
+		"rankdir=LR",
+		`w1 [label="w/1"]`,
+		`w2 [label="v/2"]`,
+		`w1 -> w2 [label="D(g)"]`,
+		`w3 -> w2 [label="D(g)"]`,
+		"rank=same",
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("dot missing %q:\n%s", want, dot)
+		}
+	}
+	// Well-formed: balanced braces.
+	if strings.Count(dot, "{") != strings.Count(dot, "}") {
+		t.Error("unbalanced braces")
+	}
+}
+
+func TestRenderNetworkDotShowsAmbiguity(t *testing.T) {
+	g := testGrammar(t)
+	// Two heads: w at position 1 can attach to either v.
+	nw := buildNetwork(t, g, "w", "v", "v")
+	for _, c := range g.Unary() {
+		nw.ApplyUnary(c)
+	}
+	for _, c := range g.Binary() {
+		nw.ApplyBinary(c)
+		nw.ConsistencyPass()
+	}
+	nw.Filter(0)
+	dot := RenderNetworkDot(nw)
+	if !strings.Contains(dot, "style=dashed") {
+		t.Errorf("ambiguous candidates should be dashed:\n%s", dot)
+	}
+	if strings.Count(dot, "w1 ->") < 2 {
+		t.Errorf("expected two candidate edges from w1:\n%s", dot)
+	}
+}

@@ -1,0 +1,120 @@
+package cn
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/cdg"
+)
+
+// ExplainSupport renders the Figure 10 computation for one role value:
+// for every arc incident to its role, the surviving row of arc elements
+// and their OR; then the AND across arcs that decides whether the value
+// keeps its place. This is the serial-network view of the same
+// OR-then-AND that Figure 12 computes with scanOr/scanAnd segments on
+// the MasPar.
+func (nw *Network) ExplainSupport(pos int, r cdg.RoleID, idx int) string {
+	sp := nw.sp
+	g := sp.Grammar()
+	gr := sp.GlobalRole(pos, r)
+	var b strings.Builder
+	fmt.Fprintf(&b, "support of %s in %s/%d.%s",
+		sp.RVString(r, idx), sp.Sentence().Word(pos), pos, g.RoleName(r))
+	if !nw.domains[gr].Get(idx) {
+		b.WriteString(" (already eliminated)\n")
+	} else {
+		b.WriteString("\n")
+	}
+	finalAnd := true
+	for other := 0; other < sp.NumRoles(); other++ {
+		if other == gr {
+			continue
+		}
+		oPos, oR := sp.RoleAt(other)
+		arc, isRow := nw.ArcBetween(gr, other)
+		var bits []string
+		or := false
+		nw.domains[other].ForEach(func(j int) {
+			v := false
+			if isRow {
+				v = arc.M.Get(idx, j)
+			} else {
+				v = arc.M.Get(j, idx)
+			}
+			or = or || v
+			bit := "0"
+			if v {
+				bit = "1"
+			}
+			bits = append(bits, fmt.Sprintf("%s:%s", sp.RVString(oR, j), bit))
+		})
+		orBit := "0"
+		if or {
+			orBit = "1"
+		}
+		fmt.Fprintf(&b, "  arc to %s/%d.%-10s OR=%s   [%s]\n",
+			sp.Sentence().Word(oPos), oPos, g.RoleName(oR)+":", orBit,
+			strings.Join(bits, " "))
+		finalAnd = finalAnd && or
+	}
+	verdict := "supported — the role value stays"
+	if !finalAnd {
+		verdict = "UNSUPPORTED — consistency maintenance removes it"
+	}
+	fmt.Fprintf(&b, "  AND of the ORs = %v -> %s\n", b2i(finalAnd), verdict)
+	return b.String()
+}
+
+func b2i(v bool) int {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// ParseRVSpec parses the CLI's role-value notation
+// "pos.role.LABEL-mod" (mod a number or "nil"), e.g.
+// "2.governor.SUBJ-1", returning the network coordinates.
+func ParseRVSpec(sp *cdg.Space, spec string) (pos int, r cdg.RoleID, idx int, err error) {
+	parts := strings.SplitN(spec, ".", 3)
+	if len(parts) != 3 {
+		return 0, 0, 0, fmt.Errorf("cn: role-value spec must be pos.role.LABEL-mod, got %q", spec)
+	}
+	pos, err = strconv.Atoi(parts[0])
+	if err != nil || pos < 1 || pos > sp.N() {
+		return 0, 0, 0, fmt.Errorf("cn: bad position %q (sentence has %d words)", parts[0], sp.N())
+	}
+	g := sp.Grammar()
+	r, ok := g.RoleByName(parts[1])
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("cn: unknown role %q", parts[1])
+	}
+	dash := strings.LastIndexByte(parts[2], '-')
+	if dash <= 0 {
+		return 0, 0, 0, fmt.Errorf("cn: bad role value %q (want LABEL-mod)", parts[2])
+	}
+	labName := parts[2][:dash]
+	modStr := parts[2][dash+1:]
+	lab, ok := g.LabelByName(labName)
+	if !ok {
+		return 0, 0, 0, fmt.Errorf("cn: unknown label %q", labName)
+	}
+	labIdx := -1
+	for i, l := range g.RoleLabels(r) {
+		if l == lab {
+			labIdx = i
+		}
+	}
+	if labIdx < 0 {
+		return 0, 0, 0, fmt.Errorf("cn: label %q is not in table T for role %q", labName, parts[1])
+	}
+	mod := cdg.NilMod
+	if modStr != "nil" {
+		mod, err = strconv.Atoi(modStr)
+		if err != nil || mod < 1 || mod > sp.N() {
+			return 0, 0, 0, fmt.Errorf("cn: bad modifiee %q", modStr)
+		}
+	}
+	return pos, r, sp.RVIndex(r, labIdx, mod), nil
+}

@@ -1,0 +1,102 @@
+package cn_test
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cdg"
+	"repro/internal/cn"
+	"repro/internal/grammars"
+	"repro/internal/serial"
+)
+
+// TestExplainSupportFigure10 replays the paper's Figure 10/12 example:
+// checking SUBJ-1 in program's governor role after the first binary
+// constraint — the check whose AND comes out 0 and eliminates SUBJ-1.
+func TestExplainSupportFigure10(t *testing.T) {
+	g := grammars.PaperDemo()
+	sent, err := cdg.Resolve(g, grammars.PaperSentence(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := cdg.NewSpace(g, sent)
+
+	// Reconstruct the Figure 4 state: unary constraints plus the first
+	// binary constraint, before consistency maintenance.
+	nw := cn.New(sp)
+	for _, c := range g.Unary() {
+		nw.ApplyUnary(c)
+	}
+	nw.ApplyBinary(g.Binary()[0])
+
+	pos, r, idx, err := cn.ParseRVSpec(sp, "2.governor.SUBJ-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := nw.ExplainSupport(pos, r, idx)
+	if !strings.Contains(out, "UNSUPPORTED") {
+		t.Errorf("SUBJ-1 should be unsupported after the first binary constraint:\n%s", out)
+	}
+	// The failing arc is the one to runs/3.governor (only ROOT-nil
+	// lives there, and the pair was zeroed).
+	if !strings.Contains(out, "runs/3.governor:  OR=0") {
+		t.Errorf("missing the failing arc:\n%s", out)
+	}
+
+	// SUBJ-3 stays supported.
+	_, _, idx3, err := cn.ParseRVSpec(sp, "2.governor.SUBJ-3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out3 := nw.ExplainSupport(pos, r, idx3)
+	if !strings.Contains(out3, "supported — the role value stays") {
+		t.Errorf("SUBJ-3 should be supported:\n%s", out3)
+	}
+}
+
+func TestExplainSupportEliminatedValue(t *testing.T) {
+	g := grammars.PaperDemo()
+	res, err := serial.ParseWords(g, grammars.PaperSentence(), serial.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sp := res.Network.Space()
+	pos, r, idx, err := cn.ParseRVSpec(sp, "2.governor.SUBJ-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Network.ExplainSupport(pos, r, idx)
+	if !strings.Contains(out, "already eliminated") {
+		t.Errorf("final network should report SUBJ-1 eliminated:\n%s", out)
+	}
+}
+
+func TestParseRVSpecErrors(t *testing.T) {
+	g := grammars.PaperDemo()
+	sent, _ := cdg.Resolve(g, grammars.PaperSentence(), nil)
+	sp := cdg.NewSpace(g, sent)
+	for _, spec := range []string{
+		"",
+		"2.governor",         // missing value
+		"0.governor.SUBJ-1",  // bad position
+		"9.governor.SUBJ-1",  // out of range
+		"2.flavor.SUBJ-1",    // unknown role
+		"2.governor.XYZ-1",   // unknown label
+		"2.governor.NP-1",    // label not in role's table
+		"2.governor.SUBJ-99", // bad mod
+		"2.governor.SUBJ",    // no mod
+		"x.governor.SUBJ-1",  // non-numeric pos
+	} {
+		if _, _, _, err := cn.ParseRVSpec(sp, spec); err == nil {
+			t.Errorf("ParseRVSpec(%q): expected error", spec)
+		}
+	}
+	// nil modifiee works.
+	_, _, idx, err := cn.ParseRVSpec(sp, "3.governor.ROOT-nil")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.RVString(0, idx) != "ROOT-nil" {
+		t.Errorf("spec decoded to %s", sp.RVString(0, idx))
+	}
+}

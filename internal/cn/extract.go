@@ -1,0 +1,159 @@
+package cn
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cdg"
+)
+
+// Assignment is one complete parse: a single role value chosen for every
+// role of every word, all pairwise compatible under the arc matrices.
+// The modifiees of the chosen role values form the edges of the
+// precedence graph (Figure 7 of the paper).
+type Assignment struct {
+	sp *cdg.Space
+	// rv[gr] is the chosen role-value index of global role gr.
+	rv []int
+}
+
+// RoleValue returns the chosen role value for role r of the word at
+// 1-based position pos.
+func (a *Assignment) RoleValue(pos int, r cdg.RoleID) cdg.RVRef {
+	gr := a.sp.GlobalRole(pos, r)
+	return a.sp.RVRef(pos, r, a.rv[gr])
+}
+
+// Index returns the chosen role-value index for global role gr.
+func (a *Assignment) Index(gr int) int { return a.rv[gr] }
+
+// String renders the assignment in the style of Figure 7, one word per
+// line:
+//
+//	Word=program Position=2 governor=SUBJ-3 needs=NP-1
+func (a *Assignment) String() string {
+	sp := a.sp
+	g := sp.Grammar()
+	var b strings.Builder
+	for pos := 1; pos <= sp.N(); pos++ {
+		fmt.Fprintf(&b, "Word=%s Position=%d", sp.Sentence().Word(pos), pos)
+		for r := 0; r < sp.Q(); r++ {
+			gr := sp.GlobalRole(pos, cdg.RoleID(r))
+			fmt.Fprintf(&b, " %s=%s", g.RoleName(cdg.RoleID(r)), sp.RVString(cdg.RoleID(r), a.rv[gr]))
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Edges returns the precedence-graph edges: one (dependent position,
+// role, label, head position) tuple per role whose modifiee is not nil.
+func (a *Assignment) Edges() []Edge {
+	sp := a.sp
+	var out []Edge
+	for gr, idx := range a.rv {
+		pos, r := sp.RoleAt(gr)
+		ref := sp.RVRef(pos, r, idx)
+		if ref.Mod != cdg.NilMod {
+			out = append(out, Edge{From: pos, Role: r, Label: ref.Lab, To: ref.Mod})
+		}
+	}
+	return out
+}
+
+// Edge is one arc of a precedence graph: word From fills function Label
+// for the word at To, via role Role.
+type Edge struct {
+	From  int
+	Role  cdg.RoleID
+	Label cdg.LabelID
+	To    int
+}
+
+// Satisfies checks the assignment against every constraint of the
+// grammar directly (not via the matrices). Used by tests to prove that
+// extraction only ever returns genuine parses.
+func (a *Assignment) Satisfies(g *cdg.Grammar) bool {
+	sp := a.sp
+	env := &cdg.Env{Sent: sp.Sentence()}
+	refs := make([]cdg.RVRef, len(a.rv))
+	for gr, idx := range a.rv {
+		pos, r := sp.RoleAt(gr)
+		refs[gr] = sp.RVRef(pos, r, idx)
+	}
+	for _, c := range g.Unary() {
+		for _, ref := range refs {
+			env.X = ref
+			if !c.Satisfied(env) {
+				return false
+			}
+		}
+	}
+	for _, c := range g.Binary() {
+		for i := range refs {
+			for j := range refs {
+				if i == j {
+					continue
+				}
+				env.X, env.Y = refs[i], refs[j]
+				if !c.Satisfied(env) {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// ExtractParses enumerates up to limit complete, pairwise-compatible
+// assignments by depth-first backtracking with forward checking over the
+// arc matrices (limit <= 0 enumerates all). The paper extracts
+// precedence graphs the same way: "the precedence graphs are extracted
+// by selecting a single role value for each role, all of which must be
+// consistent given the arc matrices".
+func (nw *Network) ExtractParses(limit int) []*Assignment {
+	total := nw.sp.NumRoles()
+	chosen := make([]int, total)
+	var out []*Assignment
+
+	// candidates[gr] is recomputed per depth from the domain filtered
+	// by compatibility with all earlier choices.
+	var rec func(depth int) bool
+	rec = func(depth int) bool {
+		if depth == total {
+			a := &Assignment{sp: nw.sp, rv: append([]int(nil), chosen...)}
+			out = append(out, a)
+			return limit > 0 && len(out) >= limit
+		}
+		stop := false
+		nw.domains[depth].ForEach(func(idx int) {
+			if stop {
+				return
+			}
+			ok := true
+			for prev := 0; prev < depth; prev++ {
+				if !nw.Compatible(prev, chosen[prev], depth, idx) {
+					ok = false
+					break
+				}
+			}
+			if !ok {
+				return
+			}
+			chosen[depth] = idx
+			if rec(depth + 1) {
+				stop = true
+			}
+		})
+		return stop
+	}
+	rec(0)
+	return out
+}
+
+// HasParse reports whether at least one complete assignment exists —
+// exact acceptance, as opposed to the constant-time local acceptance
+// test AllRolesAlive.
+func (nw *Network) HasParse() bool {
+	return len(nw.ExtractParses(1)) == 1
+}

@@ -1,0 +1,465 @@
+// Package cn implements the CDG constraint network of section 1 of the
+// paper: one node per word, q roles per node, a domain of role values
+// per role, and an arc with a compatibility bit-matrix between every
+// pair of distinct roles.
+//
+// The package provides the network primitives — construction, unary and
+// binary constraint propagation, consistency maintenance, filtering, and
+// parse extraction. Engine drivers (internal/serial, internal/pram,
+// internal/core) sequence these primitives according to their machine
+// model; the reference semantics live here.
+//
+// Matrices are full-dimensional for the life of the parse: a role value
+// that dies has its domain bit cleared and its rows/columns zeroed, but
+// indices never shift (the paper's design decision #4). Consistency
+// maintenance uses simultaneous two-phase semantics — first every role
+// value's support is computed against the current matrices, then all
+// unsupported values are eliminated at once — which is exactly what the
+// CRCW P-RAM and MasPar formulations do and makes all three engines
+// bit-for-bit comparable.
+package cn
+
+import (
+	"fmt"
+
+	"repro/internal/bitset"
+	"repro/internal/cdg"
+	"repro/internal/metrics"
+)
+
+// Arc connects two distinct global roles A < B. Entry (i, j) of M is 1
+// iff role value i of A and role value j of B may legally coexist.
+type Arc struct {
+	A, B int
+	M    *bitset.Matrix
+}
+
+// Network is the constraint network for one sentence.
+type Network struct {
+	sp      *cdg.Space
+	domains []*bitset.Set
+	arcs    []*Arc
+	// arcAt[a][b] is the index into arcs for the pair {a,b}, or -1 on
+	// the diagonal.
+	arcAt [][]int
+
+	// Counters receives the work accounting; never nil.
+	Counters *metrics.Counters
+}
+
+// New builds the initial network: domains from table T, the lexicon
+// category of each word, and the no-self-modification rule; arc matrices
+// all-ones between alive values. This is the state of Figure 1 (with the
+// paper's later design decision #1 — arcs built before unary
+// propagation — baked in, which is harmless for the serial engine and
+// required for the parallel ones).
+func New(sp *cdg.Space) *Network {
+	nw := &Network{sp: sp, Counters: &metrics.Counters{}}
+	total := sp.NumRoles()
+	nw.domains = make([]*bitset.Set, total)
+	for gr := 0; gr < total; gr++ {
+		pos, r := sp.RoleAt(gr)
+		dom := bitset.New(sp.RVCount(r))
+		for idx := 0; idx < sp.RVCount(r); idx++ {
+			if sp.InitialAlive(pos, r, idx) {
+				dom.SetBit(idx)
+			}
+		}
+		nw.domains[gr] = dom
+	}
+	nw.arcAt = make([][]int, total)
+	for a := 0; a < total; a++ {
+		nw.arcAt[a] = make([]int, total)
+		for b := range nw.arcAt[a] {
+			nw.arcAt[a][b] = -1
+		}
+	}
+	for a := 0; a < total; a++ {
+		_, ra := sp.RoleAt(a)
+		for b := a + 1; b < total; b++ {
+			_, rb := sp.RoleAt(b)
+			m := bitset.NewMatrix(sp.RVCount(ra), sp.RVCount(rb))
+			nw.domains[a].ForEach(func(i int) {
+				nw.domains[b].ForEach(func(j int) {
+					m.SetBit(i, j)
+					nw.Counters.MatrixWrites++
+				})
+			})
+			idx := len(nw.arcs)
+			nw.arcs = append(nw.arcs, &Arc{A: a, B: b, M: m})
+			nw.arcAt[a][b] = idx
+			nw.arcAt[b][a] = idx
+		}
+	}
+	return nw
+}
+
+// NewShell builds a network with the same shape as New but with all
+// domains empty and all matrices zero. Parallel engines fill a shell
+// with their final machine state so every engine's result is inspected
+// and compared through the same Network methods.
+func NewShell(sp *cdg.Space) *Network {
+	nw := &Network{sp: sp, Counters: &metrics.Counters{}}
+	total := sp.NumRoles()
+	nw.domains = make([]*bitset.Set, total)
+	for gr := 0; gr < total; gr++ {
+		_, r := sp.RoleAt(gr)
+		nw.domains[gr] = bitset.New(sp.RVCount(r))
+	}
+	nw.arcAt = make([][]int, total)
+	for a := 0; a < total; a++ {
+		nw.arcAt[a] = make([]int, total)
+		for b := range nw.arcAt[a] {
+			nw.arcAt[a][b] = -1
+		}
+	}
+	for a := 0; a < total; a++ {
+		_, ra := sp.RoleAt(a)
+		for b := a + 1; b < total; b++ {
+			_, rb := sp.RoleAt(b)
+			idx := len(nw.arcs)
+			nw.arcs = append(nw.arcs, &Arc{A: a, B: b, M: bitset.NewMatrix(sp.RVCount(ra), sp.RVCount(rb))})
+			nw.arcAt[a][b] = idx
+			nw.arcAt[b][a] = idx
+		}
+	}
+	return nw
+}
+
+// Space returns the role-value index space.
+func (nw *Network) Space() *cdg.Space { return nw.sp }
+
+// Domain returns the live role-value set of global role gr (do not
+// mutate).
+func (nw *Network) Domain(gr int) *bitset.Set { return nw.domains[gr] }
+
+// Arcs returns all arcs (do not mutate).
+func (nw *Network) Arcs() []*Arc { return nw.arcs }
+
+// ArcBetween returns the arc joining global roles a and b, plus whether
+// a indexes the rows (a < b). It panics on a == b: roles have no
+// self-arc (the disabled PEs of Figure 11).
+func (nw *Network) ArcBetween(a, b int) (arc *Arc, aIsRow bool) {
+	if a == b {
+		panic("cn: no self arc")
+	}
+	idx := nw.arcAt[a][b]
+	return nw.arcs[idx], a < b
+}
+
+// Compatible reports whether role value ia of global role a can coexist
+// with role value ib of global role b.
+func (nw *Network) Compatible(a, ia, b, ib int) bool {
+	arc, aIsRow := nw.ArcBetween(a, b)
+	if aIsRow {
+		return arc.M.Get(ia, ib)
+	}
+	return arc.M.Get(ib, ia)
+}
+
+// Eliminate removes role value idx from global role gr: the domain bit
+// is cleared and the value's row/column is zeroed in every incident arc
+// matrix — O(n²) work, as the paper charges for one consistency-
+// maintenance elimination.
+func (nw *Network) Eliminate(gr, idx int) {
+	if !nw.domains[gr].Get(idx) {
+		return
+	}
+	nw.domains[gr].ClearBit(idx)
+	nw.Counters.Eliminations++
+	for other := 0; other < len(nw.domains); other++ {
+		if other == gr {
+			continue
+		}
+		arc, isRow := nw.ArcBetween(gr, other)
+		if isRow {
+			arc.M.ZeroRow(idx)
+		} else {
+			arc.M.ZeroCol(idx)
+		}
+		nw.Counters.MatrixWrites += uint64(nw.sp.RVCount(roleIDOf(nw.sp, other)))
+	}
+}
+
+func roleIDOf(sp *cdg.Space, gr int) cdg.RoleID {
+	_, r := sp.RoleAt(gr)
+	return r
+}
+
+// ApplyUnary propagates one unary constraint: every live role value is
+// checked, and violators are eliminated. O(n²) checks, matching §1.4.
+func (nw *Network) ApplyUnary(c *cdg.Constraint) int {
+	if c.Arity != 1 {
+		panic("cn: ApplyUnary needs a unary constraint")
+	}
+	env := &cdg.Env{Sent: nw.sp.Sentence()}
+	eliminated := 0
+	for gr := range nw.domains {
+		pos, r := nw.sp.RoleAt(gr)
+		var doomed []int
+		nw.domains[gr].ForEach(func(idx int) {
+			env.X = nw.sp.RVRef(pos, r, idx)
+			nw.Counters.ConstraintChecks++
+			if !c.Satisfied(env) {
+				doomed = append(doomed, idx)
+			}
+		})
+		for _, idx := range doomed {
+			nw.Eliminate(gr, idx)
+			eliminated++
+		}
+	}
+	return eliminated
+}
+
+// ApplyBinary propagates one binary constraint over every arc: each
+// surviving pair is tested in both variable orientations and the matrix
+// bit is zeroed on violation. O(n⁴) pair checks, matching §1.4. It does
+// not run consistency maintenance; callers sequence that separately.
+func (nw *Network) ApplyBinary(c *cdg.Constraint) int {
+	if c.Arity != 2 {
+		panic("cn: ApplyBinary needs a binary constraint")
+	}
+	env := &cdg.Env{Sent: nw.sp.Sentence()}
+	zeroed := 0
+	for _, arc := range nw.arcs {
+		posA, ra := nw.sp.RoleAt(arc.A)
+		posB, rb := nw.sp.RoleAt(arc.B)
+		nw.domains[arc.A].ForEach(func(i int) {
+			refA := nw.sp.RVRef(posA, ra, i)
+			nw.domains[arc.B].ForEach(func(j int) {
+				if !arc.M.Get(i, j) {
+					return
+				}
+				refB := nw.sp.RVRef(posB, rb, j)
+				env.X, env.Y = refA, refB
+				nw.Counters.ConstraintChecks++
+				ok := c.Satisfied(env)
+				if ok {
+					env.X, env.Y = refB, refA
+					nw.Counters.ConstraintChecks++
+					ok = c.Satisfied(env)
+				}
+				if !ok {
+					arc.M.ClearBit(i, j)
+					nw.Counters.MatrixWrites++
+					zeroed++
+				}
+			})
+		})
+	}
+	return zeroed
+}
+
+// ApplyBinaryAll propagates every given binary constraint in a single
+// sweep over the arcs: each surviving pair is enumerated once and
+// tested against all constraints (in both orientations) before moving
+// on. The fixpoint is identical to applying the constraints one at a
+// time — matrix bits only ever go 1→0 and each pair's verdict per
+// constraint is independent of the others. The pair-enumeration
+// overhead is paid once instead of len(cs) times, at the cost of losing
+// the interleaved consistency passes that shrink domains between
+// constraints (so the raw check count usually goes UP — see the serial
+// engine's FuseBinary documentation for the measured trade-off). This
+// is the per-element "interpret all broadcast constraints" reading of
+// Figure 8's mesh row.
+func (nw *Network) ApplyBinaryAll(cs []*cdg.Constraint) int {
+	for _, c := range cs {
+		if c.Arity != 2 {
+			panic("cn: ApplyBinaryAll needs binary constraints")
+		}
+	}
+	env := &cdg.Env{Sent: nw.sp.Sentence()}
+	zeroed := 0
+	for _, arc := range nw.arcs {
+		posA, ra := nw.sp.RoleAt(arc.A)
+		posB, rb := nw.sp.RoleAt(arc.B)
+		nw.domains[arc.A].ForEach(func(i int) {
+			refA := nw.sp.RVRef(posA, ra, i)
+			nw.domains[arc.B].ForEach(func(j int) {
+				if !arc.M.Get(i, j) {
+					return
+				}
+				refB := nw.sp.RVRef(posB, rb, j)
+				for _, c := range cs {
+					env.X, env.Y = refA, refB
+					nw.Counters.ConstraintChecks++
+					ok := c.Satisfied(env)
+					if ok {
+						env.X, env.Y = refB, refA
+						nw.Counters.ConstraintChecks++
+						ok = c.Satisfied(env)
+					}
+					if !ok {
+						arc.M.ClearBit(i, j)
+						nw.Counters.MatrixWrites++
+						zeroed++
+						break
+					}
+				}
+			})
+		})
+	}
+	return zeroed
+}
+
+// Supported reports whether role value idx of global role gr has, in
+// every incident arc, at least one 1 in its row (or column) — the
+// support test of §1.4 (the OR-then-AND of Figure 10).
+func (nw *Network) Supported(gr, idx int) bool {
+	for other := 0; other < len(nw.domains); other++ {
+		if other == gr {
+			continue
+		}
+		nw.Counters.SupportChecks++
+		arc, isRow := nw.ArcBetween(gr, other)
+		if isRow {
+			if !arc.M.RowAny(idx) {
+				return false
+			}
+		} else {
+			if !arc.M.ColAny(idx) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// ConsistencyPass performs one simultaneous round of consistency
+// maintenance: support is evaluated for every live role value against
+// the current matrices, then every unsupported value is eliminated. It
+// returns the number of eliminations.
+func (nw *Network) ConsistencyPass() int {
+	type victim struct{ gr, idx int }
+	var victims []victim
+	for gr := range nw.domains {
+		nw.domains[gr].ForEach(func(idx int) {
+			if !nw.Supported(gr, idx) {
+				victims = append(victims, victim{gr, idx})
+			}
+		})
+	}
+	for _, v := range victims {
+		nw.Eliminate(v.gr, v.idx)
+	}
+	return len(victims)
+}
+
+// Filter repeats consistency maintenance until a fixpoint or until
+// maxIters passes have run (maxIters <= 0 means unbounded). It returns
+// the number of passes that performed at least one elimination plus the
+// final no-op pass, i.e. the total passes executed.
+func (nw *Network) Filter(maxIters int) int {
+	passes := 0
+	for {
+		if maxIters > 0 && passes >= maxIters {
+			return passes
+		}
+		passes++
+		nw.Counters.FilterIterations++
+		if nw.ConsistencyPass() == 0 {
+			return passes
+		}
+	}
+}
+
+// AllRolesAlive reports the paper's acceptance condition: every role of
+// every word retains at least one role value.
+func (nw *Network) AllRolesAlive() bool {
+	for _, d := range nw.domains {
+		if !d.Any() {
+			return false
+		}
+	}
+	return true
+}
+
+// Ambiguous reports whether any role retains more than one role value
+// (§1.4: "some of the roles in an ambiguous sentence will contain more
+// than one role value").
+func (nw *Network) Ambiguous() bool {
+	for _, d := range nw.domains {
+		if d.Count() > 1 {
+			return true
+		}
+	}
+	return false
+}
+
+// DomainStrings renders the live role values of global role gr in the
+// paper's figure notation.
+func (nw *Network) DomainStrings(gr int) []string {
+	_, r := nw.sp.RoleAt(gr)
+	var out []string
+	nw.domains[gr].ForEach(func(idx int) {
+		out = append(out, nw.sp.RVString(r, idx))
+	})
+	return out
+}
+
+// Clone deep-copies the network (counters are not shared; the clone
+// starts with fresh counters).
+func (nw *Network) Clone() *Network {
+	c := &Network{
+		sp:       nw.sp,
+		domains:  make([]*bitset.Set, len(nw.domains)),
+		arcs:     make([]*Arc, len(nw.arcs)),
+		arcAt:    nw.arcAt,
+		Counters: &metrics.Counters{},
+	}
+	for i, d := range nw.domains {
+		c.domains[i] = d.Clone()
+	}
+	for i, a := range nw.arcs {
+		c.arcs[i] = &Arc{A: a.A, B: a.B, M: a.M.Clone()}
+	}
+	return c
+}
+
+// EqualState reports whether two networks (over the same space) have
+// identical domains and identical matrices restricted to live pairs.
+// Matrices are compared only on live×live entries because engines may
+// legitimately differ on garbage bits under already-eliminated values.
+func (nw *Network) EqualState(o *Network) bool {
+	if len(nw.domains) != len(o.domains) {
+		return false
+	}
+	for i := range nw.domains {
+		if !nw.domains[i].Equal(o.domains[i]) {
+			return false
+		}
+	}
+	for i, a := range nw.arcs {
+		b := o.arcs[i]
+		if a.A != b.A || a.B != b.B {
+			return false
+		}
+		equal := true
+		nw.domains[a.A].ForEach(func(r int) {
+			nw.domains[a.B].ForEach(func(c int) {
+				if a.M.Get(r, c) != b.M.Get(r, c) {
+					equal = false
+				}
+			})
+		})
+		if !equal {
+			return false
+		}
+	}
+	return true
+}
+
+// Stats summarizes the live state for diagnostics.
+func (nw *Network) Stats() string {
+	live := 0
+	for _, d := range nw.domains {
+		live += d.Count()
+	}
+	ones := 0
+	for _, a := range nw.arcs {
+		ones += a.M.Count()
+	}
+	return fmt.Sprintf("roles=%d liveRVs=%d arcs=%d matrixOnes=%d",
+		len(nw.domains), live, len(nw.arcs), ones)
+}

@@ -1,0 +1,417 @@
+package cn
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cdg"
+)
+
+// testGrammar builds a compact grammar exercising the network
+// machinery: 2 roles, 2-3 labels each.
+func testGrammar(t *testing.T) *cdg.Grammar {
+	t.Helper()
+	b := cdg.NewBuilder().
+		Labels("H", "D", "Z").
+		Categories("w", "v").
+		Role("g", "H", "D").
+		Role("n", "Z").
+		Word("w", "w").
+		Word("v", "v")
+	// v-words are heads (H-nil); w-words are dependents (D pointing at
+	// some word).
+	b.Constraint("v-head", `
+		(if (and (eq (cat (word (pos x))) v) (eq (role x) g))
+		    (and (eq (lab x) H) (eq (mod x) nil)))`)
+	b.Constraint("w-dep", `
+		(if (and (eq (cat (word (pos x))) w) (eq (role x) g))
+		    (and (eq (lab x) D) (not (eq (mod x) nil))))`)
+	b.Constraint("n-z", `
+		(if (eq (role x) n)
+		    (and (eq (lab x) Z) (eq (mod x) nil)))`)
+	b.Constraint("dep-targets-head", `
+		(if (and (eq (lab x) D) (eq (role y) g) (eq (mod x) (pos y)))
+		    (eq (lab y) H))`)
+	return b.MustBuild()
+}
+
+func buildNetwork(t *testing.T, g *cdg.Grammar, words ...string) *Network {
+	t.Helper()
+	sent, err := cdg.Resolve(g, words, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return New(cdg.NewSpace(g, sent))
+}
+
+func TestNewInitialState(t *testing.T) {
+	g := testGrammar(t)
+	nw := buildNetwork(t, g, "w", "v")
+	sp := nw.Space()
+	if len(nw.Arcs()) != sp.NumArcs() {
+		t.Errorf("arcs = %d, want %d", len(nw.Arcs()), sp.NumArcs())
+	}
+	// Initial domains exclude self-modification only.
+	gRole, _ := g.RoleByName("g")
+	dom := nw.Domain(sp.GlobalRole(1, gRole))
+	// 2 labels × 3 mods (nil,2 — not 1) → indices with mod != 1.
+	if dom.Count() != 2*2 {
+		t.Errorf("initial domain = %d, want 4: %v", dom.Count(), nw.DomainStrings(sp.GlobalRole(1, gRole)))
+	}
+	// All live pairs start compatible.
+	for _, arc := range nw.Arcs() {
+		nw.Domain(arc.A).ForEach(func(i int) {
+			nw.Domain(arc.B).ForEach(func(j int) {
+				if !arc.M.Get(i, j) {
+					t.Fatalf("initial matrix has a 0 at live pair (%d,%d)", i, j)
+				}
+			})
+		})
+	}
+}
+
+func TestEliminateZeroesRowsAndCols(t *testing.T) {
+	g := testGrammar(t)
+	nw := buildNetwork(t, g, "w", "v")
+	sp := nw.Space()
+	gRole, _ := g.RoleByName("g")
+	gr := sp.GlobalRole(1, gRole)
+	victim := nw.Domain(gr).Ones()[0]
+	nw.Eliminate(gr, victim)
+	if nw.Domain(gr).Get(victim) {
+		t.Fatal("domain bit survived")
+	}
+	for other := 0; other < sp.NumRoles(); other++ {
+		if other == gr {
+			continue
+		}
+		arc, isRow := nw.ArcBetween(gr, other)
+		if isRow {
+			if arc.M.RowAny(victim) {
+				t.Error("row not zeroed")
+			}
+		} else if arc.M.ColAny(victim) {
+			t.Error("col not zeroed")
+		}
+	}
+	// Idempotent.
+	before := nw.Counters.Eliminations
+	nw.Eliminate(gr, victim)
+	if nw.Counters.Eliminations != before {
+		t.Error("double elimination counted twice")
+	}
+}
+
+func TestArcBetweenPanicsOnSelf(t *testing.T) {
+	g := testGrammar(t)
+	nw := buildNetwork(t, g, "w", "v")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic on self arc")
+		}
+	}()
+	nw.ArcBetween(1, 1)
+}
+
+func TestApplyUnaryPanicsOnBinary(t *testing.T) {
+	g := testGrammar(t)
+	nw := buildNetwork(t, g, "w", "v")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	nw.ApplyUnary(g.Binary()[0])
+}
+
+func TestApplyBinaryPanicsOnUnary(t *testing.T) {
+	g := testGrammar(t)
+	nw := buildNetwork(t, g, "w", "v")
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	nw.ApplyBinary(g.Unary()[0])
+}
+
+func TestPipelineOnTestGrammar(t *testing.T) {
+	g := testGrammar(t)
+	nw := buildNetwork(t, g, "w", "v", "w")
+	for _, c := range g.Unary() {
+		nw.ApplyUnary(c)
+	}
+	for _, c := range g.Binary() {
+		nw.ApplyBinary(c)
+		nw.ConsistencyPass()
+	}
+	nw.Filter(0)
+	if !nw.AllRolesAlive() {
+		t.Fatal("network should be accepted")
+	}
+	// Both w words must point at the single head v@2.
+	sp := nw.Space()
+	gRole, _ := g.RoleByName("g")
+	for _, pos := range []int{1, 3} {
+		vals := nw.DomainStrings(sp.GlobalRole(pos, gRole))
+		if len(vals) != 1 || vals[0] != "D-2" {
+			t.Errorf("pos %d domain = %v, want [D-2]", pos, vals)
+		}
+	}
+	parses := nw.ExtractParses(0)
+	if len(parses) != 1 {
+		t.Fatalf("parses = %d", len(parses))
+	}
+	if !parses[0].Satisfies(g) {
+		t.Error("parse violates constraints")
+	}
+	edges := parses[0].Edges()
+	if len(edges) != 2 {
+		t.Errorf("edges = %v", edges)
+	}
+}
+
+func TestRejectionEmptiesARole(t *testing.T) {
+	g := testGrammar(t)
+	// No head at all: both words are dependents.
+	nw := buildNetwork(t, g, "w", "w")
+	for _, c := range g.Unary() {
+		nw.ApplyUnary(c)
+	}
+	for _, c := range g.Binary() {
+		nw.ApplyBinary(c)
+		nw.ConsistencyPass()
+	}
+	nw.Filter(0)
+	if nw.AllRolesAlive() {
+		t.Error("w w should be rejected")
+	}
+	if nw.HasParse() {
+		t.Error("no parse should exist")
+	}
+	if nw.ExtractParses(0) != nil {
+		t.Error("extraction should return nothing")
+	}
+}
+
+func TestMonotonicity(t *testing.T) {
+	// Propagation only ever shrinks domains (a quick property over the
+	// pipeline stages).
+	g := testGrammar(t)
+	nw := buildNetwork(t, g, "w", "v", "w")
+	snapshot := func() []int {
+		var out []int
+		for gr := 0; gr < nw.Space().NumRoles(); gr++ {
+			out = append(out, nw.Domain(gr).Count())
+		}
+		return out
+	}
+	prev := snapshot()
+	step := func(name string) {
+		cur := snapshot()
+		for i := range cur {
+			if cur[i] > prev[i] {
+				t.Fatalf("%s grew domain %d: %d -> %d", name, i, prev[i], cur[i])
+			}
+		}
+		prev = cur
+	}
+	for _, c := range g.Unary() {
+		nw.ApplyUnary(c)
+		step("unary " + c.Name)
+	}
+	for _, c := range g.Binary() {
+		nw.ApplyBinary(c)
+		step("binary " + c.Name)
+		nw.ConsistencyPass()
+		step("consistency")
+	}
+	nw.Filter(0)
+	step("filter")
+}
+
+func TestFilterIdempotent(t *testing.T) {
+	g := testGrammar(t)
+	nw := buildNetwork(t, g, "w", "v", "w")
+	for _, c := range g.Unary() {
+		nw.ApplyUnary(c)
+	}
+	for _, c := range g.Binary() {
+		nw.ApplyBinary(c)
+	}
+	nw.Filter(0)
+	before := nw.Clone()
+	// A second filtering pass must change nothing.
+	passes := nw.Filter(0)
+	if passes != 1 {
+		t.Errorf("re-filter took %d passes, want 1 (no-op)", passes)
+	}
+	if !nw.EqualState(before) {
+		t.Error("filter not idempotent")
+	}
+}
+
+func TestFilterBounded(t *testing.T) {
+	g := testGrammar(t)
+	nw := buildNetwork(t, g, "w", "w", "w")
+	for _, c := range g.Unary() {
+		nw.ApplyUnary(c)
+	}
+	for _, c := range g.Binary() {
+		nw.ApplyBinary(c)
+	}
+	if got := nw.Filter(2); got > 2 {
+		t.Errorf("bounded filter ran %d passes", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	g := testGrammar(t)
+	nw := buildNetwork(t, g, "w", "v")
+	c := nw.Clone()
+	if !nw.EqualState(c) {
+		t.Fatal("clone differs")
+	}
+	gr := 0
+	idx := nw.Domain(gr).Ones()[0]
+	nw.Eliminate(gr, idx)
+	if nw.EqualState(c) {
+		t.Error("mutation leaked into clone")
+	}
+}
+
+func TestNewShellEmpty(t *testing.T) {
+	g := testGrammar(t)
+	sent, _ := cdg.Resolve(g, []string{"w", "v"}, nil)
+	sp := cdg.NewSpace(g, sent)
+	shell := NewShell(sp)
+	if shell.AllRolesAlive() {
+		t.Error("shell domains should be empty")
+	}
+	if len(shell.Arcs()) != sp.NumArcs() {
+		t.Error("shell arcs missing")
+	}
+	for _, a := range shell.Arcs() {
+		if a.M.Count() != 0 {
+			t.Error("shell matrix not zero")
+		}
+	}
+}
+
+func TestRenderContainsDomains(t *testing.T) {
+	g := testGrammar(t)
+	nw := buildNetwork(t, g, "w", "v")
+	out := nw.Render()
+	for _, want := range []string{"w/1", "v/2", "g:", "n:", "H-nil", "Z-nil"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render missing %q:\n%s", want, out)
+		}
+	}
+	arcOut := nw.RenderArc(0, 2)
+	if !strings.Contains(arcOut, "arc") || !strings.Contains(arcOut, "1") {
+		t.Errorf("RenderArc:\n%s", arcOut)
+	}
+	if nw.Stats() == "" {
+		t.Error("Stats empty")
+	}
+}
+
+// TestQuickExtractionMatchesBruteForce compares backtracking extraction
+// with brute-force enumeration on small random networks.
+func TestQuickExtractionMatchesBruteForce(t *testing.T) {
+	g := testGrammar(t)
+	f := func(seed int64) bool {
+		s := seed | 1
+		rnd := func(n int) int {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			v := int(s % int64(n))
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		words := make([]string, 2+rnd(2))
+		for i := range words {
+			if rnd(2) == 0 {
+				words[i] = "w"
+			} else {
+				words[i] = "v"
+			}
+		}
+		nw := buildNetwork(t, g, words...)
+		// Random extra matrix zeroing to create interesting structure.
+		for k := 0; k < 10; k++ {
+			arc := nw.Arcs()[rnd(len(nw.Arcs()))]
+			rows, cols := arc.M.Rows(), arc.M.Cols()
+			arc.M.ClearBit(rnd(rows), rnd(cols))
+		}
+		got := len(nw.ExtractParses(0))
+		want := bruteForceCount(nw)
+		if got != want {
+			t.Logf("words=%v got=%d want=%d", words, got, want)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// bruteForceCount enumerates every combination of live role values and
+// counts the pairwise-compatible ones.
+func bruteForceCount(nw *Network) int {
+	total := nw.Space().NumRoles()
+	domains := make([][]int, total)
+	for gr := 0; gr < total; gr++ {
+		domains[gr] = nw.Domain(gr).Ones()
+	}
+	count := 0
+	choice := make([]int, total)
+	var rec func(d int)
+	rec = func(d int) {
+		if d == total {
+			count++
+			return
+		}
+		for _, idx := range domains[d] {
+			ok := true
+			for p := 0; p < d; p++ {
+				if !nw.Compatible(p, choice[p], d, idx) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				choice[d] = idx
+				rec(d + 1)
+			}
+		}
+	}
+	rec(0)
+	return count
+}
+
+func TestExtractParsesLimit(t *testing.T) {
+	g := testGrammar(t)
+	nw := buildNetwork(t, g, "w", "v", "v")
+	for _, c := range g.Unary() {
+		nw.ApplyUnary(c)
+	}
+	for _, c := range g.Binary() {
+		nw.ApplyBinary(c)
+		nw.ConsistencyPass()
+	}
+	nw.Filter(0)
+	all := nw.ExtractParses(0)
+	if len(all) < 2 {
+		t.Skipf("want an ambiguous network, got %d parses", len(all))
+	}
+	one := nw.ExtractParses(1)
+	if len(one) != 1 {
+		t.Errorf("limit=1 returned %d", len(one))
+	}
+}

@@ -1,0 +1,124 @@
+package cn
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/cdg"
+)
+
+// Render prints the network in the style of the paper's figures: one
+// line per role listing its surviving role values, e.g.
+//
+//	the/1        governor: {DET-2, DET-3}
+//	the/1        needs:    {BLANK-nil}
+//
+// The output is deterministic and is what the Figure 1–6 golden tests
+// compare against.
+func (nw *Network) Render() string {
+	sp := nw.sp
+	g := sp.Grammar()
+	roleWidth := 0
+	for r := 0; r < sp.Q(); r++ {
+		if w := len(g.RoleName(cdg.RoleID(r))); w > roleWidth {
+			roleWidth = w
+		}
+	}
+	wordWidth := 0
+	for pos := 1; pos <= sp.N(); pos++ {
+		if w := len(sp.Sentence().Word(pos)) + 2; w > wordWidth {
+			wordWidth = w
+		}
+	}
+	var b strings.Builder
+	for pos := 1; pos <= sp.N(); pos++ {
+		for r := 0; r < sp.Q(); r++ {
+			gr := sp.GlobalRole(pos, cdg.RoleID(r))
+			vals := nw.DomainStrings(gr)
+			fmt.Fprintf(&b, "%-*s %-*s {%s}\n",
+				wordWidth, fmt.Sprintf("%s/%d", sp.Sentence().Word(pos), pos),
+				roleWidth+1, g.RoleName(cdg.RoleID(r))+":",
+				strings.Join(vals, ", "))
+		}
+	}
+	return b.String()
+}
+
+// RenderArc prints one arc matrix in the style of Figures 3–6 and 9:
+// rows are the surviving role values of the lower-numbered role, columns
+// those of the higher-numbered role.
+func (nw *Network) RenderArc(a, b int) string {
+	arc, aIsRow := nw.ArcBetween(a, b)
+	if !aIsRow {
+		a, b = b, a
+	}
+	sp := nw.sp
+	posA, ra := sp.RoleAt(arc.A)
+	posB, rb := sp.RoleAt(arc.B)
+	rows := nw.domains[arc.A].Ones()
+	cols := nw.domains[arc.B].Ones()
+
+	rowLabels := make([]string, len(rows))
+	width := 0
+	for i, idx := range rows {
+		rowLabels[i] = sp.RVString(ra, idx)
+		if len(rowLabels[i]) > width {
+			width = len(rowLabels[i])
+		}
+	}
+	colLabels := make([]string, len(cols))
+	colWidth := 1
+	for j, idx := range cols {
+		colLabels[j] = sp.RVString(rb, idx)
+		if len(colLabels[j]) > colWidth {
+			colWidth = len(colLabels[j])
+		}
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "arc %s/%d.%s x %s/%d.%s\n",
+		sp.Sentence().Word(posA), posA, sp.Grammar().RoleName(ra),
+		sp.Sentence().Word(posB), posB, sp.Grammar().RoleName(rb))
+	fmt.Fprintf(&sb, "%*s", width, "")
+	for _, cl := range colLabels {
+		fmt.Fprintf(&sb, " %*s", colWidth, cl)
+	}
+	sb.WriteByte('\n')
+	for i, ridx := range rows {
+		fmt.Fprintf(&sb, "%-*s", width, rowLabels[i])
+		for _, cidx := range cols {
+			v := 0
+			if arc.M.Get(ridx, cidx) {
+				v = 1
+			}
+			fmt.Fprintf(&sb, " %*d", colWidth, v)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// RenderPrecedenceGraph prints an assignment's dependency structure in
+// the spirit of Figure 7: each word with its chosen role values and an
+// arrow list of modifiee edges.
+func RenderPrecedenceGraph(a *Assignment) string {
+	sp := a.sp
+	g := sp.Grammar()
+	var b strings.Builder
+	b.WriteString(a.String())
+	edges := a.Edges()
+	sort.Slice(edges, func(i, j int) bool {
+		if edges[i].From != edges[j].From {
+			return edges[i].From < edges[j].From
+		}
+		return edges[i].Role < edges[j].Role
+	})
+	for _, e := range edges {
+		fmt.Fprintf(&b, "  %s/%d --%s(%s)--> %s/%d\n",
+			sp.Sentence().Word(e.From), e.From,
+			g.LabelName(e.Label), g.RoleName(e.Role),
+			sp.Sentence().Word(e.To), e.To)
+	}
+	return b.String()
+}

@@ -1,0 +1,147 @@
+// Package core implements PARSEC — the paper's contribution: parallel
+// CDG parsing. It provides the MasPar MP-1 algorithm of section 2.2
+// (PE layout, broadcast constraint propagation, scan-based consistency
+// maintenance, processor virtualization) and a backend-neutral Parser
+// API that can also run the same parse on the serial reference engine
+// and the CRCW P-RAM engine for comparison.
+package core
+
+import (
+	"repro/internal/cdg"
+)
+
+// Layout is the PE allocation of section 2.2.2 (Figures 11 and 13).
+//
+// The side of the (conceptual) arc-element matrix is S = q·n·n
+// role-value *groups*: one group per (word, role, modifiee), with the
+// modifiee list of word w being nil plus every position except w — n
+// entries. Labels are not spread across PEs: each PE owns the l×l
+// label submatrix for its (column group, row group) pair, which is
+// design decision #6 / Figure 13 (each physical PE simulates a constant
+// number l² of conceptual processors).
+//
+// Virtual PE v = colGroup·S + rowGroup, so a column block (all arc
+// elements supporting one column group) is S consecutive PEs — the
+// prerequisite for the scanOr/scanAnd segments of Figure 12. Arc
+// elements are stored twice (PE v and its transpose mirror), which is
+// what lets every role value's support be computed entirely inside its
+// own column block.
+type Layout struct {
+	sp *cdg.Space
+
+	n int // words
+	q int // roles per word
+	l int // max labels per role (padded slots above a role's count are dead)
+	s int // S = q·n·n groups
+	v int // S² virtual PEs
+
+	// baseMask marks PEs that are not on a self-arc (Figure 11: "PEs
+	// disabled from the beginning of parsing" are the role-to-itself
+	// blocks).
+	baseMask []bool
+	// arcSegHead marks the first PE of each arc segment inside a
+	// column block (rowGroup divisible by n).
+	arcSegHead []bool
+	// blockFirstActive marks, per column block, its first non-self-arc
+	// PE: the scanAnd segment head and the copy-scan source.
+	blockFirstActive []bool
+	// transposeSrc[v] is the mirror PE rowGroup·S + colGroup, the
+	// router gather pattern that converts column-liveness into
+	// row-liveness.
+	transposeSrc []int32
+}
+
+// NewLayout computes the allocation for one (grammar, sentence) space.
+func NewLayout(sp *cdg.Space) *Layout {
+	n, q := sp.N(), sp.Q()
+	l := sp.Grammar().MaxLabelsPerRole()
+	s := q * n * n
+	ly := &Layout{sp: sp, n: n, q: q, l: l, s: s, v: s * s}
+	ly.baseMask = make([]bool, ly.v)
+	ly.arcSegHead = make([]bool, ly.v)
+	ly.blockFirstActive = make([]bool, ly.v)
+	ly.transposeSrc = make([]int32, ly.v)
+	for v := 0; v < ly.v; v++ {
+		col := v / s
+		row := v % s
+		ly.transposeSrc[v] = int32(row*s + col)
+		selfArc := ly.roleInstanceOfGroup(col) == ly.roleInstanceOfGroup(row)
+		ly.baseMask[v] = !selfArc
+		ly.arcSegHead[v] = row%n == 0
+	}
+	// First active PE of each column block: row group 0 unless the
+	// block's own role sits first, in which case the next arc (row
+	// group n) leads.
+	for col := 0; col < s; col++ {
+		first := 0
+		if ly.roleInstanceOfGroup(col) == ly.roleInstanceOfGroup(0) {
+			first = n
+		}
+		if first < s {
+			ly.blockFirstActive[col*s+first] = true
+		}
+	}
+	return ly
+}
+
+// S returns the group-side length q·n·n.
+func (ly *Layout) S() int { return ly.s }
+
+// V returns the virtual PE count S².
+func (ly *Layout) V() int { return ly.v }
+
+// L returns the per-PE label submatrix side l.
+func (ly *Layout) L() int { return ly.l }
+
+// roleInstanceOfGroup maps a group index to its (word, role) instance
+// index in 0..q·n−1.
+func (ly *Layout) roleInstanceOfGroup(g int) int { return g / ly.n }
+
+// Group decodes a group index into (word position 1..n, role, modifiee).
+func (ly *Layout) Group(g int) (pos int, role cdg.RoleID, mod int) {
+	ms := g % ly.n
+	inst := g / ly.n
+	role = cdg.RoleID(inst % ly.q)
+	pos = inst/ly.q + 1
+	mod = ms
+	if ms >= pos {
+		mod = ms + 1
+	}
+	return pos, role, mod
+}
+
+// GroupOf encodes (word position, role, modifiee) as a group index.
+// mod must not equal pos (a word never modifies itself; that slot does
+// not exist in the layout).
+func (ly *Layout) GroupOf(pos int, role cdg.RoleID, mod int) int {
+	ms := mod
+	if mod > pos {
+		ms = mod - 1
+	}
+	return ((pos-1)*ly.q+int(role))*ly.n + ms
+}
+
+// RVRef materializes the evaluation view of label slot ls of group g.
+// ok is false for padding slots (ls beyond the role's label count).
+func (ly *Layout) RVRef(g, ls int) (ref cdg.RVRef, ok bool) {
+	pos, role, mod := ly.Group(g)
+	labels := ly.sp.Grammar().RoleLabels(role)
+	if ls >= len(labels) {
+		return cdg.RVRef{}, false
+	}
+	return cdg.RVRef{Pos: pos, Role: role, Lab: labels[ls], Mod: mod}, true
+}
+
+// ColGroup returns the column group of PE v.
+func (ly *Layout) ColGroup(v int) int { return v / ly.s }
+
+// RowGroup returns the row group of PE v.
+func (ly *Layout) RowGroup(v int) int { return v % ly.s }
+
+// BitIndex addresses the plural bit store: PE v's label-submatrix entry
+// (column label slot lc, row label slot lr).
+func (ly *Layout) BitIndex(v, lc, lr int) int { return v*ly.l*ly.l + lc*ly.l + lr }
+
+// AliveIndex addresses the plural liveness store for label slot ls on
+// PE v (used for both column- and row-liveness arrays).
+func (ly *Layout) AliveIndex(v, ls int) int { return v*ly.l + ls }

@@ -1,0 +1,394 @@
+package core
+
+// The MasPar MP-1 PARSEC algorithm (section 2.2).
+//
+// Pipeline, following the six design decisions of §2.2.1:
+//
+//  1. Arc matrices are built before unary propagation, so every role
+//     value is present and dimensions are fixed (decisions #1, #4).
+//  2. There is no shared memory: every PE computes what it needs from
+//     its PE id plus ACU broadcasts (decision #2).
+//  3. Constraint propagation is pure local computation: the ACU
+//     broadcasts each constraint and every PE checks its l×l arc
+//     elements — O(k) elemental work with no communication.
+//  4. Consistency maintenance is the scanOr/scanAnd construction of
+//     Figure 12 (decision #3), one round costing O(log P); filtering
+//     runs a bounded number of rounds (decision #5), or to fixpoint
+//     when exact agreement with the serial engine is wanted.
+//  5. PEs are virtualized: l² arc elements per PE always (decision #6,
+//     Figure 13) plus ⌈S²/P⌉ physical layers (§2.2.3).
+
+import (
+	"fmt"
+
+	"repro/internal/cdg"
+	"repro/internal/cn"
+	"repro/internal/maspar"
+	"repro/internal/metrics"
+)
+
+// masparRun holds the plural state of one parse.
+type masparRun struct {
+	ly   *Layout
+	m    *maspar.Machine
+	sp   *cdg.Space
+	sent *cdg.Sentence
+
+	// bits is the mirrored arc-element store: l×l bits per PE.
+	bits []maspar.Bit
+	// aliveCol[v·l+ls] is the liveness of the PE's column group's
+	// role value with label slot ls; aliveRow is the row-side mirror.
+	aliveCol []maspar.Bit
+	aliveRow []maspar.Bit
+
+	// allowed[role][cat][ls] is the broadcast table-T slice: label slot
+	// ls of role legal for a word of category cat.
+	allowed [][][]bool
+
+	rounds int
+}
+
+// runMasPar executes the full algorithm and returns the run plus the
+// final network read back from the PE array.
+func runMasPar(sp *cdg.Space, m *maspar.Machine, consistencyPerConstraint bool, filter bool, maxIters int) (*masparRun, *cn.Network, error) {
+	if sp.NumRoles() < 2 {
+		return nil, nil, fmt.Errorf("core: the MasPar layout needs at least two roles in the network (got %d)", sp.NumRoles())
+	}
+	ly := NewLayout(sp)
+	if _, err := m.Setup(ly.V()); err != nil {
+		return nil, nil, err
+	}
+	g := sp.Grammar()
+	run := &masparRun{
+		ly:       ly,
+		m:        m,
+		sp:       sp,
+		sent:     sp.Sentence(),
+		bits:     make([]maspar.Bit, ly.V()*ly.L()*ly.L()),
+		aliveCol: make([]maspar.Bit, ly.V()*ly.L()),
+		aliveRow: make([]maspar.Bit, ly.V()*ly.L()),
+	}
+
+	// ACU broadcast: sentence words/categories and the table-T slices
+	// every PE needs to interpret its PE id.
+	run.allowed = make([][][]bool, g.NumRoles())
+	for r := 0; r < g.NumRoles(); r++ {
+		run.allowed[r] = make([][]bool, g.NumCats())
+		labels := g.RoleLabels(cdg.RoleID(r))
+		for c := 0; c < g.NumCats(); c++ {
+			row := make([]bool, ly.L())
+			for ls, lab := range labels {
+				for _, ok := range g.AllowedLabels(cdg.RoleID(r), cdg.CatID(c)) {
+					if ok == lab {
+						row[ls] = true
+					}
+				}
+			}
+			run.allowed[r][c] = row
+		}
+	}
+	m.BroadcastData()
+
+	// Disable the role-to-itself blocks for the whole parse.
+	m.SetMask(func(pe int) bool { return ly.baseMask[pe] })
+
+	run.initAlive()
+	run.initBits()
+
+	// Constraint propagation: the ACU broadcasts each constraint, all
+	// PEs apply it to their local arc elements.
+	for _, uc := range g.Unary() {
+		run.applyUnary(uc)
+		if consistencyPerConstraint {
+			run.consistencyRound()
+		}
+	}
+	for _, bc := range g.Binary() {
+		run.applyBinary(bc)
+		if consistencyPerConstraint {
+			run.consistencyRound()
+		}
+	}
+
+	// Consistency maintenance + filtering.
+	if filter {
+		for {
+			if maxIters > 0 && run.rounds >= maxIters {
+				break
+			}
+			if !run.consistencyRound() {
+				break
+			}
+		}
+	} else if !consistencyPerConstraint {
+		// At minimum one round, so unsupported role values are
+		// eliminated at all (the paper always runs consistency
+		// maintenance after propagation).
+		run.consistencyRound()
+	}
+
+	return run, run.readBack(), nil
+}
+
+// aliveInit computes the initial liveness of (group g, label slot ls):
+// the slot must be a real label of the role, and table T (with the
+// per-category restriction) must admit it for the word's category.
+func (run *masparRun) aliveInit(g, ls int) maspar.Bit {
+	pos, role, _ := run.ly.Group(g)
+	labels := run.sp.Grammar().RoleLabels(role)
+	if ls >= len(labels) {
+		return 0
+	}
+	cat, ok := run.sent.Cat(pos)
+	if !ok {
+		return 0
+	}
+	if run.allowed[role][cat][ls] {
+		return 1
+	}
+	return 0
+}
+
+// initAlive fills aliveCol and aliveRow. Each PE computes both sides
+// locally from its id — no communication (design decision #2).
+func (run *masparRun) initAlive() {
+	ly := run.ly
+	run.m.All(func(pe int) {
+		col, row := ly.ColGroup(pe), ly.RowGroup(pe)
+		for ls := 0; ls < ly.l; ls++ {
+			run.aliveCol[ly.AliveIndex(pe, ls)] = run.aliveInit(col, ls)
+			run.aliveRow[ly.AliveIndex(pe, ls)] = run.aliveInit(row, ls)
+		}
+	})
+}
+
+// initBits sets every arc element to aliveCol ∧ aliveRow — "initially,
+// all entries in the matrices are set to 1" (for live role values).
+func (run *masparRun) initBits() {
+	ly := run.ly
+	run.m.All(func(pe int) {
+		for lc := 0; lc < ly.l; lc++ {
+			ac := run.aliveCol[ly.AliveIndex(pe, lc)]
+			for lr := 0; lr < ly.l; lr++ {
+				run.bits[ly.BitIndex(pe, lc, lr)] = ac & run.aliveRow[ly.AliveIndex(pe, lr)]
+			}
+		}
+	})
+}
+
+// applyUnary propagates one unary constraint: every PE checks its
+// column-side and row-side role values locally and zeroes the liveness
+// and arc elements of violators. Pure elemental work; PEs in the same
+// column block reach identical verdicts redundantly, which is exactly
+// how a SIMD machine avoids communication here.
+func (run *masparRun) applyUnary(c *cdg.Constraint) {
+	ly := run.ly
+	run.m.AllChecks(2*ly.l, func(pe int) {
+		col, row := ly.ColGroup(pe), ly.RowGroup(pe)
+		env := cdg.Env{Sent: run.sent}
+		for ls := 0; ls < ly.l; ls++ {
+			ci := ly.AliveIndex(pe, ls)
+			if run.aliveCol[ci] == 1 {
+				if ref, ok := ly.RVRef(col, ls); ok {
+					env.X = ref
+					if !c.Satisfied(&env) {
+						run.aliveCol[ci] = 0
+					}
+				}
+			}
+			if run.aliveRow[ci] == 1 {
+				if ref, ok := ly.RVRef(row, ls); ok {
+					env.X = ref
+					if !c.Satisfied(&env) {
+						run.aliveRow[ci] = 0
+					}
+				}
+			}
+		}
+		for lc := 0; lc < ly.l; lc++ {
+			ac := run.aliveCol[ly.AliveIndex(pe, lc)]
+			for lr := 0; lr < ly.l; lr++ {
+				run.bits[ly.BitIndex(pe, lc, lr)] &= ac & run.aliveRow[ly.AliveIndex(pe, lr)]
+			}
+		}
+	})
+}
+
+// applyBinary propagates one binary constraint: every PE tests its l×l
+// surviving pairs in both variable orientations. The mirrored storage
+// means the pair (A,B) is checked at both PE(v) and PE(transpose v)
+// with identical outcomes.
+func (run *masparRun) applyBinary(c *cdg.Constraint) {
+	ly := run.ly
+	run.m.AllChecks(2*ly.l*ly.l, func(pe int) {
+		col, row := ly.ColGroup(pe), ly.RowGroup(pe)
+		env := cdg.Env{Sent: run.sent}
+		for lc := 0; lc < ly.l; lc++ {
+			refC, okC := ly.RVRef(col, lc)
+			if !okC {
+				continue
+			}
+			for lr := 0; lr < ly.l; lr++ {
+				bi := ly.BitIndex(pe, lc, lr)
+				if run.bits[bi] != 1 {
+					continue
+				}
+				refR, okR := ly.RVRef(row, lr)
+				if !okR {
+					continue
+				}
+				env.X, env.Y = refC, refR
+				ok := c.Satisfied(&env)
+				if ok {
+					env.X, env.Y = refR, refC
+					ok = c.Satisfied(&env)
+				}
+				if !ok {
+					run.bits[bi] = 0
+				}
+			}
+		}
+	})
+}
+
+// consistencyRound is Figure 12: for every role value, OR its arc
+// elements per incident arc (segmented scanOr inside the column block),
+// AND the per-arc results (segmented scanAnd over the boundary PEs),
+// copy-scan the verdict back across the block, mirror it to the row
+// side through the router, and zero the arc elements of the dead. It
+// reports whether any role value died.
+func (run *masparRun) consistencyRound() bool {
+	ly, m := run.ly, run.m
+	run.rounds++
+	changed := make([]maspar.Bit, ly.v)
+	tmp := make([]maspar.Bit, ly.v)
+
+	for lc := 0; lc < ly.l; lc++ {
+		// Per-PE OR over the row label slots of this column value.
+		m.All(func(pe int) {
+			var t maspar.Bit
+			for lr := 0; lr < ly.l; lr++ {
+				t |= run.bits[ly.BitIndex(pe, lc, lr)]
+			}
+			tmp[pe] = t
+		})
+		// OR along each arc segment, result at the arc's first PE.
+		perArc := m.SegReduceOrToHead(tmp, ly.arcSegHead)
+		// AND the per-arc results across the column block: only the
+		// boundary PEs participate (Figure 12's "PE disabled only
+		// during the scanAnd").
+		m.SetMask(func(pe int) bool { return ly.baseMask[pe] && ly.arcSegHead[pe] })
+		blockSup := m.SegReduceAndToHead(perArc, ly.blockFirstActive)
+		// Re-enable the block and distribute the verdict.
+		m.SetMask(func(pe int) bool { return ly.baseMask[pe] })
+		dist := m.CopySegHead(blockSup, ly.blockFirstActive)
+		// A value stays alive only if it was alive and is supported.
+		m.All(func(pe int) {
+			ai := ly.AliveIndex(pe, lc)
+			old := run.aliveCol[ai]
+			now := old & dist[pe]
+			if now != old {
+				run.aliveCol[ai] = now
+				changed[pe] = 1
+			}
+		})
+	}
+
+	// Mirror column liveness to the row side through the global router
+	// (one gather per label slot along the transpose permutation).
+	for ls := 0; ls < ly.l; ls++ {
+		m.All(func(pe int) { tmp[pe] = run.aliveCol[ly.AliveIndex(pe, ls)] })
+		rowSide := m.RouterFetch(ly.transposeSrc, tmp)
+		m.All(func(pe int) { run.aliveRow[ly.AliveIndex(pe, ls)] = rowSide[pe] })
+	}
+
+	// Zero rows/columns of the newly dead (decision #4: dimensions are
+	// never reduced, entries are zeroed).
+	m.All(func(pe int) {
+		for lc := 0; lc < ly.l; lc++ {
+			ac := run.aliveCol[ly.AliveIndex(pe, lc)]
+			for lr := 0; lr < ly.l; lr++ {
+				run.bits[ly.BitIndex(pe, lc, lr)] &= ac & run.aliveRow[ly.AliveIndex(pe, lr)]
+			}
+		}
+	})
+
+	return m.ReduceOr(changed) == 1
+}
+
+// readBack materializes the PE state as a cn.Network (domains read at
+// each column block's first active PE; matrix bits read from the PE
+// owning each (column, row) group pair).
+func (run *masparRun) readBack() *cn.Network {
+	ly, sp := run.ly, run.sp
+	nw := cn.NewShell(sp)
+	n := sp.N()
+
+	// Domains.
+	for g := 0; g < ly.s; g++ {
+		pos, role, mod := ly.Group(g)
+		gr := sp.GlobalRole(pos, role)
+		// The block's first active PE carries the authoritative
+		// liveness for the column group.
+		base := g * ly.s
+		first := -1
+		for v := base; v < base+ly.s; v++ {
+			if ly.baseMask[v] {
+				first = v
+				break
+			}
+		}
+		if first < 0 {
+			continue
+		}
+		labels := sp.Grammar().RoleLabels(role)
+		for ls := range labels {
+			if run.aliveCol[ly.AliveIndex(first, ls)] == 1 {
+				nw.Domain(gr).SetBit(ls*(n+1) + mod)
+			}
+		}
+	}
+
+	// Arc matrices.
+	for _, arc := range nw.Arcs() {
+		posA, ra := sp.RoleAt(arc.A)
+		posB, rb := sp.RoleAt(arc.B)
+		labsA := sp.Grammar().RoleLabels(ra)
+		labsB := sp.Grammar().RoleLabels(rb)
+		for modA := 0; modA <= n; modA++ {
+			if modA == posA {
+				continue
+			}
+			colG := ly.GroupOf(posA, ra, modA)
+			for modB := 0; modB <= n; modB++ {
+				if modB == posB {
+					continue
+				}
+				rowG := ly.GroupOf(posB, rb, modB)
+				pe := colG*ly.s + rowG
+				for lsA := range labsA {
+					for lsB := range labsB {
+						if run.bits[ly.BitIndex(pe, lsA, lsB)] == 1 {
+							arc.M.SetBit(lsA*(n+1)+modA, lsB*(n+1)+modB)
+						}
+					}
+				}
+			}
+		}
+	}
+	return nw
+}
+
+// countersFrom extracts the metrics view of a finished run.
+func (run *masparRun) countersFrom() *metrics.Counters {
+	return &metrics.Counters{
+		Cycles:           run.m.Cycles,
+		ScanOps:          run.m.ScanOps,
+		RouterOps:        run.m.RouterOps,
+		Broadcasts:       run.m.Broadcasts,
+		ConstraintChecks: run.m.ConstraintChecks,
+		Processors:       uint64(run.ly.V()),
+		VirtualLayers:    uint64(run.m.Layers()),
+		FilterIterations: uint64(run.rounds),
+	}
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/cdg"
+	"repro/internal/grammars"
+	"repro/internal/maspar"
+)
+
+// runDemo executes the MasPar algorithm and returns the internal run
+// state for invariant checks.
+func runDemo(t *testing.T, words []string) *masparRun {
+	t.Helper()
+	g := grammars.PaperDemo()
+	sent, err := cdg.Resolve(g, words, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := maspar.New(maspar.PhysicalPEs, maspar.DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, _, err := runMasPar(cdg.NewSpace(g, sent), m, false, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return run
+}
+
+// TestMirrorInvariant checks the mirrored-storage contract of the
+// layout: after a full parse, bits(v, lc, lr) == bits(transpose(v),
+// lr, lc) for every active PE — both copies of each arc element agree.
+func TestMirrorInvariant(t *testing.T) {
+	run := runDemo(t, []string{"the", "program", "runs"})
+	ly := run.ly
+	for v := 0; v < ly.V(); v++ {
+		if !ly.baseMask[v] {
+			continue
+		}
+		tr := int(ly.transposeSrc[v])
+		for lc := 0; lc < ly.L(); lc++ {
+			for lr := 0; lr < ly.L(); lr++ {
+				a := run.bits[ly.BitIndex(v, lc, lr)]
+				b := run.bits[ly.BitIndex(tr, lr, lc)]
+				if a != b {
+					t.Fatalf("mirror mismatch at PE %d (lc=%d lr=%d): %d vs %d", v, lc, lr, a, b)
+				}
+			}
+		}
+	}
+}
+
+// TestAliveConsistency checks that, after the parse, aliveRow is the
+// exact transpose image of aliveCol, and that every surviving arc
+// element has both endpoints alive.
+func TestAliveConsistency(t *testing.T) {
+	run := runDemo(t, []string{"the", "program", "runs", "the", "machine"})
+	ly := run.ly
+	for v := 0; v < ly.V(); v++ {
+		if !ly.baseMask[v] {
+			continue
+		}
+		tr := int(ly.transposeSrc[v])
+		for ls := 0; ls < ly.L(); ls++ {
+			if run.aliveRow[ly.AliveIndex(v, ls)] != run.aliveCol[ly.AliveIndex(tr, ls)] {
+				t.Fatalf("aliveRow is not the transpose of aliveCol at PE %d slot %d", v, ls)
+			}
+		}
+		for lc := 0; lc < ly.L(); lc++ {
+			for lr := 0; lr < ly.L(); lr++ {
+				if run.bits[ly.BitIndex(v, lc, lr)] == 1 {
+					if run.aliveCol[ly.AliveIndex(v, lc)] != 1 || run.aliveRow[ly.AliveIndex(v, lr)] != 1 {
+						t.Fatalf("surviving bit under dead role value at PE %d", v)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestAliveColUniformWithinBlock: every active PE of a column block
+// holds the same aliveCol vector (the copy-scan distributed verdicts to
+// the whole block).
+func TestAliveColUniformWithinBlock(t *testing.T) {
+	run := runDemo(t, []string{"the", "program", "runs"})
+	ly := run.ly
+	for c := 0; c < ly.S(); c++ {
+		ref := -1
+		for r := 0; r < ly.S(); r++ {
+			v := c*ly.S() + r
+			if !ly.baseMask[v] {
+				continue
+			}
+			if ref < 0 {
+				ref = v
+				continue
+			}
+			for ls := 0; ls < ly.L(); ls++ {
+				if run.aliveCol[ly.AliveIndex(v, ls)] != run.aliveCol[ly.AliveIndex(ref, ls)] {
+					t.Fatalf("block %d: aliveCol differs between PEs %d and %d", c, ref, v)
+				}
+			}
+		}
+	}
+}
+
+// TestRoundsMatchCounters: the run's round count lands in the counters
+// as FilterIterations.
+func TestRoundsMatchCounters(t *testing.T) {
+	run := runDemo(t, []string{"the", "program", "runs"})
+	c := run.countersFrom()
+	if c.FilterIterations != uint64(run.rounds) {
+		t.Errorf("FilterIterations = %d, rounds = %d", c.FilterIterations, run.rounds)
+	}
+	if c.Processors != uint64(run.ly.V()) {
+		t.Error("Processors mismatch")
+	}
+}

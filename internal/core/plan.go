@@ -1,0 +1,95 @@
+package core
+
+import (
+	"math/bits"
+	"time"
+
+	"repro/internal/cdg"
+	"repro/internal/maspar"
+)
+
+// Plan is the analytic cost model of one MasPar parse: the exact
+// instruction schedule the implementation in masparsec.go executes,
+// priced without running it. PlanMasPar and a real run must agree to
+// the cycle (enforced by TestPlanMatchesExecution), which is what makes
+// the large-n virtualization staircase of experiment E4 trustworthy
+// even where executing S² virtual PEs on the host would be too slow.
+type Plan struct {
+	// Shape.
+	N, Q, L int
+	S       int // role-value groups per side, q·n·n
+	V       int // virtual PEs, S²
+	Phys    int
+	Layers  int
+	Rounds  int // consistency rounds (filtering)
+
+	// Instruction schedule.
+	Elemental   uint64
+	Scans       uint64
+	Routers     uint64
+	Broadcasts  uint64
+	ChecksPerPE uint64
+
+	// Price.
+	Cycles    uint64
+	ModelTime time.Duration
+
+	// MemPerPE is the local memory each physical PE needs, in bytes:
+	// layers × (the l×l arc-element block, two l-slot liveness
+	// vectors, and the scan/transpose scratch words). The MP-1 gives
+	// each PE 16 KB; FitsMemory reports whether the parse fits.
+	MemPerPE int
+}
+
+// PEMemoryBytes is the MP-1's per-PE local memory (16 KB).
+const PEMemoryBytes = 16 * 1024
+
+// FitsMemory reports whether each physical PE's working set fits the
+// MP-1's 16 KB local store.
+func (p Plan) FitsMemory() bool { return p.MemPerPE <= PEMemoryBytes }
+
+// PlanMasPar prices a parse of an n-word sentence under g on a machine
+// with phys physical PEs, assuming the filtering phase runs rounds
+// consistency rounds (measure a typical sentence, or use the paper's
+// "typically fewer than 10").
+func PlanMasPar(g *cdg.Grammar, n, phys int, costs maspar.CostModel, rounds int) Plan {
+	q := g.NumRoles()
+	l := g.MaxLabelsPerRole()
+	ku := uint64(len(g.Unary()))
+	kb := uint64(len(g.Binary()))
+	s := q * n * n
+	v := s * s
+	layers := (v + phys - 1) / phys
+	lg := uint64(bits.Len(uint(phys - 1)))
+
+	p := Plan{
+		N: n, Q: q, L: l, S: s, V: v, Phys: phys,
+		Layers: layers, Rounds: rounds,
+	}
+	L := uint64(l)
+	R := uint64(rounds)
+	p.Broadcasts = 1
+	p.Elemental = 3 + ku + kb + R*(6*L+1)
+	p.Scans = R * (3*L + 1)
+	p.Routers = R * L
+	p.ChecksPerPE = 2*L*ku + 2*L*L*kb
+
+	scanCost := costs.ScanBase + costs.ScanPerLevel*lg
+	routerCost := costs.RouterBase + costs.RouterPerLevel*lg
+	perLayer := costs.Elemental*p.Elemental +
+		costs.ConstraintCheck*p.ChecksPerPE +
+		scanCost*p.Scans +
+		routerCost*p.Routers +
+		costs.Broadcast*p.Broadcasts
+	p.Cycles = perLayer * uint64(layers)
+	p.ModelTime = time.Duration(float64(p.Cycles) / maspar.ClockHz * float64(time.Second))
+
+	// Per-virtual-PE working set, in bits: the l×l arc-element block,
+	// aliveCol and aliveRow (l each), and ~4 scratch bits/words for the
+	// scan pipeline; plus a 4-byte transpose address. One physical PE
+	// stores `layers` of these.
+	bitsPerVPE := l*l + 2*l + 4
+	bytesPerVPE := (bitsPerVPE+7)/8 + 4
+	p.MemPerPE = layers * bytesPerVPE
+	return p
+}

@@ -1,0 +1,108 @@
+package corpus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/grammars"
+)
+
+func TestParseFormat(t *testing.T) {
+	c, err := Parse(`
+# comment
++ the dog walked   # trailing comment
+- walked
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Entries) != 2 {
+		t.Fatalf("entries = %d", len(c.Entries))
+	}
+	if !c.Entries[0].Accept || len(c.Entries[0].Words) != 3 {
+		t.Errorf("entry 0 = %+v", c.Entries[0])
+	}
+	if c.Entries[1].Accept {
+		t.Error("entry 1 should expect rejection")
+	}
+	if c.Entries[0].Line != 3 {
+		t.Errorf("line = %d", c.Entries[0].Line)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"# only comments",
+		"the dog walked", // missing +/- prefix
+		"+",              // empty sentence
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+// TestEnglishRegressionAllPass is the grammar's regression gate: every
+// labeled sentence in the built-in corpus must get its expected
+// verdict.
+func TestEnglishRegressionAllPass(t *testing.T) {
+	c, err := Parse(EnglishRegression)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := grammars.English()
+	p := core.NewParser(g, core.WithBackend(core.Serial))
+	rep := Run(g, p, c)
+	if rep.Failed != 0 {
+		t.Errorf("regression failures:\n%s", rep.String())
+	}
+	if rep.Passed != len(c.Entries) {
+		t.Errorf("passed %d of %d", rep.Passed, len(c.Entries))
+	}
+}
+
+// TestEnglishRegressionOnMasPar runs a subset on the MasPar backend —
+// the corpus verdicts must be backend-independent.
+func TestEnglishRegressionOnMasPar(t *testing.T) {
+	c, err := Parse(`
++ the dog walked
++ rex caught the ball
+- rex caught
+- walked the dog
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := grammars.English()
+	p := core.NewParser(g, core.WithBackend(core.MasPar))
+	rep := Run(g, p, c)
+	if rep.Failed != 0 {
+		t.Errorf("maspar corpus failures:\n%s", rep.String())
+	}
+}
+
+func TestUnknownWordsRejectCleanly(t *testing.T) {
+	c, err := Parse("- the frobnicator walked")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := grammars.English()
+	p := core.NewParser(g, core.WithBackend(core.Serial))
+	rep := Run(g, p, c)
+	if rep.Failed != 0 {
+		t.Errorf("unknown word should count as rejection:\n%s", rep.String())
+	}
+}
+
+func TestReportRendering(t *testing.T) {
+	c, _ := Parse("+ walked the dog") // mislabeled on purpose
+	g := grammars.English()
+	p := core.NewParser(g, core.WithBackend(core.Serial))
+	rep := Run(g, p, c)
+	out := rep.String()
+	if rep.Failed != 1 || !strings.Contains(out, "want accept") {
+		t.Errorf("report: %s", out)
+	}
+}

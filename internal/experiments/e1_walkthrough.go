@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cdg"
+	"repro/internal/cn"
+	"repro/internal/core"
+	"repro/internal/grammars"
+	"repro/internal/serial"
+)
+
+// E1Walkthrough replays the paper's running example and prints the
+// network after each phase, matching Figures 1–7.
+func E1Walkthrough() string {
+	var b strings.Builder
+	b.WriteString(header("E1", "walkthrough of \"The program runs\""))
+
+	g := grammars.PaperDemo()
+	words := grammars.PaperSentence()
+	fmt.Fprintf(&b, "grammar: %d labels, %d roles, %d unary + %d binary constraints\n",
+		g.NumLabels(), g.NumRoles(), len(g.Unary()), len(g.Binary()))
+	fmt.Fprintf(&b, "sentence: %s\n\n", strings.Join(words, " "))
+
+	type snap struct {
+		label string
+		text  string
+		arc   string
+	}
+	var snaps []snap
+	want := map[string]string{
+		"initial":                           "Figure 1: initial network (all role values)",
+		"unary:verb-governor":               "Figure 2: after the first unary constraint",
+		"after-unary":                       "Figure 3: after unary constraint propagation",
+		"binary:subj-governed-by-root":      "Figure 4: after the first binary constraint (before consistency)",
+		"consistency:subj-governed-by-root": "Figure 5: after consistency maintenance",
+		"after-filtering":                   "Figure 6: final network",
+	}
+	opt := serial.DefaultOptions()
+	opt.Phase = func(label string, nw *cn.Network) {
+		title, ok := want[label]
+		if !ok {
+			return
+		}
+		s := snap{label: title, text: nw.Render()}
+		if label == "binary:subj-governed-by-root" || label == "consistency:subj-governed-by-root" {
+			// The governor–governor arc between "program" and "runs",
+			// the matrix the paper draws in Figures 4 and 5.
+			sp := nw.Space()
+			a := sp.GlobalRole(2, 0)
+			c := sp.GlobalRole(3, 0)
+			s.arc = nw.RenderArc(a, c)
+		}
+		snaps = append(snaps, s)
+	}
+	res, err := serial.ParseWords(g, words, opt)
+	if err != nil {
+		return err.Error()
+	}
+	for _, s := range snaps {
+		fmt.Fprintf(&b, "--- %s ---\n%s", s.label, s.text)
+		if s.arc != "" {
+			fmt.Fprintf(&b, "\n%s", s.arc)
+		}
+		b.WriteByte('\n')
+	}
+
+	b.WriteString("--- Figure 7: precedence graph ---\n")
+	parses := res.Parses(0)
+	for _, p := range parses {
+		b.WriteString(cn.RenderPrecedenceGraph(p))
+	}
+	fmt.Fprintf(&b, "\naccepted=%v ambiguous=%v parses=%d\n",
+		res.Accepted(), res.Ambiguous(), len(parses))
+	fmt.Fprintf(&b, "serial work: %s\n", res.Counters)
+
+	// --- the layout figures (9–13) ---
+	sent, err := cdg.Resolve(g, words, nil)
+	if err != nil {
+		return err.Error()
+	}
+	sp := cdg.NewSpace(g, sent)
+
+	b.WriteString("\n--- Figure 9: arc matrix before unary propagation (the.governor x program.governor) ---\n")
+	fresh := cn.New(sp)
+	b.WriteString(fresh.RenderArc(sp.GlobalRole(1, 0), sp.GlobalRole(2, 0)))
+
+	b.WriteString("\n--- Figure 10: OR-then-AND support check of SUBJ-1 (after the first binary constraint) ---\n")
+	mid := cn.New(sp)
+	for _, c := range g.Unary() {
+		mid.ApplyUnary(c)
+	}
+	mid.ApplyBinary(g.Binary()[0])
+	_, r, idx, err := cn.ParseRVSpec(sp, "2.governor.SUBJ-1")
+	if err != nil {
+		return err.Error()
+	}
+	b.WriteString(mid.ExplainSupport(2, r, idx))
+
+	ly := core.NewLayout(sp)
+	b.WriteString("\n--- Figure 11: PE allocation ---\n")
+	b.WriteString(ly.RenderAllocation())
+
+	b.WriteString("\n--- Figure 12: scan segments for program/2.governor mod=nil's column block ---\n")
+	gov, _ := g.RoleByName("governor")
+	b.WriteString(ly.RenderScanSegments(ly.GroupOf(2, gov, cdg.NilMod)))
+
+	b.WriteString("\n--- Figure 13: the paper's worked example, PE 9 ---\n")
+	b.WriteString(ly.RenderPE(9))
+	return b.String()
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cfg"
+	"repro/internal/core"
+	"repro/internal/grammars"
+	"repro/internal/meshcdg"
+	"repro/internal/metrics"
+	"repro/internal/pram"
+	"repro/internal/serial"
+	"repro/internal/workload"
+)
+
+// E2Figure8 reproduces the paper's architecture-comparison table. The
+// paper's entries are asymptotic; we print them alongside *measured*
+// growth: elementary-operation counts swept over n and fitted in
+// log–log space. The reproduction claim is about shape — each measured
+// exponent must match the table's power of n.
+func E2Figure8() string {
+	var b strings.Builder
+	b.WriteString(header("E2", "Figure 8 — CFG vs CDG parsing across architectures"))
+
+	// The paper's table, verbatim.
+	paper := metrics.NewTable("Architecture", "CFG #PEs", "CFG time", "CDG #PEs", "CDG time")
+	paper.AddRow("Sequential machine", "1", "O(k n^3)", "1", "O(k n^4)")
+	paper.AddRow("CRCW P-RAM", "O(n^6)", "O(log^2 n)", "O(n^4)", "O(k)")
+	paper.AddRow("2D mesh / cellular automata", "O(n^2)", "O(k n)", "O(n^2)", "O(k + n^2)")
+	paper.AddRow("Tree and hypercube (MasPar)", "—", "—", "O(n^4/log n)", "O(k + log n)")
+	b.WriteString("Paper (asymptotic):\n")
+	b.WriteString(paper.String())
+	b.WriteString("\nMeasured on this reproduction (growth exponents fitted log-log):\n")
+
+	ns := []int{4, 6, 8, 10, 12}
+	measured := metrics.NewTable("Row", "Metric", "n sweep", "Fitted growth", "Paper")
+
+	// Sequential CFG: CKY elementary rule applications.
+	cg := cfg.Random(7, 6, 4, 14)
+	var ckySamples []metrics.Sample
+	for _, n := range ns {
+		res, err := cfg.CKY(cg, cfg.RandomString(cg, uint64(n)*13, n))
+		if err != nil {
+			return err.Error()
+		}
+		ckySamples = append(ckySamples, metrics.Sample{N: n, Cost: float64(res.Ops)})
+	}
+	if e, ok := metrics.FitExponent(ckySamples); ok {
+		measured.AddRow("Sequential CFG (CKY)", "rule ops", sweep(ckySamples), fmt.Sprintf("n^%.2f", e), "n^3")
+	}
+
+	// Sequential CDG: constraint checks + matrix writes.
+	var cdgSamples []metrics.Sample
+	g := grammars.PaperDemo()
+	for _, n := range ns {
+		res, err := serial.ParseWords(g, workload.DemoSentence(n), serial.DefaultOptions())
+		if err != nil {
+			return err.Error()
+		}
+		cost := float64(res.Counters.ConstraintChecks + res.Counters.MatrixWrites)
+		cdgSamples = append(cdgSamples, metrics.Sample{N: n, Cost: cost})
+	}
+	if e, ok := metrics.FitExponent(cdgSamples); ok {
+		measured.AddRow("Sequential CDG", "checks+writes", sweep(cdgSamples), fmt.Sprintf("n^%.2f", e), "n^4")
+	}
+
+	// CRCW P-RAM CDG: steps must be flat in n; processors grow n^4.
+	var steps []uint64
+	var procSamples []metrics.Sample
+	for _, n := range ns {
+		res, err := pram.ParseWords(g, workload.DemoSentence(n),
+			pram.Options{Policy: pram.Common, Filter: true, MaxFilterIters: 3})
+		if err != nil {
+			return err.Error()
+		}
+		steps = append(steps, res.Machine.Steps)
+		procSamples = append(procSamples, metrics.Sample{N: n, Cost: float64(res.Counters.Processors)})
+	}
+	flat := "flat"
+	for _, s := range steps[1:] {
+		if s != steps[0] {
+			flat = "NOT FLAT"
+		}
+	}
+	measured.AddRow("CRCW P-RAM CDG", "steps", fmt.Sprintf("%v", steps), flat+" (O(k))", "O(k)")
+	if e, ok := metrics.FitExponent(procSamples); ok {
+		measured.AddRow("CRCW P-RAM CDG", "processors", sweep(procSamples), fmt.Sprintf("n^%.2f", e), "n^4")
+	}
+
+	// CRCW P-RAM CFG: the span wavefront keeps steps Ω(n) (Ruzzo's
+	// log²n bound needs tree contraction and O(n⁶) processors; we
+	// implement the natural O(n)-step CRCW CKY and report it).
+	var cfgSteps []metrics.Sample
+	for _, n := range ns {
+		res, err := pram.CKY(cg, cfg.RandomString(cg, uint64(n)*13, n), pram.Common)
+		if err != nil {
+			return err.Error()
+		}
+		cfgSteps = append(cfgSteps, metrics.Sample{N: n, Cost: float64(res.Steps)})
+	}
+	if e, ok := metrics.FitExponent(cfgSteps); ok {
+		measured.AddRow("CRCW P-RAM CFG (CKY)", "steps", sweep(cfgSteps), fmt.Sprintf("n^%.2f", e), "log^2 n (Ruzzo); ours n^1")
+	}
+
+	// 2D mesh cellular automaton CFG: ticks linear, cells quadratic.
+	var tickSamples, cellSamples []metrics.Sample
+	for _, n := range ns {
+		res, err := cfg.Mesh(cg, cfg.RandomString(cg, uint64(n)*29, n))
+		if err != nil {
+			return err.Error()
+		}
+		tickSamples = append(tickSamples, metrics.Sample{N: n, Cost: float64(res.Ticks)})
+		cellSamples = append(cellSamples, metrics.Sample{N: n, Cost: float64(res.Cells)})
+	}
+	if e, ok := metrics.FitExponent(tickSamples); ok {
+		measured.AddRow("2D mesh CFG (systolic CKY)", "ticks", sweep(tickSamples), fmt.Sprintf("n^%.2f", e), "n^1 (O(k n))")
+	}
+	if e, ok := metrics.FitExponent(cellSamples); ok {
+		measured.AddRow("2D mesh CFG (systolic CKY)", "cells", sweep(cellSamples), fmt.Sprintf("n^%.2f", e), "n^2")
+	}
+
+	// 2D mesh CDG: O(n²) cells, ticks fit ~n² (the n² term of the
+	// table's O(k + n²)).
+	var meshSteps, meshCells []metrics.Sample
+	for _, n := range ns {
+		res, err := meshcdg.ParseWords(g, workload.DemoSentence(n),
+			meshcdg.Options{Filter: true, MaxFilterIters: 3})
+		if err != nil {
+			return err.Error()
+		}
+		meshSteps = append(meshSteps, metrics.Sample{N: n, Cost: float64(res.Steps)})
+		meshCells = append(meshCells, metrics.Sample{N: n, Cost: float64(res.Cells)})
+	}
+	if e, ok := metrics.FitExponent(meshSteps); ok {
+		measured.AddRow("2D mesh CDG", "ticks", sweep(meshSteps), fmt.Sprintf("n^%.2f", e), "n^2 (O(k + n^2))")
+	}
+	if e, ok := metrics.FitExponent(meshCells); ok {
+		measured.AddRow("2D mesh CDG", "cells", sweep(meshCells), fmt.Sprintf("n^%.2f", e), "n^2")
+	}
+
+	// MasPar CDG: cycles flat in n while V ≤ P (log P constant on a
+	// fixed machine), stepping with virtualization.
+	var cyc []uint64
+	var layers []uint64
+	for _, n := range []int{3, 5, 7, 10, 12} {
+		p := core.NewParser(g, core.WithBackend(core.MasPar), core.WithMaxFilterIters(3))
+		res, err := p.Parse(workload.DemoSentence(n))
+		if err != nil {
+			return err.Error()
+		}
+		cyc = append(cyc, res.Counters.Cycles)
+		layers = append(layers, res.Counters.VirtualLayers)
+	}
+	measured.AddRow("MasPar MP-1 CDG", "cycles", fmt.Sprintf("%v", cyc),
+		fmt.Sprintf("layers %v", layers), "O(k + log n)")
+
+	b.WriteString(measured.String())
+	b.WriteString("\nReading: serial CDG grows one power of n faster than serial CFG\n" +
+		"(n^4 vs n^3); the P-RAM removes n entirely at O(n^4) processors; the\n" +
+		"MasPar holds cycles constant until the PE array is exhausted, then\n" +
+		"steps with the virtualization layer count (see E4).\n")
+	return b.String()
+}
+
+func sweep(samples []metrics.Sample) string {
+	var parts []string
+	for _, s := range samples {
+		parts = append(parts, fmt.Sprintf("%.0f", s.Cost))
+	}
+	return strings.Join(parts, " ")
+}

@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/grammars"
+	"repro/internal/metrics"
+	"repro/internal/serial"
+	"repro/internal/workload"
+)
+
+// E5Filtering measures consistency-maintenance rounds to fixpoint. The
+// paper's claims (§1.4, §2.1): filtering can take O(n²) time in the
+// worst case (they even prove an NC-hardness reduction), but "we have
+// found that very few filtering steps (typically fewer than 10) are
+// required" on English grammars — which justifies design decision #5
+// (a constant iteration bound on the MasPar). We verify both halves:
+// the English grammar's round count is a small constant, and the
+// adversarial chain grammar cascades Θ(n) rounds.
+func E5Filtering() string {
+	var b strings.Builder
+	b.WriteString(header("E5", "filtering iterations to fixpoint"))
+
+	eng := grammars.English()
+	tab := metrics.NewTable("grammar", "n", "filter rounds", "eliminations", "accepted")
+	for _, n := range []int{3, 5, 7, 9, 11, 13} {
+		res, err := serial.ParseWords(eng, workload.EnglishSentence(n), serial.DefaultOptions())
+		if err != nil {
+			return err.Error()
+		}
+		tab.AddRow("English", n, res.Counters.FilterIterations, res.Counters.Eliminations, res.Accepted())
+	}
+	chain := grammars.Chain()
+	for _, n := range []int{3, 5, 7, 9, 11, 13} {
+		res, err := serial.ParseWords(chain, grammars.ChainSentence(n), serial.DefaultOptions())
+		if err != nil {
+			return err.Error()
+		}
+		tab.AddRow("Chain (adversarial)", n, res.Counters.FilterIterations, res.Counters.Eliminations, res.Accepted())
+	}
+	b.WriteString(tab.String())
+	b.WriteString("\nEnglish settles in a small constant number of rounds regardless of n\n" +
+		"(the paper's \"typically fewer than 10\"), while the chain grammar's\n" +
+		"eliminations cascade one link per round — the Θ(n) worst case that\n" +
+		"motivates bounding filtering on the MasPar (design decision #5).\n")
+	return b.String()
+}

@@ -1,0 +1,81 @@
+package experiments
+
+import (
+	"strings"
+
+	"repro/internal/grammars"
+	"repro/internal/metrics"
+	"repro/internal/serial"
+	"repro/internal/workload"
+)
+
+// E8FilteringAlgorithms goes beyond the paper on the filtering question
+// it leaves open (§1.4: filtering is optional but "has the potential to
+// reduce the search time … without increasing the asymptotic sequential
+// running time"): it compares three filtering strategies on work and
+// tightness —
+//
+//	AC-1      the paper's repeated consistency passes, to fixpoint
+//	AC-4      support-counted filtering (one pass + cascades)
+//	bounded   the MasPar design decision #5 (a constant pass budget)
+//
+// All three leave the same solution set; AC-1 and AC-4 reach the same
+// (tightest) network; bounded may keep extra role values, which is the
+// price of the O(k + log n) bound.
+func E8FilteringAlgorithms() string {
+	var b strings.Builder
+	b.WriteString(header("E8", "filtering algorithms: AC-1 vs AC-4 vs bounded"))
+
+	tab := metrics.NewTable("grammar", "n", "algo", "support work", "live values", "same fixpoint")
+	for _, tc := range []struct {
+		name  string
+		ns    []int
+		parse func(n int) (*serial.Result, error)
+	}{
+		{"English", []int{5, 9, 13}, func(n int) (*serial.Result, error) {
+			return serial.ParseWords(grammars.English(), workload.EnglishSentence(n), serial.Options{Filter: false})
+		}},
+		{"Chain", []int{6, 10, 14}, func(n int) (*serial.Result, error) {
+			return serial.ParseWords(grammars.Chain(), grammars.ChainSentence(n), serial.Options{Filter: false})
+		}},
+	} {
+		for _, n := range tc.ns {
+			res, err := tc.parse(n)
+			if err != nil {
+				return err.Error()
+			}
+			ref := res.Network.Clone()
+			ref.Filter(0)
+
+			live := func(nw interface{ DomainStrings(int) []string }, roles int) int {
+				total := 0
+				for gr := 0; gr < roles; gr++ {
+					total += len(nw.DomainStrings(gr))
+				}
+				return total
+			}
+			roles := res.Network.Space().NumRoles()
+
+			ac1 := res.Network.Clone()
+			ac1.Counters.Reset()
+			ac1.Filter(0)
+			tab.AddRow(tc.name, n, "AC-1 (paper)", ac1.Counters.SupportChecks, live(ac1, roles), ac1.EqualState(ref))
+
+			ac4 := res.Network.Clone()
+			ac4.Counters.Reset()
+			ac4.FilterAC4()
+			tab.AddRow(tc.name, n, "AC-4", ac4.Counters.SupportChecks, live(ac4, roles), ac4.EqualState(ref))
+
+			bounded := res.Network.Clone()
+			bounded.Counters.Reset()
+			bounded.Filter(3)
+			tab.AddRow(tc.name, n, "bounded(3)", bounded.Counters.SupportChecks, live(bounded, roles), bounded.EqualState(ref))
+		}
+	}
+	b.WriteString(tab.String())
+	b.WriteString("\nAC-1 and AC-4 always agree; on the chain grammar the 3-pass budget\n" +
+		"stops mid-cascade and keeps stale GOOD values alive (looser network,\n" +
+		"identical solution set), while its work stays flat in n — the\n" +
+		"trade design decision #5 makes to preserve O(k + log n).\n")
+	return b.String()
+}

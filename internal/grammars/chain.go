@@ -1,0 +1,58 @@
+package grammars
+
+import "repro/internal/cdg"
+
+// Chain returns an adversarial grammar whose filtering phase exhibits
+// the sequential cascade of §2.1: "one deleted role value can enable
+// the deletion of other role values, resulting in a cascade of role
+// value elimination". Each word's chain role holds a GOOD value that
+// must point at the immediately following word's GOOD value, plus a
+// harmless FALLBACK; the last word has no GOOD value at all, so
+// consistency maintenance peels exactly one GOOD per pass from the
+// right end — Θ(n) filtering rounds, versus the small constant that
+// natural-language grammars exhibit (experiment E5).
+func Chain() *cdg.Grammar {
+	b := cdg.NewBuilder().
+		Labels("GOOD", "FALLBACK", "IDLE").
+		Categories("w").
+		Role("chain", "GOOD", "FALLBACK").
+		Role("aux", "IDLE").
+		Word("w", "w")
+
+	b.Constraint("aux-idle", `
+		(if (eq (role x) aux)
+		    (and (eq (lab x) IDLE) (eq (mod x) nil)))`)
+
+	// GOOD points rightward; FALLBACK points nowhere.
+	b.Constraint("good-points-right", `
+		(if (and (eq (role x) chain) (eq (lab x) GOOD))
+		    (and (not (eq (mod x) nil)) (gt (mod x) (pos x))))`)
+	b.Constraint("fallback-nil", `
+		(if (and (eq (role x) chain) (eq (lab x) FALLBACK))
+		    (eq (mod x) nil))`)
+
+	// Nothing may sit strictly between a GOOD and its target — pins
+	// the pointer to the adjacent word.
+	b.Constraint("good-adjacent", `
+		(if (and (eq (lab x) GOOD) (not (eq (mod x) nil))
+		         (gt (pos y) (pos x)) (lt (pos y) (mod x)))
+		    (lt (pos x) (pos x)))`)
+
+	// A GOOD is incompatible with its target word's FALLBACK: it needs
+	// the next word's GOOD alive, which is what makes eliminations
+	// cascade one link per consistency pass.
+	b.Constraint("good-needs-good", `
+		(if (and (eq (lab x) GOOD) (eq (lab y) FALLBACK) (eq (mod x) (pos y)))
+		    (lt (pos x) (pos x)))`)
+
+	return b.MustBuild()
+}
+
+// ChainSentence returns an n-word sentence for the Chain grammar.
+func ChainSentence(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = "w"
+	}
+	return out
+}

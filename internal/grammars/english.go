@@ -1,0 +1,253 @@
+package grammars
+
+import "repro/internal/cdg"
+
+// English returns a CDG grammar for a larger English fragment than the
+// paper's demo: determiners, attributive adjectives, nouns, verbs,
+// prepositions, and adverbs. It exhibits genuine structural ambiguity
+// (prepositional-phrase attachment), which exercises the "CNs compactly
+// store multiple parses" machinery of §1.4, and it is the grammar used
+// for the filtering-iteration measurements of experiment E5 (the paper:
+// "we have developed a variety of grammars for English, and have found
+// that very few filtering steps — typically fewer than 10 — are
+// required").
+//
+// Roles: governor (what function this word fills) and needs (what the
+// word requires to be complete), as in the paper.
+func English() *cdg.Grammar {
+	return englishBuilder().MustBuild()
+}
+
+// EnglishVerbAttach is English() plus one contextual constraint forcing
+// prepositions to attach to the verb — the §1.4 pattern of applying
+// additional constraints to refine an ambiguous network.
+func EnglishVerbAttach() *cdg.Grammar {
+	b := englishBuilder()
+	b.Constraint("prep-attaches-verb-only", `
+		(if (and (eq (lab x) PREP) (eq (mod x) (pos y)))
+		    (eq (cat (word (pos y))) verb))`)
+	return b.MustBuild()
+}
+
+func englishBuilder() *cdg.Builder {
+	b := cdg.NewBuilder().
+		Labels(
+			// governor labels
+			"DET", "MOD", "SUBJ", "OBJ", "PCOMP", "PREP", "ADV", "ROOT",
+			// needs labels
+			"NP", "S", "PC", "BLANK",
+			// comp (complement) labels
+			"O", "NONE",
+		).
+		// Verb categories: "verb" is ambitransitive, "tverb" requires
+		// an object, "iverb" forbids one. "pnoun" is a determinerless
+		// proper noun.
+		Categories("det", "adj", "noun", "pnoun", "verb", "tverb", "iverb", "prep", "adv").
+		Role("governor", "DET", "MOD", "SUBJ", "OBJ", "PCOMP", "PREP", "ADV", "ROOT").
+		Role("needs", "NP", "S", "PC", "BLANK").
+		Role("comp", "O", "NONE")
+
+	for word, cat := range map[string]string{
+		"the": "det", "a": "det", "every": "det",
+		"big": "adj", "old": "adj", "red": "adj",
+		"dog": "noun", "man": "noun", "telescope": "noun", "park": "noun", "cat": "noun", "ball": "noun",
+		"rex": "pnoun", "fido": "pnoun",
+		"saw": "verb", "walked": "verb", "liked": "verb", "chased": "verb",
+		"caught": "tverb", "took": "tverb",
+		"slept": "iverb", "ran": "iverb",
+		"with": "prep", "in": "prep", "of": "prep",
+		"quickly": "adv", "slowly": "adv",
+	} {
+		b.Word(word, cat)
+	}
+
+	// ---- unary constraints: category × role templates ----
+
+	// Determiners modify a following word and need nothing.
+	b.Constraint("det-governor", `
+		(if (and (eq (cat (word (pos x))) det) (eq (role x) governor))
+		    (and (eq (lab x) DET)
+		         (not (eq (mod x) nil))
+		         (gt (mod x) (pos x))))`)
+	b.Constraint("det-needs", `
+		(if (and (eq (cat (word (pos x))) det) (eq (role x) needs))
+		    (and (eq (lab x) BLANK) (eq (mod x) nil)))`)
+
+	// Adjectives modify a following word and need nothing.
+	b.Constraint("adj-governor", `
+		(if (and (eq (cat (word (pos x))) adj) (eq (role x) governor))
+		    (and (eq (lab x) MOD)
+		         (not (eq (mod x) nil))
+		         (gt (mod x) (pos x))))`)
+	b.Constraint("adj-needs", `
+		(if (and (eq (cat (word (pos x))) adj) (eq (role x) needs))
+		    (and (eq (lab x) BLANK) (eq (mod x) nil)))`)
+
+	// Nouns function as subject, object, or prepositional complement,
+	// always modifying something; common nouns need a determiner to the
+	// left, proper nouns need nothing.
+	b.Constraint("noun-governor", `
+		(if (and (or (eq (cat (word (pos x))) noun) (eq (cat (word (pos x))) pnoun))
+		         (eq (role x) governor))
+		    (and (or (eq (lab x) SUBJ) (eq (lab x) OBJ) (eq (lab x) PCOMP))
+		         (not (eq (mod x) nil))))`)
+	b.Constraint("noun-needs", `
+		(if (and (eq (cat (word (pos x))) noun) (eq (role x) needs))
+		    (and (eq (lab x) NP)
+		         (not (eq (mod x) nil))
+		         (lt (mod x) (pos x))))`)
+	b.Constraint("pnoun-needs", `
+		(if (and (eq (cat (word (pos x))) pnoun) (eq (role x) needs))
+		    (and (eq (lab x) BLANK) (eq (mod x) nil)))`)
+
+	// The (single) verb is the root and needs a subject to its left.
+	// All three verb categories share the governor/needs behavior.
+	b.Constraint("verb-governor", `
+		(if (and (or (eq (cat (word (pos x))) verb)
+		             (eq (cat (word (pos x))) tverb)
+		             (eq (cat (word (pos x))) iverb))
+		         (eq (role x) governor))
+		    (and (eq (lab x) ROOT) (eq (mod x) nil)))`)
+	b.Constraint("verb-needs", `
+		(if (and (or (eq (cat (word (pos x))) verb)
+		             (eq (cat (word (pos x))) tverb)
+		             (eq (cat (word (pos x))) iverb))
+		         (eq (role x) needs))
+		    (and (eq (lab x) S)
+		         (not (eq (mod x) nil))
+		         (lt (mod x) (pos x))))`)
+
+	// The comp role implements subcategorization: a strictly
+	// transitive verb demands an object to its right; everything else
+	// carries NONE-nil.
+	b.Constraint("tverb-comp", `
+		(if (and (eq (cat (word (pos x))) tverb) (eq (role x) comp))
+		    (and (eq (lab x) O)
+		         (not (eq (mod x) nil))
+		         (gt (mod x) (pos x))))`)
+	b.Constraint("nontverb-comp", `
+		(if (and (not (eq (cat (word (pos x))) tverb)) (eq (role x) comp))
+		    (and (eq (lab x) NONE) (eq (mod x) nil)))`)
+
+	// Prepositions attach leftward (to a noun or the verb — the PP
+	// attachment ambiguity) and need a complement to their right.
+	b.Constraint("prep-governor", `
+		(if (and (eq (cat (word (pos x))) prep) (eq (role x) governor))
+		    (and (eq (lab x) PREP)
+		         (not (eq (mod x) nil))
+		         (lt (mod x) (pos x))))`)
+	b.Constraint("prep-needs", `
+		(if (and (eq (cat (word (pos x))) prep) (eq (role x) needs))
+		    (and (eq (lab x) PC)
+		         (not (eq (mod x) nil))
+		         (gt (mod x) (pos x))))`)
+
+	// Adverbs modify the verb (either side) and need nothing.
+	b.Constraint("adv-governor", `
+		(if (and (eq (cat (word (pos x))) adv) (eq (role x) governor))
+		    (and (eq (lab x) ADV) (not (eq (mod x) nil))))`)
+	b.Constraint("adv-needs", `
+		(if (and (eq (cat (word (pos x))) adv) (eq (role x) needs))
+		    (and (eq (lab x) BLANK) (eq (mod x) nil)))`)
+
+	// ---- binary constraints: what each function may attach to ----
+
+	// DET and MOD modify nouns.
+	b.Constraint("det-modifies-noun", `
+		(if (and (eq (lab x) DET) (eq (mod x) (pos y)))
+		    (eq (cat (word (pos y))) noun))`)
+	b.Constraint("mod-modifies-noun", `
+		(if (and (eq (lab x) MOD) (eq (mod x) (pos y)))
+		    (eq (cat (word (pos y))) noun))`)
+
+	// SUBJ modifies a verb to its right; OBJ a verb to its left — and
+	// never a strictly intransitive one.
+	b.Constraint("subj-attaches-verb-right", `
+		(if (and (eq (lab x) SUBJ) (eq (mod x) (pos y)))
+		    (and (or (eq (cat (word (pos y))) verb)
+		             (eq (cat (word (pos y))) tverb)
+		             (eq (cat (word (pos y))) iverb))
+		         (lt (pos x) (pos y))))`)
+	b.Constraint("obj-attaches-verb-left", `
+		(if (and (eq (lab x) OBJ) (eq (mod x) (pos y)))
+		    (and (or (eq (cat (word (pos y))) verb)
+		             (eq (cat (word (pos y))) tverb))
+		         (gt (pos x) (pos y))))`)
+
+	// The transitive verb's O slot pairs mutually with its object.
+	b.Constraint("o-pairs-with-obj", `
+		(if (and (eq (lab x) O) (eq (mod x) (pos y)) (eq (role y) governor))
+		    (and (eq (lab y) OBJ) (eq (mod y) (pos x))))`)
+	b.Constraint("obj-of-tverb-pairs-back", `
+		(if (and (eq (lab x) OBJ) (eq (mod x) (pos y))
+		         (eq (cat (word (pos y))) tverb) (eq (role y) comp))
+		    (and (eq (lab y) O) (eq (mod y) (pos x))))`)
+
+	// PCOMP modifies a preposition to its left; PREP attaches to a noun
+	// or verb; ADV attaches to the verb.
+	b.Constraint("pcomp-attaches-prep-left", `
+		(if (and (eq (lab x) PCOMP) (eq (mod x) (pos y)))
+		    (and (eq (cat (word (pos y))) prep) (gt (pos x) (pos y))))`)
+	b.Constraint("prep-attaches-noun-or-verb", `
+		(if (and (eq (lab x) PREP) (eq (mod x) (pos y)))
+		    (or (eq (cat (word (pos y))) noun)
+		        (eq (cat (word (pos y))) pnoun)
+		        (eq (cat (word (pos y))) verb)
+		        (eq (cat (word (pos y))) tverb)
+		        (eq (cat (word (pos y))) iverb)))`)
+	// A PP never attaches across the clause's verb (projectivity: the
+	// "dog … with the telescope" reading is out once "saw" intervenes).
+	b.Constraint("prep-attachment-projective", `
+		(if (and (eq (lab x) PREP)
+		         (lt (mod x) (pos y)) (lt (pos y) (pos x))
+		         (or (eq (cat (word (pos y))) verb)
+		             (eq (cat (word (pos y))) tverb)
+		             (eq (cat (word (pos y))) iverb)))
+		    (lt (pos x) (pos x)))`)
+	b.Constraint("adv-attaches-verb", `
+		(if (and (eq (lab x) ADV) (eq (mod x) (pos y)))
+		    (or (eq (cat (word (pos y))) verb)
+		        (eq (cat (word (pos y))) tverb)
+		        (eq (cat (word (pos y))) iverb)))`)
+
+	// The verb's S slot points at its SUBJ (rejects double subjects,
+	// same pattern as the paper's "a verb with label S needs a SUBJ"),
+	// and the subject must point back at that verb (rejects a second
+	// verb borrowing someone else's subject).
+	b.Constraint("s-points-at-subj", `
+		(if (and (eq (lab x) S) (eq (lab y) SUBJ))
+		    (eq (mod x) (pos y)))`)
+	b.Constraint("s-target-is-mutual-subj", `
+		(if (and (eq (lab x) S) (eq (mod x) (pos y)) (eq (role y) governor))
+		    (and (eq (lab y) SUBJ) (eq (mod y) (pos x))))`)
+
+	// A noun's NP slot points back at the determiner that modifies it
+	// (rejects doubled determiners).
+	b.Constraint("np-points-at-det", `
+		(if (and (eq (lab x) NP) (eq (lab y) DET) (eq (mod y) (pos x)))
+		    (eq (mod x) (pos y)))`)
+	b.Constraint("np-target-is-det", `
+		(if (and (eq (lab x) NP) (eq (mod x) (pos y)))
+		    (eq (cat (word (pos y))) det))`)
+
+	// A preposition's PC slot points at the noun whose PCOMP points
+	// back at it, and the complement must be a noun.
+	b.Constraint("pc-pairs-with-pcomp", `
+		(if (and (eq (lab x) PC) (eq (lab y) PCOMP) (eq (mod y) (pos x)))
+		    (eq (mod x) (pos y)))`)
+	b.Constraint("pc-target-is-noun", `
+		(if (and (eq (lab x) PC) (eq (mod x) (pos y)))
+		    (or (eq (cat (word (pos y))) noun)
+		        (eq (cat (word (pos y))) pnoun)))`)
+	b.Constraint("pc-target-is-mutual-pcomp", `
+		(if (and (eq (lab x) PC) (eq (mod x) (pos y)) (eq (role y) governor))
+		    (and (eq (lab y) PCOMP) (eq (mod y) (pos x))))`)
+
+	// At most one object per verb.
+	b.Constraint("single-object", `
+		(if (and (eq (lab x) OBJ) (eq (lab y) OBJ)
+		         (eq (mod x) (mod y)) (lt (pos x) (pos y)))
+		    (lt (pos x) (pos x)))`)
+
+	return b
+}

@@ -1,0 +1,528 @@
+package grammars
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cdg"
+	"repro/internal/serial"
+)
+
+func accepts(t *testing.T, g *cdg.Grammar, words []string) bool {
+	t.Helper()
+	res, err := serial.ParseWords(g, words, serial.DefaultOptions())
+	if err != nil {
+		t.Fatalf("%v: %v", words, err)
+	}
+	return res.Network.HasParse()
+}
+
+func numParses(t *testing.T, g *cdg.Grammar, words []string) int {
+	t.Helper()
+	res, err := serial.ParseWords(g, words, serial.DefaultOptions())
+	if err != nil {
+		t.Fatalf("%v: %v", words, err)
+	}
+	return len(res.Network.ExtractParses(0))
+}
+
+// TestBuiltinGrammarsLintClean gates every shipped grammar on the
+// static linter: no orphan labels, no empty categories, no dead
+// constraints.
+func TestBuiltinGrammarsLintClean(t *testing.T) {
+	for name, g := range map[string]*cdg.Grammar{
+		"demo":        PaperDemo(),
+		"english":     English(),
+		"verb-attach": EnglishVerbAttach(),
+		"ww":          CopyLanguage(),
+		"dyck":        Dyck(),
+		"anbn":        AnBn(),
+		"crossserial": CrossSerial(),
+		"chain":       Chain(),
+	} {
+		if findings := cdg.Lint(g); len(findings) != 0 {
+			t.Errorf("%s grammar lint findings: %v", name, findings)
+		}
+	}
+}
+
+func TestRandomGrammarsLintCleanAndDeterministic(t *testing.T) {
+	for seed := uint64(1); seed < 20; seed++ {
+		g := Random(seed)
+		if findings := cdg.Lint(g); len(findings) != 0 {
+			t.Errorf("Random(%d) lint findings: %v", seed, findings)
+		}
+		g2 := Random(seed)
+		if cdg.WriteGrammar(g) != cdg.WriteGrammar(g2) {
+			t.Errorf("Random(%d) not deterministic", seed)
+		}
+	}
+}
+
+func TestPaperDemoShape(t *testing.T) {
+	g := PaperDemo()
+	if g.NumRoles() != 2 {
+		t.Errorf("roles = %d, want 2", g.NumRoles())
+	}
+	if g.MaxLabelsPerRole() != 3 {
+		t.Errorf("l = %d, want 3", g.MaxLabelsPerRole())
+	}
+	if len(g.Unary()) != 6 || len(g.Binary()) != 4 {
+		t.Errorf("constraints = %d unary + %d binary, want 6 + 4",
+			len(g.Unary()), len(g.Binary()))
+	}
+}
+
+func TestEnglishSimpleSentences(t *testing.T) {
+	g := English()
+	for _, tc := range []struct {
+		words string
+		want  bool
+	}{
+		{"the dog walked", true},
+		{"the dog saw the man", true},
+		{"the big dog saw the old man", true},
+		{"the dog walked quickly", true},
+		{"every cat liked the red ball", true},
+		{"the dog in the park walked", true},
+		{"walked the dog", false},
+		{"the the dog walked", false},
+		{"dog walked", false}, // nouns need a determiner
+		{"the dog the man", false},
+		{"the walked", false},
+		{"the dog saw saw the man", false},
+		// Proper nouns: no determiner needed (or allowed).
+		{"rex slept", true},
+		{"rex saw the man", true},
+		{"the rex slept", false},
+		// Subcategorization: tverb requires an object, iverb forbids one.
+		{"rex caught the ball", true},
+		{"rex caught", false},
+		{"rex slept the ball", false},
+		{"fido took rex", true},
+		{"the dog ran", true},
+		{"the dog ran the man", false},
+	} {
+		words := strings.Fields(tc.words)
+		if got := accepts(t, g, words); got != tc.want {
+			t.Errorf("English accepts(%q) = %v, want %v", tc.words, got, tc.want)
+		}
+	}
+}
+
+func TestEnglishPPAttachmentAmbiguity(t *testing.T) {
+	g := English()
+	words := strings.Fields("the dog saw the man with the telescope")
+	res, err := serial.ParseWords(g, words, serial.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted() {
+		t.Fatal("sentence should be accepted")
+	}
+	if !res.Ambiguous() {
+		t.Error("PP attachment should leave the network ambiguous")
+	}
+	parses := res.Network.ExtractParses(0)
+	if len(parses) != 2 {
+		t.Fatalf("got %d parses, want 2 (verb vs noun attachment)", len(parses))
+	}
+	// The two parses must differ exactly in the preposition's modifiee:
+	// position 3 ("saw") vs position 5 ("man").
+	prepPos := 6 // "with"
+	gov, _ := g.RoleByName("governor")
+	mods := map[int]bool{}
+	for _, p := range parses {
+		ref := p.RoleValue(prepPos, gov)
+		mods[ref.Mod] = true
+		if !p.Satisfies(g) {
+			t.Error("parse violates constraints")
+		}
+	}
+	if !mods[3] || !mods[5] {
+		t.Errorf("attachments = %v, want {3, 5}", mods)
+	}
+}
+
+func TestEnglishDisambiguationByExtraConstraint(t *testing.T) {
+	// §1.4: "additional constraints can be applied as needed to further
+	// refine the analysis of an ambiguous sentence". Forcing PREP to
+	// attach to verbs only resolves the PP ambiguity.
+	g := English()
+	words := strings.Fields("the dog saw the man with the telescope")
+	sent, err := cdg.Resolve(g, words, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := serial.Parse(g, sent, serial.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ambiguous() {
+		t.Fatal("expected ambiguity before the extra constraint")
+	}
+	// Build the same grammar plus a contextual constraint.
+	b := cdg.NewBuilder().
+		Labels("DET", "MOD", "SUBJ", "OBJ", "PCOMP", "PREP", "ADV", "ROOT",
+			"NP", "S", "PC", "BLANK").
+		Categories("det", "adj", "noun", "verb", "prep", "adv")
+	_ = b // the cleanest route is re-deriving from English() itself:
+	g2 := EnglishWithExtraConstraint(t)
+	res2, err := serial.ParseWords(g2, words, serial.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Ambiguous() {
+		t.Error("extra constraint should disambiguate")
+	}
+	parses := res2.Network.ExtractParses(0)
+	if len(parses) != 1 {
+		t.Fatalf("got %d parses, want 1", len(parses))
+	}
+	gov, _ := g2.RoleByName("governor")
+	if ref := parses[0].RoleValue(6, gov); ref.Mod != 3 {
+		t.Errorf("forced attachment = %d, want 3 (the verb)", ref.Mod)
+	}
+}
+
+// EnglishWithExtraConstraint rebuilds English() and adds a contextual
+// constraint forcing prepositions onto the verb. Exposed to the
+// examples as well.
+func EnglishWithExtraConstraint(t *testing.T) *cdg.Grammar {
+	t.Helper()
+	return EnglishVerbAttach()
+}
+
+func TestCopyLanguage(t *testing.T) {
+	g := CopyLanguage()
+	for _, tc := range []struct {
+		words string
+		want  bool
+	}{
+		{"a a", true},
+		{"b b", true},
+		{"a b a b", true},
+		{"a b b a b b", true},
+		{"b a b a", true},
+		{"a b", false},
+		{"a b b a", false}, // palindrome, not copy
+		{"a", false},
+		{"a a a", false}, // odd length
+		{"a b a a", false},
+		{"a a b a a b", true},
+	} {
+		words := strings.Fields(tc.words)
+		if got := accepts(t, g, words); got != tc.want {
+			t.Errorf("ww accepts(%q) = %v, want %v", tc.words, got, tc.want)
+		}
+	}
+}
+
+// TestQuickCopyLanguage compares CDG acceptance against the definition
+// of the copy language on random strings.
+func TestQuickCopyLanguage(t *testing.T) {
+	g := CopyLanguage()
+	f := func(seed uint64) bool {
+		s := seed | 1
+		rnd := func(n int) int {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return int(s % uint64(n))
+		}
+		n := 1 + rnd(6)
+		words := make([]string, n)
+		for i := range words {
+			if rnd(2) == 0 {
+				words[i] = "a"
+			} else {
+				words[i] = "b"
+			}
+		}
+		want := n%2 == 0
+		if want {
+			for i := 0; i < n/2; i++ {
+				if words[i] != words[i+n/2] {
+					want = false
+				}
+			}
+		}
+		return accepts(t, g, words) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDyck(t *testing.T) {
+	g := Dyck()
+	for _, tc := range []struct {
+		words string
+		want  bool
+	}{
+		{"( )", true},
+		{"( ( ) )", true},
+		{"( ) ( )", true},
+		{"( ( ) ( ) )", true},
+		{"( ( )", false},
+		{") (", false},
+		{"(", false},
+		{"( ) )", false},
+	} {
+		words := strings.Fields(tc.words)
+		if got := accepts(t, g, words); got != tc.want {
+			t.Errorf("dyck accepts(%q) = %v, want %v", tc.words, got, tc.want)
+		}
+	}
+}
+
+// TestQuickDyck compares CDG acceptance with a counter-based reference.
+func TestQuickDyck(t *testing.T) {
+	g := Dyck()
+	balanced := func(words []string) bool {
+		depth := 0
+		for _, w := range words {
+			if w == "(" {
+				depth++
+			} else {
+				depth--
+			}
+			if depth < 0 {
+				return false
+			}
+		}
+		return depth == 0
+	}
+	f := func(seed uint64) bool {
+		s := seed | 1
+		rnd := func(n int) int {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return int(s % uint64(n))
+		}
+		n := 1 + rnd(6)
+		words := make([]string, n)
+		for i := range words {
+			if rnd(2) == 0 {
+				words[i] = "("
+			} else {
+				words[i] = ")"
+			}
+		}
+		return accepts(t, g, words) == balanced(words)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnBn(t *testing.T) {
+	g := AnBn()
+	for _, tc := range []struct {
+		words string
+		want  bool
+	}{
+		{"a b", true},
+		{"a a b b", true},
+		{"a a a b b b", true},
+		{"a b a b", false},
+		{"a a b", false},
+		{"b a", false},
+		{"a", false},
+		{"a b b a", false},
+	} {
+		words := strings.Fields(tc.words)
+		if got := accepts(t, g, words); got != tc.want {
+			t.Errorf("anbn accepts(%q) = %v, want %v", tc.words, got, tc.want)
+		}
+	}
+}
+
+func TestAnBnUniqueParse(t *testing.T) {
+	g := AnBn()
+	if got := numParses(t, g, strings.Fields("a a b b")); got != 1 {
+		t.Errorf("aabb has %d parses, want 1 (nesting is forced)", got)
+	}
+}
+
+func TestCrossSerial(t *testing.T) {
+	g := CrossSerial()
+	for _, tc := range []struct {
+		words string
+		want  bool
+	}{
+		{"a b c d", true},
+		{"a a b c c d", true},
+		{"a b b c d d", true},
+		{"a a b b c c d d", true},
+		{"a b c", false},
+		{"a c b d", false}, // b block must precede c block
+		{"a b c d d", false},
+		{"b a c d", false},
+		{"a b d c", false},
+		{"a a b c d d", false}, // counts must match per family
+	} {
+		words := strings.Fields(tc.words)
+		if got := accepts(t, g, words); got != tc.want {
+			t.Errorf("crossserial accepts(%q) = %v, want %v", tc.words, got, tc.want)
+		}
+	}
+}
+
+// TestCrossSerialParseIsCrossing verifies the dependencies actually
+// cross: in a²b c²d? — use aabccd: a1→c4, a2→c5, b3→d6; a-c pairs
+// interleave with each other and with b-d.
+func TestCrossSerialParseIsCrossing(t *testing.T) {
+	g := CrossSerial()
+	words := strings.Fields("a a b c c d")
+	res, err := serial.ParseWords(g, words, serial.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	parses := res.Network.ExtractParses(0)
+	if len(parses) != 1 {
+		t.Fatalf("parses = %d, want 1", len(parses))
+	}
+	link, _ := g.RoleByName("link")
+	mods := map[int]int{}
+	for pos := 1; pos <= 6; pos++ {
+		mods[pos] = parses[0].RoleValue(pos, link).Mod
+	}
+	want := map[int]int{1: 4, 2: 5, 3: 6, 4: 1, 5: 2, 6: 3}
+	for pos, m := range want {
+		if mods[pos] != m {
+			t.Errorf("pos %d pairs %d, want %d", pos, mods[pos], m)
+		}
+	}
+	// Crossing: edge (1,4) and edge (2,5) interleave: 1 < 2 < 4 < 5.
+	if !(1 < 2 && 2 < mods[1] && mods[1] < mods[2]) {
+		t.Error("dependencies do not cross — encoding broken")
+	}
+}
+
+func TestQuickCrossSerial(t *testing.T) {
+	g := CrossSerial()
+	inLang := func(words []string) bool {
+		// a^n b^m c^n d^m with n+m >= 1 (either family may be absent).
+		i := 0
+		count := func(sym string) int {
+			c := 0
+			for i < len(words) && words[i] == sym {
+				c++
+				i++
+			}
+			return c
+		}
+		n1 := count("a")
+		m1 := count("b")
+		n2 := count("c")
+		m2 := count("d")
+		return i == len(words) && n1 == n2 && m1 == m2 && n1+m1 >= 1
+	}
+	f := func(seed uint64) bool {
+		s := seed | 1
+		rnd := func(n int) int {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			return int(s % uint64(n))
+		}
+		n := 2 + rnd(6)
+		words := make([]string, n)
+		syms := []string{"a", "b", "c", "d"}
+		for i := range words {
+			words[i] = syms[rnd(4)]
+		}
+		return accepts(t, g, words) == inLang(words)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChainCascade(t *testing.T) {
+	g := Chain()
+	for _, n := range []int{3, 5, 8} {
+		res, err := serial.ParseWords(g, ChainSentence(n), serial.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted() {
+			t.Errorf("n=%d: chain network should remain accepted on FALLBACKs", n)
+		}
+		// After filtering every chain role must hold only FALLBACK.
+		sp := res.Network.Space()
+		chain, _ := g.RoleByName("chain")
+		for pos := 1; pos <= n; pos++ {
+			gr := sp.GlobalRole(pos, chain)
+			vals := res.Network.DomainStrings(gr)
+			if len(vals) != 1 || vals[0] != "FALLBACK-nil" {
+				t.Errorf("n=%d pos=%d: domain %v, want [FALLBACK-nil]", n, pos, vals)
+			}
+		}
+	}
+}
+
+// TestChainFilteringRoundsGrowLinearly is the E5 worst case: rounds to
+// fixpoint scale with n.
+func TestChainFilteringRoundsGrowLinearly(t *testing.T) {
+	g := Chain()
+	rounds := func(n int) uint64 {
+		res, err := serial.ParseWords(g, ChainSentence(n), serial.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counters.FilterIterations
+	}
+	r6, r12 := rounds(6), rounds(12)
+	if r12 < r6+4 {
+		t.Errorf("filtering rounds r6=%d r12=%d — cascade should grow with n", r6, r12)
+	}
+}
+
+// TestEnglishFilteringRoundsSmall is the E5 positive case: on the
+// English grammar filtering settles in a small constant number of
+// rounds ("typically fewer than 10").
+func TestEnglishFilteringRoundsSmall(t *testing.T) {
+	g := English()
+	for _, s := range []string{
+		"the dog saw the man",
+		"the big dog saw the old man with the telescope",
+		"every cat liked the red ball in the park",
+	} {
+		res, err := serial.ParseWords(g, strings.Fields(s), serial.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Counters.FilterIterations >= 10 {
+			t.Errorf("%q: %d filtering rounds, want < 10", s, res.Counters.FilterIterations)
+		}
+	}
+}
+
+// TestCrossSerialEmptyFamilies pins the n=0 / m=0 corner the fuzzer
+// caught: with one family absent, the remaining blocks must still be
+// contiguous.
+func TestCrossSerialEmptyFamilies(t *testing.T) {
+	g := CrossSerial()
+	for _, tc := range []struct {
+		words string
+		want  bool
+	}{
+		{"b d", true},      // n = 0
+		{"b b d d", true},  // n = 0
+		{"b d b d", false}, // interleaved without c's
+		{"a c", true},      // m = 0
+		{"a a c c", true},  // m = 0
+		{"a c a c", false}, // interleaved without b's
+		{"d b", false},
+		{"c a", false},
+	} {
+		words := strings.Fields(tc.words)
+		if got := accepts(t, g, words); got != tc.want {
+			t.Errorf("crossserial accepts(%q) = %v, want %v", tc.words, got, tc.want)
+		}
+	}
+}

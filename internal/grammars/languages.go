@@ -1,0 +1,254 @@
+package grammars
+
+import "repro/internal/cdg"
+
+// This file holds CDG grammars for formal languages, demonstrating the
+// expressivity claims of §1.5: CDG handles canonical context-free
+// languages (aⁿbⁿ, the Dyck language) with two roles and binary
+// constraints, and also languages CFGs cannot express at all — the copy
+// language w·w that the paper cites explicitly.
+//
+// Acceptance for these grammars means "a complete assignment exists"
+// (Network.HasParse / extraction), the exact CDG solution semantics.
+
+// CopyLanguage returns a CDG grammar for { w·w : w ∈ {a,b}⁺ } — the
+// paper's example of a language beyond CFG. Every word is either a
+// FIRST (pointing right at its copy) or a SECOND (pointing back); the
+// constraints force the FIRSTs to form a prefix, the pairing to be a
+// mutual order-preserving bijection, and the paired words to share a
+// category — which together pin the pairing to mod(i) = i + n/2 and the
+// string to w·w.
+func CopyLanguage() *cdg.Grammar {
+	b := cdg.NewBuilder().
+		Labels("FIRST", "SECOND", "IDLE").
+		Categories("a", "b").
+		Role("link", "FIRST", "SECOND").
+		Role("aux", "IDLE").
+		Word("a", "a").
+		Word("b", "b")
+
+	b.Constraint("aux-idle", `
+		(if (eq (role x) aux)
+		    (and (eq (lab x) IDLE) (eq (mod x) nil)))`)
+
+	// A FIRST points right at a word of the same category; a SECOND
+	// points left.
+	b.Constraint("first-points-right-same-cat", `
+		(if (and (eq (role x) link) (eq (lab x) FIRST))
+		    (and (not (eq (mod x) nil))
+		         (gt (mod x) (pos x))
+		         (eq (cat (word (pos x))) (cat (word (mod x))))))`)
+	b.Constraint("second-points-left", `
+		(if (and (eq (role x) link) (eq (lab x) SECOND))
+		    (and (not (eq (mod x) nil))
+		         (lt (mod x) (pos x))))`)
+
+	// Pairing is mutual…
+	b.Constraint("pairing-mutual-fs", `
+		(if (and (eq (lab x) FIRST) (eq (lab y) SECOND) (eq (mod x) (pos y)))
+		    (eq (mod y) (pos x)))`)
+	b.Constraint("pairing-mutual-sf", `
+		(if (and (eq (lab x) SECOND) (eq (lab y) FIRST) (eq (mod x) (pos y)))
+		    (eq (mod y) (pos x)))`)
+	// …and partners carry opposite labels.
+	b.Constraint("first-targets-second", `
+		(if (and (eq (lab x) FIRST) (eq (role y) link) (eq (mod x) (pos y)))
+		    (eq (lab y) SECOND))`)
+	b.Constraint("second-targets-first", `
+		(if (and (eq (lab x) SECOND) (eq (role y) link) (eq (mod x) (pos y)))
+		    (eq (lab y) FIRST))`)
+
+	// Every FIRST precedes every SECOND (the halves are contiguous).
+	b.Constraint("halves-split", `
+		(if (and (eq (lab x) FIRST) (eq (lab y) SECOND))
+		    (lt (pos x) (pos y)))`)
+
+	// The pairing preserves order.
+	b.Constraint("order-preserving", `
+		(if (and (eq (lab x) FIRST) (eq (lab y) FIRST) (lt (pos x) (pos y)))
+		    (lt (mod x) (mod y)))`)
+
+	return b.MustBuild()
+}
+
+// Dyck returns a CDG grammar for nonempty balanced bracket strings over
+// "(" and ")": each OPEN points right at its matching CLOSE, matching
+// is mutual, and spans never cross.
+func Dyck() *cdg.Grammar {
+	b := cdg.NewBuilder().
+		Labels("OPEN", "CLOSE", "IDLE").
+		Categories("open", "close").
+		Role("link", "OPEN", "CLOSE").
+		Role("aux", "IDLE").
+		Word("(", "open").
+		Word(")", "close")
+
+	b.Constraint("aux-idle", `
+		(if (eq (role x) aux)
+		    (and (eq (lab x) IDLE) (eq (mod x) nil)))`)
+
+	b.Constraint("open-category", `
+		(if (and (eq (role x) link) (eq (cat (word (pos x))) open))
+		    (and (eq (lab x) OPEN)
+		         (not (eq (mod x) nil))
+		         (gt (mod x) (pos x))))`)
+	b.Constraint("close-category", `
+		(if (and (eq (role x) link) (eq (cat (word (pos x))) close))
+		    (and (eq (lab x) CLOSE)
+		         (not (eq (mod x) nil))
+		         (lt (mod x) (pos x))))`)
+
+	b.Constraint("match-mutual-oc", `
+		(if (and (eq (lab x) OPEN) (eq (lab y) CLOSE) (eq (mod x) (pos y)))
+		    (eq (mod y) (pos x)))`)
+	b.Constraint("match-mutual-co", `
+		(if (and (eq (lab x) CLOSE) (eq (lab y) OPEN) (eq (mod x) (pos y)))
+		    (eq (mod y) (pos x)))`)
+	b.Constraint("open-targets-close", `
+		(if (and (eq (lab x) OPEN) (eq (role y) link) (eq (mod x) (pos y)))
+		    (eq (lab y) CLOSE))`)
+	b.Constraint("close-targets-open", `
+		(if (and (eq (lab x) CLOSE) (eq (role y) link) (eq (mod x) (pos y)))
+		    (eq (lab y) OPEN))`)
+
+	// Non-crossing: an OPEN strictly inside another OPEN's span closes
+	// inside it too.
+	b.Constraint("non-crossing", `
+		(if (and (eq (lab x) OPEN) (eq (lab y) OPEN)
+		         (lt (pos x) (pos y)) (lt (pos y) (mod x)))
+		    (lt (mod y) (mod x)))`)
+
+	return b.MustBuild()
+}
+
+// CrossSerial returns a CDG grammar for { aⁿbᵐcⁿdᵐ : n+m ≥ 1 } — the
+// cross-serial-dependency language (the formal skeleton of Swiss-German
+// verb clusters), mildly context-sensitive and beyond CFG. Every a
+// pairs with a c and every b with a d, both pairings order-preserving,
+// so the a–c and b–d dependencies cross each other; CDG expresses this
+// directly because role values are position pointers with no
+// projectivity requirement — something no CFG and no projective
+// dependency grammar can do.
+func CrossSerial() *cdg.Grammar {
+	b := cdg.NewBuilder().
+		Labels("AC", "CA", "BD", "DB", "IDLE").
+		Categories("a", "b", "c", "d").
+		Role("link", "AC", "CA", "BD", "DB").
+		Role("aux", "IDLE").
+		Word("a", "a").
+		Word("b", "b").
+		Word("c", "c").
+		Word("d", "d")
+
+	b.Constraint("aux-idle", `
+		(if (eq (role x) aux)
+		    (and (eq (lab x) IDLE) (eq (mod x) nil)))`)
+
+	// Category → label and partner category, with direction.
+	b.Constraint("a-pairs-c", `
+		(if (and (eq (role x) link) (eq (cat (word (pos x))) a))
+		    (and (eq (lab x) AC) (not (eq (mod x) nil))
+		         (gt (mod x) (pos x)) (eq (cat (word (mod x))) c)))`)
+	b.Constraint("c-pairs-a", `
+		(if (and (eq (role x) link) (eq (cat (word (pos x))) c))
+		    (and (eq (lab x) CA) (not (eq (mod x) nil))
+		         (lt (mod x) (pos x)) (eq (cat (word (mod x))) a)))`)
+	b.Constraint("b-pairs-d", `
+		(if (and (eq (role x) link) (eq (cat (word (pos x))) b))
+		    (and (eq (lab x) BD) (not (eq (mod x) nil))
+		         (gt (mod x) (pos x)) (eq (cat (word (mod x))) d)))`)
+	b.Constraint("d-pairs-b", `
+		(if (and (eq (role x) link) (eq (cat (word (pos x))) d))
+		    (and (eq (lab x) DB) (not (eq (mod x) nil))
+		         (lt (mod x) (pos x)) (eq (cat (word (mod x))) b)))`)
+
+	// Mutual pairing.
+	b.Constraint("mutual-ac", `
+		(if (and (eq (lab x) AC) (eq (lab y) CA) (eq (mod x) (pos y)))
+		    (eq (mod y) (pos x)))`)
+	b.Constraint("mutual-ca", `
+		(if (and (eq (lab x) CA) (eq (lab y) AC) (eq (mod x) (pos y)))
+		    (eq (mod y) (pos x)))`)
+	b.Constraint("mutual-bd", `
+		(if (and (eq (lab x) BD) (eq (lab y) DB) (eq (mod x) (pos y)))
+		    (eq (mod y) (pos x)))`)
+	b.Constraint("mutual-db", `
+		(if (and (eq (lab x) DB) (eq (lab y) BD) (eq (mod x) (pos y)))
+		    (eq (mod y) (pos x)))`)
+
+	// Order preservation *within* each family — the pairings run in
+	// parallel (crossing), not nested.
+	b.Constraint("ac-order", `
+		(if (and (eq (lab x) AC) (eq (lab y) AC) (lt (pos x) (pos y)))
+		    (lt (mod x) (mod y)))`)
+	b.Constraint("bd-order", `
+		(if (and (eq (lab x) BD) (eq (lab y) BD) (lt (pos x) (pos y)))
+		    (lt (mod x) (mod y)))`)
+
+	// Block shape: a* b* c* d*. Every ordered category pair needs its
+	// own constraint — transitivity through an absent middle block
+	// does not hold (without the direct b<d rule, "b d b d" would
+	// sneak through when n = 0).
+	b.Constraint("a-before-b", `
+		(if (and (eq (lab x) AC) (eq (lab y) BD))
+		    (lt (pos x) (pos y)))`)
+	b.Constraint("a-before-c", `
+		(if (and (eq (lab x) AC) (eq (lab y) CA))
+		    (lt (pos x) (pos y)))`)
+	b.Constraint("b-before-c", `
+		(if (and (eq (lab x) BD) (eq (lab y) CA))
+		    (lt (pos x) (pos y)))`)
+	b.Constraint("b-before-d", `
+		(if (and (eq (lab x) BD) (eq (lab y) DB))
+		    (lt (pos x) (pos y)))`)
+	b.Constraint("c-before-d", `
+		(if (and (eq (lab x) CA) (eq (lab y) DB))
+		    (lt (pos x) (pos y)))`)
+
+	return b.MustBuild()
+}
+
+// AnBn returns a CDG grammar for { aⁿbⁿ : n ≥ 1 }: every a pairs
+// rightward with a b, pairing is mutual, and spans are fully nested,
+// which forces all a's to precede all b's with equal counts.
+func AnBn() *cdg.Grammar {
+	b := cdg.NewBuilder().
+		Labels("APART", "BPART", "IDLE").
+		Categories("a", "b").
+		Role("link", "APART", "BPART").
+		Role("aux", "IDLE").
+		Word("a", "a").
+		Word("b", "b")
+
+	b.Constraint("aux-idle", `
+		(if (eq (role x) aux)
+		    (and (eq (lab x) IDLE) (eq (mod x) nil)))`)
+
+	b.Constraint("a-points-right-at-b", `
+		(if (and (eq (role x) link) (eq (cat (word (pos x))) a))
+		    (and (eq (lab x) APART)
+		         (not (eq (mod x) nil))
+		         (gt (mod x) (pos x))
+		         (eq (cat (word (mod x))) b)))`)
+	b.Constraint("b-points-left-at-a", `
+		(if (and (eq (role x) link) (eq (cat (word (pos x))) b))
+		    (and (eq (lab x) BPART)
+		         (not (eq (mod x) nil))
+		         (lt (mod x) (pos x))
+		         (eq (cat (word (mod x))) a)))`)
+
+	b.Constraint("pair-mutual-ab", `
+		(if (and (eq (lab x) APART) (eq (lab y) BPART) (eq (mod x) (pos y)))
+		    (eq (mod y) (pos x)))`)
+	b.Constraint("pair-mutual-ba", `
+		(if (and (eq (lab x) BPART) (eq (lab y) APART) (eq (mod x) (pos y)))
+		    (eq (mod y) (pos x)))`)
+
+	// Nesting: a later a closes earlier — spans are nested, never
+	// crossing or disjoint.
+	b.Constraint("nesting", `
+		(if (and (eq (lab x) APART) (eq (lab y) APART) (lt (pos x) (pos y)))
+		    (gt (mod x) (mod y)))`)
+
+	return b.MustBuild()
+}

@@ -1,0 +1,123 @@
+// Package grammars provides the built-in CDG grammars used by the
+// examples, tests, and benchmark harness:
+//
+//   - PaperDemo: the 3-word "The program runs" grammar of section 1 of
+//     Helzerman & Harper 1992, with its six unary and four binary
+//     constraints reproduced verbatim.
+//   - English: a larger English-like grammar (determiners, adjectives,
+//     nouns, verbs, prepositions, adverbs) used for the timing and
+//     filtering experiments.
+//   - CopyLanguage: a grammar for the non-context-free copy language
+//     w a w a, demonstrating CDG's expressivity beyond CFGs (§1.5).
+//   - Chain: an adversarial grammar whose filtering phase cascades
+//     Θ(n²) role-value eliminations (the worst case of §2.1).
+package grammars
+
+import "repro/internal/cdg"
+
+// PaperDemo returns the grammar of section 1: labels SUBJ/ROOT/DET for
+// the governor role and NP/S/BLANK for the needs role, categories
+// det/noun/verb, and the ten constraints printed in the paper.
+func PaperDemo() *cdg.Grammar {
+	b := cdg.NewBuilder().
+		Labels("SUBJ", "ROOT", "DET", "NP", "S", "BLANK").
+		Categories("det", "noun", "verb").
+		Role("governor", "SUBJ", "ROOT", "DET").
+		Role("needs", "NP", "S", "BLANK")
+
+	// Lexicon for the running example and a few spares so tests can
+	// build longer sentences from the same grammar.
+	b.Word("the", "det").
+		Word("a", "det").
+		Word("this", "det").
+		Word("program", "noun").
+		Word("compiler", "noun").
+		Word("machine", "noun").
+		Word("parser", "noun").
+		Word("runs", "verb").
+		Word("halts", "verb").
+		Word("works", "verb")
+
+	// --- Unary constraints (verbatim from §1.3) ---
+
+	// Verbs have the label ROOT and are ungoverned.
+	b.Constraint("verb-governor", `
+		(if (and (eq (cat (word (pos x))) verb)
+		         (eq (role x) governor))
+		    (and (eq (lab x) ROOT)
+		         (eq (mod x) nil)))`)
+
+	// Verbs have the label S for the needs role and must modify something.
+	b.Constraint("verb-needs", `
+		(if (and (eq (cat (word (pos x))) verb)
+		         (eq (role x) needs))
+		    (and (eq (lab x) S)
+		         (not (eq (mod x) nil))))`)
+
+	// Nouns receive the label SUBJ for the governor role and must modify
+	// something.
+	b.Constraint("noun-governor", `
+		(if (and (eq (cat (word (pos x))) noun)
+		         (eq (role x) governor))
+		    (and (eq (lab x) SUBJ)
+		         (not (eq (mod x) nil))))`)
+
+	// Nouns receive the label NP for the needs role and must modify
+	// something.
+	b.Constraint("noun-needs", `
+		(if (and (eq (cat (word (pos x))) noun)
+		         (eq (role x) needs))
+		    (and (eq (lab x) NP)
+		         (not (eq (mod x) nil))))`)
+
+	// Determiners receive the label DET for the governor role and must
+	// modify something.
+	b.Constraint("det-governor", `
+		(if (and (eq (cat (word (pos x))) det)
+		         (eq (role x) governor))
+		    (and (eq (lab x) DET)
+		         (not (eq (mod x) nil))))`)
+
+	// Determiners receive the label BLANK for the needs role and modify
+	// nothing.
+	b.Constraint("det-needs", `
+		(if (and (eq (cat (word (pos x))) det)
+		         (eq (role x) needs))
+		    (and (eq (lab x) BLANK)
+		         (eq (mod x) nil)))`)
+
+	// --- Binary constraints (verbatim from §1.3) ---
+
+	// A SUBJ is governed by a ROOT to its right.
+	b.Constraint("subj-governed-by-root", `
+		(if (and (eq (lab x) SUBJ)
+		         (eq (lab y) ROOT))
+		    (and (eq (mod x) (pos y))
+		         (lt (pos x) (pos y))))`)
+
+	// A verb with label S needs a SUBJ to its left.
+	b.Constraint("s-needs-subj-left", `
+		(if (and (eq (lab x) S)
+		         (eq (lab y) SUBJ))
+		    (and (eq (mod x) (pos y))
+		         (gt (pos x) (pos y))))`)
+
+	// A DET must be governed by a noun to its right.
+	b.Constraint("det-governed-by-noun-right", `
+		(if (and (eq (lab x) DET)
+		         (eq (cat (word (pos y))) noun))
+		    (and (eq (mod x) (pos y))
+		         (lt (pos x) (pos y))))`)
+
+	// A noun with label NP needs a DET to its left.
+	b.Constraint("np-needs-det-left", `
+		(if (and (eq (lab x) NP)
+		         (eq (lab y) DET))
+		    (and (eq (mod x) (pos y))
+		         (gt (pos x) (pos y))))`)
+
+	return b.MustBuild()
+}
+
+// PaperSentence returns the running example "The program runs".
+func PaperSentence() []string { return []string{"The", "program", "runs"} }

@@ -1,0 +1,106 @@
+package grammars
+
+import (
+	"fmt"
+
+	"repro/internal/cdg"
+)
+
+// Random generates a structurally valid CDG grammar from a seed, for
+// fuzz-style differential testing of the parsing engines. The grammar
+// always has two roles (governor-like and needs-like), 2–4 governor
+// labels, 2–3 categories with one word each, and 3–8 constraints drawn
+// from the templates natural-language CDG grammars use (category→label
+// forcing, modifiee direction, label–label ordering, attachment
+// category checks, mutual pointing).
+//
+// Random grammars are frequently over-constrained — most sentences get
+// rejected — which is exactly what the differential tests want: the
+// engines must agree on the rejected networks too.
+func Random(seed uint64) *cdg.Grammar {
+	r := rng{s: seed | 1}
+
+	nGov := 2 + r.intn(3) // 2..4
+	nNeed := 1 + r.intn(2)
+	nCats := 2 + r.intn(2)
+
+	var govLabels, needLabels, cats []string
+	for i := 0; i < nGov; i++ {
+		govLabels = append(govLabels, fmt.Sprintf("G%d", i))
+	}
+	for i := 0; i < nNeed; i++ {
+		needLabels = append(needLabels, fmt.Sprintf("N%d", i))
+	}
+	for i := 0; i < nCats; i++ {
+		cats = append(cats, fmt.Sprintf("c%d", i))
+	}
+
+	b := cdg.NewBuilder().
+		Labels(append(append([]string{}, govLabels...), needLabels...)...).
+		Categories(cats...).
+		Role("gov", govLabels...).
+		Role("need", needLabels...)
+	for i, c := range cats {
+		b.Word(fmt.Sprintf("w%d", i), c)
+	}
+
+	pickGov := func() string { return govLabels[r.intn(len(govLabels))] }
+	pickCat := func() string { return cats[r.intn(len(cats))] }
+	dirOps := []string{"gt", "lt"}
+
+	nConstraints := 3 + r.intn(6)
+	for i := 0; i < nConstraints; i++ {
+		name := fmt.Sprintf("rnd-%d", i)
+		switch r.intn(5) {
+		case 0: // category forces a governor label
+			b.Constraint(name, fmt.Sprintf(`
+				(if (and (eq (cat (word (pos x))) %s) (eq (role x) gov))
+				    (eq (lab x) %s))`, pickCat(), pickGov()))
+		case 1: // label forces a modifiee direction
+			op := dirOps[r.intn(2)]
+			b.Constraint(name, fmt.Sprintf(`
+				(if (and (eq (role x) gov) (eq (lab x) %s))
+				    (and (not (eq (mod x) nil)) (%s (mod x) (pos x))))`, pickGov(), op))
+		case 2: // label pair ordering
+			op := dirOps[r.intn(2)]
+			b.Constraint(name, fmt.Sprintf(`
+				(if (and (eq (lab x) %s) (eq (lab y) %s))
+				    (%s (pos x) (pos y)))`, pickGov(), pickGov(), op))
+		case 3: // attachment category check
+			b.Constraint(name, fmt.Sprintf(`
+				(if (and (eq (lab x) %s) (eq (mod x) (pos y)))
+				    (eq (cat (word (pos y))) %s))`, pickGov(), pickCat()))
+		case 4: // mutual pointing
+			b.Constraint(name, fmt.Sprintf(`
+				(if (and (eq (lab x) %s) (eq (lab y) %s) (eq (mod x) (pos y)))
+				    (eq (mod y) (pos x)))`, pickGov(), pickGov()))
+		}
+	}
+	// Keep the need role deterministic so networks stay small.
+	b.Constraint("need-idle", fmt.Sprintf(`
+		(if (eq (role x) need)
+		    (and (eq (lab x) %s) (eq (mod x) nil)))`, needLabels[0]))
+
+	return b.MustBuild()
+}
+
+// RandomSentence draws an n-word sentence over Random(seed)'s lexicon.
+func RandomSentence(g *cdg.Grammar, seed uint64, n int) []string {
+	r := rng{s: seed*2654435761 | 1}
+	words := g.Words()
+	out := make([]string, n)
+	for i := range out {
+		out[i] = words[r.intn(len(words))]
+	}
+	return out
+}
+
+// rng is a tiny xorshift generator (stdlib-only, deterministic).
+type rng struct{ s uint64 }
+
+func (r *rng) intn(n int) int {
+	r.s ^= r.s >> 12
+	r.s ^= r.s << 25
+	r.s ^= r.s >> 27
+	return int((r.s * 0x2545f4914f6cdd1d) % uint64(n))
+}

@@ -1,0 +1,225 @@
+// Package hostpar parses CDG on the host's own cores: the paper's
+// thesis — constraint propagation is embarrassingly parallel — replayed
+// on a modern multicore instead of a 1990 SIMD array. Binary-constraint
+// application fans out over arcs and consistency maintenance over role
+// values, with goroutine workers standing in for PEs.
+//
+// Unlike the simulators (pram, maspar), this engine is built for real
+// wall-clock speedup, which is what the E9 experiment measures. The
+// result is still bit-identical to the serial engine: arcs are disjoint
+// work units during propagation, and consistency maintenance keeps the
+// two-phase simultaneous semantics (read everything, then eliminate),
+// so parallelism never introduces ordering effects.
+package hostpar
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/cdg"
+	"repro/internal/cn"
+	"repro/internal/metrics"
+)
+
+// Options tune the host-parallel parse.
+type Options struct {
+	// Workers caps the goroutine pool (<= 0: GOMAXPROCS).
+	Workers int
+	// Filter enables the filtering phase; MaxFilterIters bounds it
+	// (<= 0: fixpoint).
+	Filter         bool
+	MaxFilterIters int
+}
+
+// DefaultOptions uses all cores and filters to fixpoint.
+func DefaultOptions() Options { return Options{Filter: true} }
+
+// Result is the outcome of a host-parallel parse.
+type Result struct {
+	Network  *cn.Network
+	Counters *metrics.Counters
+	// Workers is the pool size actually used.
+	Workers int
+}
+
+// Accepted reports the paper's acceptance condition.
+func (r *Result) Accepted() bool { return r.Network.AllRolesAlive() }
+
+// Parse runs the pipeline of §1.4 with the expensive phases fanned out
+// across cores.
+func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sp := cdg.NewSpace(g, sent)
+	nw := cn.New(sp)
+	e := &engine{nw: nw, sp: sp, sent: sent, workers: workers}
+
+	// Unary constraints: cheap (O(n²)); the serial path is fine and
+	// keeps elimination bookkeeping simple.
+	for _, c := range g.Unary() {
+		nw.ApplyUnary(c)
+	}
+	// Binary constraints: arcs are disjoint — perfect fan-out.
+	for _, c := range g.Binary() {
+		e.applyBinaryParallel(c)
+		e.consistencyParallel()
+	}
+	if opt.Filter {
+		iters := 0
+		for {
+			if opt.MaxFilterIters > 0 && iters >= opt.MaxFilterIters {
+				break
+			}
+			iters++
+			nw.Counters.FilterIterations++
+			if e.consistencyParallel() == 0 {
+				break
+			}
+		}
+	}
+	return &Result{Network: nw, Counters: nw.Counters, Workers: workers}, nil
+}
+
+// ParseWords resolves words against the lexicon and parses.
+func ParseWords(g *cdg.Grammar, words []string, opt Options) (*Result, error) {
+	sent, err := cdg.Resolve(g, words, nil)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(g, sent, opt)
+}
+
+type engine struct {
+	nw      *cn.Network
+	sp      *cdg.Space
+	sent    *cdg.Sentence
+	workers int
+}
+
+// fanOut runs f(i) for i in [0, n) across the worker pool.
+func (e *engine) fanOut(n int, f func(i int)) {
+	if n == 0 {
+		return
+	}
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			f(i)
+		}
+		return
+	}
+	var next int64 = -1
+	var wg sync.WaitGroup
+	for k := 0; k < w; k++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				f(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// applyBinaryParallel checks one binary constraint on every arc
+// concurrently. Each arc's matrix is touched by exactly one goroutine,
+// and domains are only read, so no synchronization beyond the join is
+// needed. Counters are accumulated per-arc and merged after the join.
+func (e *engine) applyBinaryParallel(c *cdg.Constraint) {
+	arcs := e.nw.Arcs()
+	checks := make([]uint64, len(arcs))
+	writes := make([]uint64, len(arcs))
+	e.fanOut(len(arcs), func(k int) {
+		arc := arcs[k]
+		posA, ra := e.sp.RoleAt(arc.A)
+		posB, rb := e.sp.RoleAt(arc.B)
+		env := cdg.Env{Sent: e.sent}
+		e.nw.Domain(arc.A).ForEach(func(i int) {
+			refA := e.sp.RVRef(posA, ra, i)
+			e.nw.Domain(arc.B).ForEach(func(j int) {
+				if !arc.M.Get(i, j) {
+					return
+				}
+				refB := e.sp.RVRef(posB, rb, j)
+				env.X, env.Y = refA, refB
+				checks[k]++
+				ok := c.Satisfied(&env)
+				if ok {
+					env.X, env.Y = refB, refA
+					checks[k]++
+					ok = c.Satisfied(&env)
+				}
+				if !ok {
+					arc.M.ClearBit(i, j)
+					writes[k]++
+				}
+			})
+		})
+	})
+	for k := range arcs {
+		e.nw.Counters.ConstraintChecks += checks[k]
+		e.nw.Counters.MatrixWrites += writes[k]
+	}
+}
+
+// consistencyParallel computes support for every live role value
+// concurrently (matrices are read-only during the scan), then applies
+// the eliminations serially — the same two-phase semantics as
+// cn.ConsistencyPass, hence the same result.
+func (e *engine) consistencyParallel() int {
+	total := e.sp.NumRoles()
+	type victim struct{ gr, idx int }
+	perRole := make([][]victim, total)
+	var supportOps uint64
+	var supportMu sync.Mutex
+	e.fanOut(total, func(gr int) {
+		var local []victim
+		var ops uint64
+		e.nw.Domain(gr).ForEach(func(idx int) {
+			supported := true
+			for other := 0; other < total; other++ {
+				if other == gr {
+					continue
+				}
+				ops++
+				arc, isRow := e.nw.ArcBetween(gr, other)
+				if isRow {
+					if !arc.M.RowAny(idx) {
+						supported = false
+						break
+					}
+				} else if !arc.M.ColAny(idx) {
+					supported = false
+					break
+				}
+			}
+			if !supported {
+				local = append(local, victim{gr, idx})
+			}
+		})
+		perRole[gr] = local
+		supportMu.Lock()
+		supportOps += ops
+		supportMu.Unlock()
+	})
+	e.nw.Counters.SupportChecks += supportOps
+	eliminated := 0
+	for _, vs := range perRole {
+		for _, v := range vs {
+			e.nw.Eliminate(v.gr, v.idx)
+			eliminated++
+		}
+	}
+	return eliminated
+}

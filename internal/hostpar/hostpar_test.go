@@ -1,0 +1,119 @@
+package hostpar
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grammars"
+	"repro/internal/serial"
+	"repro/internal/workload"
+)
+
+func TestDemoSentence(t *testing.T) {
+	g := grammars.PaperDemo()
+	res, err := ParseWords(g, grammars.PaperSentence(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted() || res.Network.Ambiguous() {
+		t.Error("demo should parse unambiguously")
+	}
+	if res.Workers < 1 {
+		t.Error("workers")
+	}
+}
+
+func TestDifferentialVsSerial(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		parse func() (*serial.Result, *Result, error)
+	}{
+		{"demo", func() (*serial.Result, *Result, error) {
+			g := grammars.PaperDemo()
+			words := workload.DemoSentence(7)
+			s, err := serial.ParseWords(g, words, serial.DefaultOptions())
+			if err != nil {
+				return nil, nil, err
+			}
+			p, err := ParseWords(g, words, DefaultOptions())
+			return s, p, err
+		}},
+		{"english-ambiguous", func() (*serial.Result, *Result, error) {
+			g := grammars.English()
+			words := workload.AmbiguousEnglish(2)
+			s, err := serial.ParseWords(g, words, serial.DefaultOptions())
+			if err != nil {
+				return nil, nil, err
+			}
+			p, err := ParseWords(g, words, DefaultOptions())
+			return s, p, err
+		}},
+		{"chain-cascade", func() (*serial.Result, *Result, error) {
+			g := grammars.Chain()
+			words := grammars.ChainSentence(9)
+			s, err := serial.ParseWords(g, words, serial.DefaultOptions())
+			if err != nil {
+				return nil, nil, err
+			}
+			p, err := ParseWords(g, words, DefaultOptions())
+			return s, p, err
+		}},
+	} {
+		s, p, err := tc.parse()
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if !s.Network.EqualState(p.Network) {
+			t.Errorf("%s: host-parallel differs from serial", tc.name)
+		}
+	}
+}
+
+// TestQuickDifferentialRandom fuzzes host-parallel vs serial across
+// random grammars and worker counts.
+func TestQuickDifferentialRandom(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := grammars.Random(seed)
+		words := grammars.RandomSentence(g, seed*11+5, 2+int(seed%4))
+		s, err := serial.ParseWords(g, words, serial.DefaultOptions())
+		if err != nil {
+			return false
+		}
+		workers := 1 + int(seed%8)
+		p, err := ParseWords(g, words, Options{Workers: workers, Filter: true})
+		if err != nil {
+			return false
+		}
+		return s.Network.EqualState(p.Network)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWorkerCountsAgree: 1 worker and N workers give identical results
+// (determinism under parallelism).
+func TestWorkerCountsAgree(t *testing.T) {
+	g := grammars.English()
+	words := workload.EnglishSentence(10)
+	var ref *Result
+	for _, w := range []int{1, 2, 4, 16} {
+		res, err := ParseWords(g, words, Options{Workers: w, Filter: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = res
+			continue
+		}
+		if !ref.Network.EqualState(res.Network) {
+			t.Errorf("workers=%d changed the result", w)
+		}
+	}
+}
+
+func TestUnknownWord(t *testing.T) {
+	if _, err := ParseWords(grammars.PaperDemo(), []string{"zzz"}, DefaultOptions()); err == nil {
+		t.Error("expected lexicon error")
+	}
+}

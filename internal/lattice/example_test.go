@@ -1,0 +1,28 @@
+package lattice_test
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/grammars"
+	"repro/internal/lattice"
+)
+
+// Example decodes a small recognition lattice: syntax rejects the
+// acoustically tempting but ungrammatical path.
+func Example() {
+	l := lattice.New()
+	_ = l.Words("the")
+	_ = l.AddSlot(lattice.Alt{Word: "dog", Score: 0.6}, lattice.Alt{Word: "walked", Score: 0.9})
+	_ = l.Words("slept")
+
+	// "the walked slept" outscores "the dog slept" acoustically, but
+	// only the latter parses.
+	best, ok, err := l.Best(grammars.English())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ok, strings.Join(best.Words, " "))
+	// Output:
+	// true the dog slept
+}

@@ -1,0 +1,163 @@
+// Package lattice models the speech-recognition front end the paper's
+// introduction motivates: a word lattice of weighted alternatives per
+// slot, pruned by CDG syntax. "Because natural language parsing can be
+// done quickly and efficiently on commercially available parallel
+// machines, it will not be a bottleneck for real-time systems" — this
+// package is the consumer of that speed: every lattice hypothesis is a
+// sentence to parse, and the constraint network decides which survive.
+package lattice
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cdg"
+	"repro/internal/serial"
+)
+
+// Alt is one recognizer alternative for a slot: a word with an acoustic
+// score (higher is better).
+type Alt struct {
+	Word  string
+	Score float64
+}
+
+// Lattice is a sequence of slots, each with one or more alternatives.
+type Lattice struct {
+	slots [][]Alt
+}
+
+// New creates an empty lattice.
+func New() *Lattice { return &Lattice{} }
+
+// AddSlot appends a slot with the given alternatives. At least one
+// alternative is required; scores default to 0 (ties broken by order).
+func (l *Lattice) AddSlot(alts ...Alt) error {
+	if len(alts) == 0 {
+		return fmt.Errorf("lattice: a slot needs at least one alternative")
+	}
+	l.slots = append(l.slots, append([]Alt(nil), alts...))
+	return nil
+}
+
+// Words is a convenience for unweighted slots.
+func (l *Lattice) Words(words ...string) error {
+	alts := make([]Alt, len(words))
+	for i, w := range words {
+		alts[i] = Alt{Word: w}
+	}
+	return l.AddSlot(alts...)
+}
+
+// Slots returns the slot count.
+func (l *Lattice) Slots() int { return len(l.slots) }
+
+// Paths returns the number of distinct hypotheses.
+func (l *Lattice) Paths() int {
+	if len(l.slots) == 0 {
+		return 0
+	}
+	n := 1
+	for _, s := range l.slots {
+		n *= len(s)
+	}
+	return n
+}
+
+// Hypothesis is one path through the lattice with its combined score
+// and parse outcome.
+type Hypothesis struct {
+	Words []string
+	// Score is the sum of the chosen alternatives' acoustic scores.
+	Score float64
+	// Parses is the number of precedence graphs the grammar admits
+	// (0 = syntactically rejected).
+	Parses int
+	// Ambiguous reports whether the constraint network retained
+	// multiple role values.
+	Ambiguous bool
+}
+
+// Decode parses every hypothesis with g and returns the syntactically
+// accepted ones, best score first (ties: fewer parses first, then
+// lexicographic). maxParses bounds parse enumeration per hypothesis
+// (<= 0: enumerate all).
+func (l *Lattice) Decode(g *cdg.Grammar, maxParses int) ([]Hypothesis, error) {
+	if len(l.slots) == 0 {
+		return nil, fmt.Errorf("lattice: empty")
+	}
+	var out []Hypothesis
+	words := make([]string, len(l.slots))
+	score := 0.0
+
+	var rec func(i int) error
+	rec = func(i int) error {
+		if i == len(l.slots) {
+			// A hypothesis with out-of-lexicon words is simply not a
+			// sentence of the grammar — rejected, not an error.
+			sent, err := cdg.Resolve(g, words, nil)
+			if err != nil {
+				return nil
+			}
+			res, err := serial.Parse(g, sent, serial.DefaultOptions())
+			if err != nil {
+				return err
+			}
+			parses := res.Network.ExtractParses(maxParses)
+			if len(parses) == 0 {
+				return nil
+			}
+			out = append(out, Hypothesis{
+				Words:     append([]string(nil), words...),
+				Score:     score,
+				Parses:    len(parses),
+				Ambiguous: res.Ambiguous(),
+			})
+			return nil
+		}
+		for _, alt := range l.slots[i] {
+			words[i] = alt.Word
+			score += alt.Score
+			if err := rec(i + 1); err != nil {
+				return err
+			}
+			score -= alt.Score
+		}
+		return nil
+	}
+	if err := rec(0); err != nil {
+		return nil, err
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		if out[i].Parses != out[j].Parses {
+			return out[i].Parses < out[j].Parses
+		}
+		return less(out[i].Words, out[j].Words)
+	})
+	return out, nil
+}
+
+// Best returns the top-scoring accepted hypothesis, or ok=false when
+// syntax rejects every path.
+func (l *Lattice) Best(g *cdg.Grammar) (Hypothesis, bool, error) {
+	hyps, err := l.Decode(g, 1)
+	if err != nil {
+		return Hypothesis{}, false, err
+	}
+	if len(hyps) == 0 {
+		return Hypothesis{}, false, nil
+	}
+	return hyps[0], true, nil
+}
+
+func less(a, b []string) bool {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return len(a) < len(b)
+}

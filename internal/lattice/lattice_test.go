@@ -1,0 +1,134 @@
+package lattice
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/grammars"
+)
+
+func TestDecodePrunesUngrammatical(t *testing.T) {
+	g := grammars.English()
+	l := New()
+	mustSlot(t, l.Words("the"))
+	mustSlot(t, l.AddSlot(Alt{"dog", 0.9}, Alt{"ball", 0.4}))
+	mustSlot(t, l.AddSlot(Alt{"saw", 0.7}, Alt{"walked", 0.6}))
+	mustSlot(t, l.Words("the"))
+	mustSlot(t, l.AddSlot(Alt{"man", 0.8}, Alt{"chased", 0.3}))
+
+	if l.Slots() != 5 || l.Paths() != 8 {
+		t.Fatalf("slots=%d paths=%d", l.Slots(), l.Paths())
+	}
+	hyps, err := l.Decode(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// "X chased" final slot is ungrammatical ("the dog saw the chased");
+	// transitive readings survive only with "man". "the dog walked the
+	// man"? walked is a verb; "the dog walked the man" — OBJ allowed →
+	// grammatical. So surviving: dog/ball × saw/walked × man = 4.
+	if len(hyps) != 4 {
+		for _, h := range hyps {
+			t.Logf("accepted: %v (%.2f)", h.Words, h.Score)
+		}
+		t.Fatalf("got %d accepted hypotheses, want 4", len(hyps))
+	}
+	// Best by score: dog(0.9) saw(0.7) man(0.8) = 2.4.
+	want := []string{"the", "dog", "saw", "the", "man"}
+	if !reflect.DeepEqual(hyps[0].Words, want) {
+		t.Errorf("best = %v, want %v", hyps[0].Words, want)
+	}
+	// Scores descending.
+	for i := 1; i < len(hyps); i++ {
+		if hyps[i].Score > hyps[i-1].Score {
+			t.Error("hypotheses not sorted by score")
+		}
+	}
+}
+
+func TestBest(t *testing.T) {
+	g := grammars.English()
+	l := New()
+	mustSlot(t, l.Words("the"))
+	mustSlot(t, l.AddSlot(Alt{"dog", 0.5}, Alt{"walked", 0.9}))
+	mustSlot(t, l.Words("walked"))
+	best, ok, err := l.Best(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("expected an accepted hypothesis")
+	}
+	// "the walked walked" is rejected; "the dog walked" survives even
+	// though its acoustic score is lower.
+	if best.Words[1] != "dog" {
+		t.Errorf("best = %v", best.Words)
+	}
+}
+
+func TestBestAllRejected(t *testing.T) {
+	g := grammars.English()
+	l := New()
+	mustSlot(t, l.Words("walked"))
+	mustSlot(t, l.Words("walked"))
+	_, ok, err := l.Best(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("everything should be rejected")
+	}
+}
+
+func TestUnknownWordsAreRejectedNotErrors(t *testing.T) {
+	g := grammars.English()
+	l := New()
+	mustSlot(t, l.AddSlot(Alt{"the", 0}, Alt{"zzzunknown", 1}))
+	mustSlot(t, l.Words("dog"))
+	mustSlot(t, l.Words("walked"))
+	hyps, err := l.Decode(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hyps) != 1 || hyps[0].Words[0] != "the" {
+		t.Errorf("hyps = %v", hyps)
+	}
+}
+
+func TestEmptyLatticeAndSlots(t *testing.T) {
+	l := New()
+	if _, err := l.Decode(grammars.English(), 0); err == nil {
+		t.Error("empty lattice should error")
+	}
+	if err := l.AddSlot(); err == nil {
+		t.Error("empty slot should error")
+	}
+	if l.Paths() != 0 {
+		t.Error("paths of empty lattice")
+	}
+}
+
+func TestAmbiguityReported(t *testing.T) {
+	g := grammars.English()
+	l := New()
+	for _, w := range []string{"the", "dog", "saw", "the", "man", "with", "the", "telescope"} {
+		mustSlot(t, l.Words(w))
+	}
+	hyps, err := l.Decode(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hyps) != 1 {
+		t.Fatalf("hyps = %d", len(hyps))
+	}
+	if !hyps[0].Ambiguous || hyps[0].Parses != 2 {
+		t.Errorf("ambiguity not reported: %+v", hyps[0])
+	}
+}
+
+func mustSlot(t *testing.T, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package maspar
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchMachine(b *testing.B, v int) *Machine {
+	b.Helper()
+	m, err := New(PhysicalPEs, DefaultCosts())
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := m.Setup(v); err != nil {
+		b.Fatal(err)
+	}
+	return m
+}
+
+func BenchmarkSegScanOr(b *testing.B) {
+	for _, v := range []int{1024, 16384, 262144} {
+		b.Run(fmt.Sprintf("v=%d", v), func(b *testing.B) {
+			m := benchMachine(b, v)
+			data := make([]Bit, v)
+			head := make([]bool, v)
+			for i := 0; i < v; i += 16 {
+				head[i] = true
+				data[i+v/128%16] = 1
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.SegScanOr(data, head)
+			}
+		})
+	}
+}
+
+func BenchmarkRouterFetch(b *testing.B) {
+	for _, v := range []int{1024, 65536} {
+		b.Run(fmt.Sprintf("v=%d", v), func(b *testing.B) {
+			m := benchMachine(b, v)
+			data := make([]Bit, v)
+			src := make([]int32, v)
+			for i := range src {
+				src[i] = int32((i * 7) % v)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.RouterFetch(src, data)
+			}
+		})
+	}
+}
+
+func BenchmarkAll(b *testing.B) {
+	m := benchMachine(b, 65536)
+	data := make([]Bit, 65536)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.All(func(pe int) { data[pe] ^= 1 })
+	}
+}
+
+func BenchmarkXNetShift(b *testing.B) {
+	m := benchMachine(b, 128*128)
+	g, err := m.GridView(128, 128)
+	if err != nil {
+		b.Fatal(err)
+	}
+	data := make([]Bit, m.V())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		data = g.Shift(data, East)
+	}
+}

@@ -1,0 +1,243 @@
+// Package maspar simulates the MasPar MP-1 as the paper uses it: a
+// massively parallel SIMD machine with up to 16,384 processing elements
+// viewed as a linear array, an ACU (Array Control Unit) that broadcasts
+// instructions and data, an activity mask, a global router, and the
+// router-backed segmented scanOr()/scanAnd() primitives that give the
+// algorithm its O(log n) consistency maintenance.
+//
+// Programming model. Plural (per-PE) data lives in ordinary Go slices
+// indexed by virtual PE number; the machine's methods are the
+// "instructions" the ACU broadcasts. Each instruction is charged to a
+// cycle counter under a configurable cost model, including the
+// virtualization multiplier of section 2.2.3: with V virtual PEs on P
+// physical PEs, every instruction costs ⌈V/P⌉ times its base price
+// because each physical PE emulates that many virtual PEs ("MPL does
+// not support transparent processor virtualization" — this package
+// does, and charges for it).
+//
+// Host goroutines chunk the PE loop for speed; semantics are lockstep
+// SIMD (an instruction's reads all precede its writes only when the
+// instruction itself needs that, which scans and router sends
+// guarantee internally), and results are bit-deterministic.
+package maspar
+
+import (
+	"fmt"
+	"math/bits"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// PhysicalPEs is the full MP-1 configuration used in the paper.
+const PhysicalPEs = 16384
+
+// ClockHz is the MP-1's nominal clock rate (12.5 MHz).
+const ClockHz = 12.5e6
+
+// CostModel prices each instruction class in machine cycles. The
+// defaults are calibrated in EXPERIMENTS.md so that the demo parse
+// lands in the regime the paper reports (§3); the asymptotic shape is
+// independent of the constants.
+type CostModel struct {
+	// Elemental is one broadcast ALU macro-instruction over the PE
+	// array (a 32-bit op takes many cycles on 4-bit PEs).
+	Elemental uint64
+	// ConstraintCheck is one constraint evaluated against one role
+	// value or pair inside a PE (the ACU broadcasts the constraint
+	// program; the PE interprets it on local data).
+	ConstraintCheck uint64
+	// ScanBase + ScanPerLevel·log₂(P) is one segmented scan through
+	// the global router.
+	ScanBase     uint64
+	ScanPerLevel uint64
+	// RouterBase + RouterPerLevel·log₂(P) is one router permutation.
+	RouterBase     uint64
+	RouterPerLevel uint64
+	// Broadcast is one ACU data broadcast.
+	Broadcast uint64
+}
+
+// DefaultCosts is the calibrated cost model (see EXPERIMENTS.md E3).
+func DefaultCosts() CostModel {
+	return CostModel{
+		Elemental:       60,
+		ConstraintCheck: 12000,
+		ScanBase:        600,
+		ScanPerLevel:    110,
+		RouterBase:      800,
+		RouterPerLevel:  130,
+		Broadcast:       40,
+	}
+}
+
+// Machine is one simulated MP-1.
+type Machine struct {
+	phys  int
+	v     int
+	layer int
+	costs CostModel
+
+	enabled []bool
+
+	// Cycles is the simulated machine-cycle total.
+	Cycles uint64
+	// Instr counts elemental instructions, ScanOps segmented scans,
+	// RouterOps router permutations, Broadcasts ACU broadcasts, and
+	// ConstraintChecks per-PE constraint evaluations.
+	Instr            uint64
+	ScanOps          uint64
+	RouterOps        uint64
+	Broadcasts       uint64
+	ConstraintChecks uint64
+
+	workers int
+}
+
+// New builds a machine with phys physical PEs (use PhysicalPEs for the
+// paper's configuration).
+func New(phys int, costs CostModel) (*Machine, error) {
+	if phys <= 0 {
+		return nil, fmt.Errorf("maspar: need a positive PE count, got %d", phys)
+	}
+	w := runtime.GOMAXPROCS(0)
+	if w < 1 {
+		w = 1
+	}
+	return &Machine{phys: phys, costs: costs, workers: w}, nil
+}
+
+// Setup sizes the virtual PE array for a program and enables every PE.
+// It returns the virtualization layer count ⌈v/phys⌉.
+func (m *Machine) Setup(v int) (layers int, err error) {
+	if v <= 0 {
+		return 0, fmt.Errorf("maspar: need a positive virtual PE count, got %d", v)
+	}
+	m.v = v
+	m.layer = (v + m.phys - 1) / m.phys
+	m.enabled = make([]bool, v)
+	for i := range m.enabled {
+		m.enabled[i] = true
+	}
+	return m.layer, nil
+}
+
+// V returns the virtual PE count of the current program.
+func (m *Machine) V() int { return m.v }
+
+// Phys returns the physical PE count.
+func (m *Machine) Phys() int { return m.phys }
+
+// Layers returns the virtualization multiplier ⌈V/P⌉.
+func (m *Machine) Layers() int { return m.layer }
+
+// logPhys returns ⌈log₂ P⌉ (the scan/router depth).
+func (m *Machine) logPhys() uint64 {
+	return uint64(bits.Len(uint(m.phys - 1)))
+}
+
+func (m *Machine) chargeElemental() {
+	m.Instr++
+	m.Cycles += m.costs.Elemental * uint64(m.layer)
+}
+
+func (m *Machine) chargeChecks(perPE uint64) {
+	m.ConstraintChecks += perPE * uint64(m.v)
+	m.Cycles += m.costs.ConstraintCheck * perPE * uint64(m.layer)
+}
+
+func (m *Machine) chargeScan() {
+	m.ScanOps++
+	m.Cycles += (m.costs.ScanBase + m.costs.ScanPerLevel*m.logPhys()) * uint64(m.layer)
+}
+
+func (m *Machine) chargeRouter() {
+	m.RouterOps++
+	m.Cycles += (m.costs.RouterBase + m.costs.RouterPerLevel*m.logPhys()) * uint64(m.layer)
+}
+
+// BroadcastData charges one ACU broadcast (the data itself is whatever
+// the caller closes over; on the real machine it streams to all PEs).
+func (m *Machine) BroadcastData() {
+	m.Broadcasts++
+	m.Cycles += m.costs.Broadcast * uint64(m.layer)
+}
+
+// ModelTime converts the accumulated cycles to simulated wall-clock
+// seconds at the MP-1's clock rate.
+func (m *Machine) ModelTime() time.Duration {
+	return time.Duration(float64(m.Cycles) / ClockHz * float64(time.Second))
+}
+
+// SetMask recomputes the activity mask: PE i is active iff pred(i).
+// Charged as one elemental instruction (a plural comparison).
+func (m *Machine) SetMask(pred func(pe int) bool) {
+	m.chargeElemental()
+	m.forAll(func(pe int) { m.enabled[pe] = pred(pe) })
+}
+
+// EnableAll reactivates every PE.
+func (m *Machine) EnableAll() {
+	m.chargeElemental()
+	for i := range m.enabled {
+		m.enabled[i] = true
+	}
+}
+
+// Enabled reports PE pe's activity bit.
+func (m *Machine) Enabled(pe int) bool { return m.enabled[pe] }
+
+// forAll runs f over every virtual PE (mask-blind), chunked across host
+// cores.
+func (m *Machine) forAll(f func(pe int)) {
+	n := m.v
+	nw := m.workers
+	if nw > n {
+		nw = n
+	}
+	if nw <= 1 {
+		for pe := 0; pe < n; pe++ {
+			f(pe)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + nw - 1) / nw
+	for w := 0; w < nw; w++ {
+		lo, hi := w*chunk, (w+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for pe := lo; pe < hi; pe++ {
+				f(pe)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// All executes one elemental instruction: f runs on every active PE.
+// f must touch only PE-local plural data (its own index in caller
+// slices) — that is the SIMD contract.
+func (m *Machine) All(f func(pe int)) {
+	m.chargeElemental()
+	m.forAll(func(pe int) {
+		if m.enabled[pe] {
+			f(pe)
+		}
+	})
+}
+
+// AllChecks is All for constraint evaluation: it additionally charges
+// checksPerPE constraint evaluations per active PE (the dominant cost
+// of propagation on the real machine).
+func (m *Machine) AllChecks(checksPerPE int, f func(pe int)) {
+	m.chargeChecks(uint64(checksPerPE))
+	m.All(f)
+}

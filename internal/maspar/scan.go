@@ -1,0 +1,174 @@
+package maspar
+
+// Router primitives: segmented scans (scanOr/scanAnd, MasPar System
+// Overview 1990), the copy-scan broadcast idiom, global reductions, and
+// router gathers. All operate over the *active* PE set — disabled PEs
+// neither contribute nor receive, exactly like Figure 12's "PE disabled
+// only during the scanAnd".
+//
+// Segments are defined over the sequence of active PEs: a new segment
+// begins at every active PE whose segHead bit is set, and the first
+// active PE always begins one. Each primitive costs one router pass,
+// O(log P) cycle-depth, regardless of segment structure.
+
+// Bit is the plural bit type flowing through the scan network.
+type Bit = uint8
+
+// SegScanOr performs an inclusive, segmented OR-scan: each active PE
+// receives the OR of its segment's values up to and including itself.
+// Inactive PEs keep a zero result.
+func (m *Machine) SegScanOr(data []Bit, segHead []bool) []Bit {
+	m.chargeScan()
+	out := make([]Bit, m.v)
+	var acc Bit
+	open := false
+	for pe := 0; pe < m.v; pe++ {
+		if !m.enabled[pe] {
+			continue
+		}
+		if segHead[pe] || !open {
+			acc = 0
+			open = true
+		}
+		acc |= data[pe]
+		out[pe] = acc
+	}
+	return out
+}
+
+// SegScanAnd is the AND counterpart of SegScanOr.
+func (m *Machine) SegScanAnd(data []Bit, segHead []bool) []Bit {
+	m.chargeScan()
+	out := make([]Bit, m.v)
+	acc := Bit(1)
+	open := false
+	for pe := 0; pe < m.v; pe++ {
+		if !m.enabled[pe] {
+			continue
+		}
+		if segHead[pe] || !open {
+			acc = 1
+			open = true
+		}
+		acc &= data[pe]
+		out[pe] = acc
+	}
+	return out
+}
+
+// SegReduceOrToHead ORs each segment and deposits the result on the
+// segment's head PE (zero elsewhere). On the real machine this is a
+// backward scanOr read off at the boundary PEs; it costs one scan.
+func (m *Machine) SegReduceOrToHead(data []Bit, segHead []bool) []Bit {
+	m.chargeScan()
+	out := make([]Bit, m.v)
+	head := -1
+	var acc Bit
+	flush := func() {
+		if head >= 0 {
+			out[head] = acc
+		}
+	}
+	for pe := 0; pe < m.v; pe++ {
+		if !m.enabled[pe] {
+			continue
+		}
+		if segHead[pe] || head < 0 {
+			flush()
+			head = pe
+			acc = 0
+		}
+		acc |= data[pe]
+	}
+	flush()
+	return out
+}
+
+// SegReduceAndToHead ANDs each segment to its head PE (zero elsewhere,
+// including inactive heads' positions).
+func (m *Machine) SegReduceAndToHead(data []Bit, segHead []bool) []Bit {
+	m.chargeScan()
+	out := make([]Bit, m.v)
+	head := -1
+	acc := Bit(1)
+	flush := func() {
+		if head >= 0 {
+			out[head] = acc
+		}
+	}
+	for pe := 0; pe < m.v; pe++ {
+		if !m.enabled[pe] {
+			continue
+		}
+		if segHead[pe] || head < 0 {
+			flush()
+			head = pe
+			acc = 1
+		}
+		acc &= data[pe]
+	}
+	flush()
+	return out
+}
+
+// CopySegHead broadcasts each segment head's value to every active PE of
+// its segment (the copy-scan idiom used to distribute consistency
+// verdicts back across a column block).
+func (m *Machine) CopySegHead(data []Bit, segHead []bool) []Bit {
+	m.chargeScan()
+	out := make([]Bit, m.v)
+	var cur Bit
+	open := false
+	for pe := 0; pe < m.v; pe++ {
+		if !m.enabled[pe] {
+			continue
+		}
+		if segHead[pe] || !open {
+			cur = data[pe]
+			open = true
+		}
+		out[pe] = cur
+	}
+	return out
+}
+
+// ReduceOr returns the global OR over all active PEs (delivered to the
+// ACU, e.g. the "did anything change this round?" test).
+func (m *Machine) ReduceOr(data []Bit) Bit {
+	m.chargeScan()
+	var acc Bit
+	for pe := 0; pe < m.v; pe++ {
+		if m.enabled[pe] {
+			acc |= data[pe]
+		}
+	}
+	return acc
+}
+
+// ReduceAnd returns the global AND over all active PEs (1 if no active
+// PEs).
+func (m *Machine) ReduceAnd(data []Bit) Bit {
+	m.chargeScan()
+	acc := Bit(1)
+	for pe := 0; pe < m.v; pe++ {
+		if m.enabled[pe] {
+			acc &= data[pe]
+		}
+	}
+	return acc
+}
+
+// RouterFetch gathers through the global router: every active PE pe
+// receives data[src[pe]]. src indices address the full virtual array
+// (the transpose permutation of the PARSEC layout is the main user).
+// One router pass.
+func (m *Machine) RouterFetch(src []int32, data []Bit) []Bit {
+	m.chargeRouter()
+	out := make([]Bit, m.v)
+	m.forAll(func(pe int) {
+		if m.enabled[pe] {
+			out[pe] = data[src[pe]]
+		}
+	})
+	return out
+}

@@ -1,0 +1,266 @@
+package maspar
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func gridMachine(t *testing.T, rows, cols int) (*Machine, *Grid) {
+	t.Helper()
+	m := newTestMachine(t, 64, rows*cols)
+	g, err := m.GridView(rows, cols)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m, g
+}
+
+func TestGridViewValidation(t *testing.T) {
+	m := newTestMachine(t, 64, 12)
+	if _, err := m.GridView(3, 4); err != nil {
+		t.Errorf("3x4 over 12: %v", err)
+	}
+	for _, tc := range [][2]int{{3, 5}, {0, 12}, {12, 0}, {-1, -12}} {
+		if _, err := m.GridView(tc[0], tc[1]); err == nil {
+			t.Errorf("GridView(%d,%d) should fail", tc[0], tc[1])
+		}
+	}
+}
+
+func TestGridPEWraps(t *testing.T) {
+	_, g := gridMachine(t, 3, 4)
+	if g.PE(0, 0) != 0 || g.PE(2, 3) != 11 {
+		t.Error("corners")
+	}
+	if g.PE(-1, 0) != g.PE(2, 0) {
+		t.Error("row wrap")
+	}
+	if g.PE(0, -1) != g.PE(0, 3) {
+		t.Error("col wrap")
+	}
+	if g.PE(3, 4) != g.PE(0, 0) {
+		t.Error("positive wrap")
+	}
+	if g.Rows() != 3 || g.Cols() != 4 {
+		t.Error("dims")
+	}
+}
+
+func TestShiftDirections(t *testing.T) {
+	_, g := gridMachine(t, 3, 3)
+	data := make([]Bit, 9)
+	data[g.PE(1, 1)] = 1 // center
+	for _, tc := range []struct {
+		dir  Direction
+		r, c int
+	}{
+		{North, 0, 1}, {South, 2, 1}, {East, 1, 2}, {West, 1, 0},
+		{NorthEast, 0, 2}, {NorthWest, 0, 0}, {SouthEast, 2, 2}, {SouthWest, 2, 0},
+	} {
+		out := g.Shift(data, tc.dir)
+		if out[g.PE(tc.r, tc.c)] != 1 {
+			t.Errorf("shift %v: expected 1 at (%d,%d)", tc.dir, tc.r, tc.c)
+		}
+		ones := 0
+		for _, v := range out {
+			if v == 1 {
+				ones++
+			}
+		}
+		if ones != 1 {
+			t.Errorf("shift %v: %d ones, want 1", tc.dir, ones)
+		}
+	}
+}
+
+func TestShiftToroidal(t *testing.T) {
+	_, g := gridMachine(t, 2, 2)
+	data := []Bit{1, 0, 0, 0}   // (0,0)
+	out := g.Shift(data, North) // wraps to (1,0)
+	if out[g.PE(1, 0)] != 1 {
+		t.Error("toroidal wrap failed")
+	}
+}
+
+func TestShiftRespectsMask(t *testing.T) {
+	m, g := gridMachine(t, 2, 2)
+	data := []Bit{1, 1, 1, 1}
+	m.SetMask(func(pe int) bool { return pe == 0 })
+	out := g.Shift(data, East)
+	if out[0] != 1 {
+		t.Error("active PE should receive")
+	}
+	for pe := 1; pe < 4; pe++ {
+		if out[pe] != 0 {
+			t.Error("inactive PEs must not store")
+		}
+	}
+}
+
+func TestShiftInt32(t *testing.T) {
+	_, g := gridMachine(t, 2, 3)
+	data := []int32{1, 2, 3, 4, 5, 6}
+	out := g.ShiftInt32(data, East)
+	// value travels east: cell (r,c) receives (r,c-1).
+	if out[g.PE(0, 1)] != 1 || out[g.PE(0, 0)] != 3 {
+		t.Errorf("out = %v", out)
+	}
+}
+
+func TestRowReduceOr(t *testing.T) {
+	_, g := gridMachine(t, 3, 4)
+	data := make([]Bit, 12)
+	data[g.PE(0, 2)] = 1
+	data[g.PE(2, 0)] = 1
+	out := g.RowReduceOr(data)
+	for c := 0; c < 4; c++ {
+		if out[g.PE(0, c)] != 1 {
+			t.Errorf("row 0 col %d should be 1", c)
+		}
+		if out[g.PE(1, c)] != 0 {
+			t.Errorf("row 1 col %d should be 0", c)
+		}
+		if out[g.PE(2, c)] != 1 {
+			t.Errorf("row 2 col %d should be 1", c)
+		}
+	}
+}
+
+func TestSegScanAdd(t *testing.T) {
+	m := newTestMachine(t, 16, 6)
+	data := []int32{1, 2, 3, 4, 5, 6}
+	head := []bool{true, false, false, true, false, false}
+	got := m.SegScanAdd(data, head)
+	want := []int32{1, 3, 6, 4, 9, 15}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("pe %d: %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSegScanMax(t *testing.T) {
+	m := newTestMachine(t, 16, 6)
+	data := []int32{3, 1, 7, -5, -2, -9}
+	head := []bool{true, false, false, true, false, false}
+	got := m.SegScanMax(data, head)
+	want := []int32{3, 3, 7, -5, -2, -2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("pe %d: %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestReduceAddAndEnumerate(t *testing.T) {
+	m := newTestMachine(t, 16, 8)
+	data := []int32{1, 1, 1, 1, 1, 1, 1, 1}
+	if got := m.ReduceAdd(data); got != 8 {
+		t.Errorf("sum = %d", got)
+	}
+	m.SetMask(func(pe int) bool { return pe%2 == 0 })
+	if got := m.ReduceAdd(data); got != 4 {
+		t.Errorf("masked sum = %d", got)
+	}
+	ranks := m.Enumerate()
+	wantRanks := []int32{0, 0, 1, 0, 2, 0, 3, 0}
+	for i, w := range wantRanks {
+		if ranks[i] != w {
+			t.Errorf("rank[%d] = %d, want %d", i, ranks[i], w)
+		}
+	}
+}
+
+// TestQuickShiftRoundTrip: shifting east then west (all PEs active)
+// restores the original data.
+func TestQuickShiftRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		s := seed | 1
+		rnd := func(n int) int {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			v := int(s % int64(n))
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		rows, cols := rnd(6)+1, rnd(6)+1
+		m := newTestMachine(t, 64, rows*cols)
+		g, err := m.GridView(rows, cols)
+		if err != nil {
+			return false
+		}
+		data := make([]Bit, rows*cols)
+		for i := range data {
+			data[i] = Bit(rnd(2))
+		}
+		pairs := [][2]Direction{
+			{East, West}, {North, South}, {NorthEast, SouthWest}, {SouthEast, NorthWest},
+		}
+		p := pairs[rnd(len(pairs))]
+		out := g.Shift(g.Shift(data, p[0]), p[1])
+		for i := range data {
+			if out[i] != data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickScanAddMatchesReference validates SegScanAdd against a
+// straightforward reference with random masks.
+func TestQuickScanAddMatchesReference(t *testing.T) {
+	f := func(seed int64) bool {
+		s := seed | 1
+		rnd := func(n int) int {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			v := int(s % int64(n))
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		v := rnd(150) + 1
+		m := newTestMachine(t, 32, v)
+		data := make([]int32, v)
+		head := make([]bool, v)
+		mask := make([]bool, v)
+		for i := 0; i < v; i++ {
+			data[i] = int32(rnd(20) - 10)
+			head[i] = rnd(4) == 0
+			mask[i] = rnd(6) != 0
+		}
+		m.SetMask(func(pe int) bool { return mask[pe] })
+		got := m.SegScanAdd(data, head)
+		var acc int32
+		open := false
+		for i := 0; i < v; i++ {
+			if !mask[i] {
+				if got[i] != 0 {
+					return false
+				}
+				continue
+			}
+			if head[i] || !open {
+				acc = 0
+				open = true
+			}
+			acc += data[i]
+			if got[i] != acc {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+package meshcdg
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/grammars"
+	"repro/internal/metrics"
+	"repro/internal/serial"
+	"repro/internal/workload"
+)
+
+func TestDemoSentence(t *testing.T) {
+	g := grammars.PaperDemo()
+	res, err := ParseWords(g, grammars.PaperSentence(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted() || res.Network.Ambiguous() {
+		t.Error("demo sentence should parse unambiguously")
+	}
+	// 3 words × 2 roles → 6×6 grid upper triangle = 15 cells.
+	if res.Cells != 15 {
+		t.Errorf("cells = %d, want 15", res.Cells)
+	}
+}
+
+func TestDifferentialVsSerial(t *testing.T) {
+	g := grammars.PaperDemo()
+	for _, words := range [][]string{
+		{"the", "program", "runs"},
+		{"runs", "program", "the"},
+		{"the", "program", "runs", "the", "machine"},
+	} {
+		ref, err := serial.ParseWords(g, words, serial.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ParseWords(g, words, DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ref.Network.EqualState(got.Network) {
+			t.Errorf("%v: mesh disagrees with serial", words)
+		}
+	}
+}
+
+// TestQuickDifferentialRandom fuzzes mesh vs serial on random grammars.
+func TestQuickDifferentialRandom(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := grammars.Random(seed)
+		words := grammars.RandomSentence(g, seed*13+1, 2+int(seed%3))
+		ref, err := serial.ParseWords(g, words, serial.DefaultOptions())
+		if err != nil {
+			return false
+		}
+		got, err := ParseWords(g, words, DefaultOptions())
+		if err != nil {
+			return false
+		}
+		return ref.Network.EqualState(got.Network)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStepsGrowQuadratically pins the Figure 8 shape: mesh ticks fit
+// ~n², cells fit ~n².
+func TestStepsGrowQuadratically(t *testing.T) {
+	g := grammars.PaperDemo()
+	var stepSamples, cellSamples []metrics.Sample
+	for _, n := range []int{4, 6, 8, 10, 12} {
+		res, err := ParseWords(g, workload.DemoSentence(n),
+			Options{Filter: true, MaxFilterIters: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		stepSamples = append(stepSamples, metrics.Sample{N: n, Cost: float64(res.Steps)})
+		cellSamples = append(cellSamples, metrics.Sample{N: n, Cost: float64(res.Cells)})
+	}
+	if e, ok := metrics.FitExponent(stepSamples); !ok || e < 1.5 || e > 2.5 {
+		t.Errorf("step growth exponent = %.2f, want ~2 (O(k + n²))", e)
+	}
+	if e, ok := metrics.FitExponent(cellSamples); !ok || e < 1.5 || e > 2.2 {
+		t.Errorf("cell growth exponent = %.2f, want ~2", e)
+	}
+}
+
+func TestUnknownWord(t *testing.T) {
+	if _, err := ParseWords(grammars.PaperDemo(), []string{"zzz"}, DefaultOptions()); err == nil {
+		t.Error("expected lexicon error")
+	}
+}
+
+func TestNoFilterStillRunsOneRound(t *testing.T) {
+	g := grammars.PaperDemo()
+	res, err := ParseWords(g, grammars.PaperSentence(), Options{Filter: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted() {
+		t.Error("demo should still be accepted without filtering")
+	}
+}

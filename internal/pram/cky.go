@@ -1,0 +1,83 @@
+package pram
+
+// Parallel CKY on the CRCW P-RAM — the CFG counterpoint to the CDG
+// algorithm. Figure 8 quotes Ruzzo's O(log² n) CREW bound at O(n⁶)
+// processors; the straightforward CRCW formulation implemented here
+// runs in O(n) steps with O(|P|·n²) processors (all spans of one
+// length in parallel, lengths sequential — the wavefront cannot be
+// collapsed without Ruzzo's tree-contraction machinery). The contrast
+// this exhibits is exactly the paper's point: CFG parsing keeps an
+// Ω(n)-deep dependence chain on realistic parallel models, while CDG
+// propagation is O(k) deep.
+
+import (
+	"fmt"
+
+	"repro/internal/cfg"
+)
+
+// CKYResult reports the parallel recognition outcome and cost.
+type CKYResult struct {
+	Accepted bool
+	Steps    uint64
+	// Processors is the peak processor count of any step.
+	Processors uint64
+}
+
+// CKY recognizes words under g (CNF) on machine policy pol.
+func CKY(g *cfg.Grammar, words []string, pol Policy) (*CKYResult, error) {
+	n := len(words)
+	if n == 0 {
+		return nil, fmt.Errorf("pram: empty input")
+	}
+	for i, w := range words {
+		if g.TermIndex(w) < 0 {
+			return nil, fmt.Errorf("pram: word %q (position %d) is not in the terminal alphabet", w, i+1)
+		}
+	}
+	nt := g.NumNT()
+	// chart[i][j][A] at address ((i*(n+1))+j)*nt + A.
+	addr := func(i, j int, a cfg.NT) int { return (i*(n+1)+j)*nt + int(a) }
+	m := New((n+1)*(n+1)*nt, pol)
+
+	// Step 1: preterminals — one processor per (position, terminal
+	// rule).
+	termRules := g.Term
+	m.Step(n*len(termRules), func(p int, c *Ctx) {
+		i := p / len(termRules)
+		r := termRules[p%len(termRules)]
+		if r.Term == g.TermIndex(words[i]) {
+			c.Write(addr(i, i+1, r.A), 1)
+		}
+	})
+
+	// Lengths 2..n sequentially; all (i, k, rule) in parallel. Writes
+	// of 1 to the same chart cell are common writes.
+	binRules := g.Bin
+	for span := 2; span <= n; span++ {
+		starts := n - span + 1
+		splits := span - 1
+		procs := starts * splits * len(binRules)
+		m.Step(procs, func(p int, c *Ctx) {
+			ri := p % len(binRules)
+			rest := p / len(binRules)
+			k := rest%splits + 1 // split offset within the span
+			i := rest / splits
+			j := i + span
+			mid := i + k
+			r := binRules[ri]
+			if c.Read(addr(i, mid, r.B)) == 1 && c.Read(addr(mid, j, r.C)) == 1 {
+				c.Write(addr(i, j, r.A), 1)
+			}
+		})
+	}
+
+	if err := m.Fault(); err != nil {
+		return nil, err
+	}
+	return &CKYResult{
+		Accepted:   m.Read(addr(0, n, g.Start)) == 1,
+		Steps:      m.Steps,
+		Processors: m.MaxProcessors,
+	}, nil
+}

@@ -1,0 +1,131 @@
+package pram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/cfg"
+)
+
+func anbnGrammar(t *testing.T) *cfg.Grammar {
+	t.Helper()
+	g, err := cfg.NewGrammar([]string{"S", "X", "A", "B"}, "S")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][3]string{{"S", "A", "X"}, {"S", "A", "B"}, {"X", "S", "B"}} {
+		if err := g.AddBin(r[0], r[1], r[2]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := g.AddTerm("A", "a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.AddTerm("B", "b"); err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPRAMCKYAnBn(t *testing.T) {
+	g := anbnGrammar(t)
+	for _, tc := range []struct {
+		words []string
+		want  bool
+	}{
+		{[]string{"a", "b"}, true},
+		{[]string{"a", "a", "b", "b"}, true},
+		{[]string{"a", "b", "b"}, false},
+		{[]string{"b"}, false},
+	} {
+		res, err := CKY(g, tc.words, Common)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Accepted != tc.want {
+			t.Errorf("CKY(%v) = %v, want %v", tc.words, res.Accepted, tc.want)
+		}
+	}
+}
+
+func TestPRAMCKYErrors(t *testing.T) {
+	g := anbnGrammar(t)
+	if _, err := CKY(g, nil, Common); err == nil {
+		t.Error("empty input")
+	}
+	if _, err := CKY(g, []string{"z"}, Common); err == nil {
+		t.Error("unknown terminal")
+	}
+}
+
+// TestPRAMCKYStepsLinear: steps grow linearly in n (one step per span
+// length, plus the preterminal step) — the Ω(n) wavefront that CDG
+// avoids.
+func TestPRAMCKYStepsLinear(t *testing.T) {
+	g := anbnGrammar(t)
+	steps := func(n int) uint64 {
+		words := make([]string, 2*n)
+		for i := range words {
+			if i < n {
+				words[i] = "a"
+			} else {
+				words[i] = "b"
+			}
+		}
+		res, err := CKY(g, words, Common)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted {
+			t.Fatal("should accept")
+		}
+		return res.Steps
+	}
+	s3, s6 := steps(3), steps(6) // inputs of length 6 and 12
+	if s3 != 6 || s6 != 12 {
+		t.Errorf("steps: n=6 -> %d (want 6), n=12 -> %d (want 12)", s3, s6)
+	}
+}
+
+// TestQuickPRAMCKYMatchesSerial: the parallel recognizer agrees with
+// serial CKY on random grammars and strings.
+func TestQuickPRAMCKYMatchesSerial(t *testing.T) {
+	f := func(seed uint64) bool {
+		g := cfg.Random(seed, 3+int(seed%4), 2+int(seed%3), 6+int(seed%6))
+		for trial := uint64(0); trial < 3; trial++ {
+			n := 1 + int((seed+trial*7)%6)
+			words := cfg.RandomString(g, seed*17+trial, n)
+			serialRes, err := cfg.CKY(g, words)
+			if err != nil {
+				return false
+			}
+			par, err := CKY(g, words, Common)
+			if err != nil {
+				return false
+			}
+			if par.Accepted != serialRes.Accepted {
+				t.Logf("seed %d words %v: pram=%v serial=%v", seed, words, par.Accepted, serialRes.Accepted)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPRAMCKYPoliciesAgree: only common writes are issued.
+func TestPRAMCKYPoliciesAgree(t *testing.T) {
+	g := anbnGrammar(t)
+	words := []string{"a", "a", "b", "b"}
+	for _, pol := range []Policy{Common, Arbitrary, Priority} {
+		res, err := CKY(g, words, pol)
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if !res.Accepted {
+			t.Errorf("%v rejected", pol)
+		}
+	}
+}

@@ -1,0 +1,376 @@
+package pram
+
+// This file implements section 2.1 of the paper: CDG parsing on a CRCW
+// P-RAM in O(k) steps with O(n⁴) processors.
+//
+// Step budget (everything is a small constant independent of n):
+//
+//	role-value generation        1 step   (O(n²) processors)
+//	arc-matrix initialization    1 step   (O(n⁴) processors)
+//	each unary constraint        2 steps  (check, then zero rows/cols)
+//	each binary constraint       1 step   (O(n⁴) processors)
+//	one consistency round        8 steps  (wired-OR, wired-AND, update)
+//
+// so a parse with k constraints and a constant number of filtering
+// rounds takes O(k) steps, exactly the paper's bound. With unbounded
+// filtering the worst case degrades to O(n²) rounds (§2.1), which the
+// chain-grammar experiment E5 demonstrates.
+
+import (
+	"fmt"
+
+	"repro/internal/cdg"
+	"repro/internal/cn"
+	"repro/internal/metrics"
+)
+
+// Options tune the P-RAM parse.
+type Options struct {
+	// Policy is the concurrent-write rule; the algorithm only ever
+	// issues common writes, so all policies give identical results.
+	Policy Policy
+	// Filter enables the filtering phase.
+	Filter bool
+	// MaxFilterIters bounds filtering rounds; <= 0 runs to fixpoint
+	// (the host inspects a convergence flag between rounds).
+	MaxFilterIters int
+}
+
+// DefaultOptions filters to fixpoint under the Common policy.
+func DefaultOptions() Options { return Options{Policy: Common, Filter: true} }
+
+// Result is the outcome of a P-RAM parse.
+type Result struct {
+	Network  *cn.Network
+	Machine  *Machine
+	Counters *metrics.Counters
+}
+
+// Accepted reports the paper's acceptance condition.
+func (r *Result) Accepted() bool { return r.Network.AllRolesAlive() }
+
+// layout fixes the shared-memory map for one parse.
+type layout struct {
+	sp *cdg.Space
+
+	domOff []int // per global role: first word of its domain block
+	nRV    []int // per global role: role-value count
+
+	arcs    []arcInfo
+	pairArc []int32 // processor id -> arc index
+	pairI   []int32 // processor id -> row role value
+	pairJ   []int32 // processor id -> column role value
+
+	rvRole []int32 // rv-processor id -> global role
+	rvIdx  []int32 // rv-processor id -> role-value index
+
+	orOff   int // orRes[gr,rv,other]: support OR per incident role
+	andOff  int // andRes[gr,rv]: support AND across incident roles
+	changed int // convergence flag cell
+	memSize int
+
+	nPairs   int
+	nRVProcs int
+	nRoles   int
+	maxRV    int
+}
+
+type arcInfo struct {
+	a, b   int // global roles, a < b
+	off    int // first word of the matrix block (row-major)
+	rows   int
+	cols   int
+	posA   int
+	posB   int
+	roleA  cdg.RoleID
+	roleB  cdg.RoleID
+	pairLo int // first pair-processor id of this arc
+}
+
+func buildLayout(sp *cdg.Space) *layout {
+	ly := &layout{sp: sp, nRoles: sp.NumRoles()}
+	next := 0
+	ly.domOff = make([]int, ly.nRoles)
+	ly.nRV = make([]int, ly.nRoles)
+	for gr := 0; gr < ly.nRoles; gr++ {
+		_, r := sp.RoleAt(gr)
+		ly.domOff[gr] = next
+		ly.nRV[gr] = sp.RVCount(r)
+		if ly.nRV[gr] > ly.maxRV {
+			ly.maxRV = ly.nRV[gr]
+		}
+		next += ly.nRV[gr]
+		for idx := 0; idx < ly.nRV[gr]; idx++ {
+			ly.rvRole = append(ly.rvRole, int32(gr))
+			ly.rvIdx = append(ly.rvIdx, int32(idx))
+		}
+	}
+	ly.nRVProcs = len(ly.rvRole)
+
+	for a := 0; a < ly.nRoles; a++ {
+		posA, ra := sp.RoleAt(a)
+		for b := a + 1; b < ly.nRoles; b++ {
+			posB, rb := sp.RoleAt(b)
+			ai := arcInfo{
+				a: a, b: b, off: next,
+				rows: ly.nRV[a], cols: ly.nRV[b],
+				posA: posA, posB: posB, roleA: ra, roleB: rb,
+				pairLo: ly.nPairs,
+			}
+			next += ai.rows * ai.cols
+			arcIdx := len(ly.arcs)
+			ly.arcs = append(ly.arcs, ai)
+			for i := 0; i < ai.rows; i++ {
+				for j := 0; j < ai.cols; j++ {
+					ly.pairArc = append(ly.pairArc, int32(arcIdx))
+					ly.pairI = append(ly.pairI, int32(i))
+					ly.pairJ = append(ly.pairJ, int32(j))
+				}
+			}
+			ly.nPairs += ai.rows * ai.cols
+		}
+	}
+	ly.orOff = next
+	next += ly.nRoles * ly.maxRV * ly.nRoles
+	ly.andOff = next
+	next += ly.nRoles * ly.maxRV
+	ly.changed = next
+	next++
+	ly.memSize = next
+	return ly
+}
+
+func (ly *layout) domAddr(gr, idx int) int { return ly.domOff[gr] + idx }
+
+func (ly *layout) bitAddr(arc *arcInfo, i, j int) int { return arc.off + i*arc.cols + j }
+
+func (ly *layout) orAddr(gr, idx, other int) int {
+	return ly.orOff + (gr*ly.maxRV+idx)*ly.nRoles + other
+}
+
+func (ly *layout) andAddr(gr, idx int) int { return ly.andOff + gr*ly.maxRV + idx }
+
+// Parse runs the O(k)-step algorithm for sent under g.
+func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
+	sp := cdg.NewSpace(g, sent)
+	ly := buildLayout(sp)
+	m := New(ly.memSize, opt.Policy)
+
+	// Step 1 — generate role values: one processor per role-value slot
+	// writes its initial liveness ("all the role values can be
+	// generated in constant time with O(n²) processors").
+	m.Step(ly.nRVProcs, func(p int, c *Ctx) {
+		gr := int(ly.rvRole[p])
+		idx := int(ly.rvIdx[p])
+		pos, r := sp.RoleAt(gr)
+		if sp.InitialAlive(pos, r, idx) {
+			c.Write(ly.domAddr(gr, idx), 1)
+		}
+	})
+
+	// Step 2 — initialize arc matrices: one processor per pair writes 1
+	// iff both endpoints are alive.
+	m.Step(ly.nPairs, func(p int, c *Ctx) {
+		arc := &ly.arcs[ly.pairArc[p]]
+		i, j := int(ly.pairI[p]), int(ly.pairJ[p])
+		if c.Read(ly.domAddr(arc.a, i)) == 1 && c.Read(ly.domAddr(arc.b, j)) == 1 {
+			c.Write(ly.bitAddr(arc, i, j), 1)
+		}
+	})
+
+	// Unary constraints: 2 steps each.
+	for _, uc := range g.Unary() {
+		uc := uc
+		m.Step(ly.nRVProcs, func(p int, c *Ctx) {
+			gr := int(ly.rvRole[p])
+			idx := int(ly.rvIdx[p])
+			if c.Read(ly.domAddr(gr, idx)) != 1 {
+				return
+			}
+			pos, r := sp.RoleAt(gr)
+			env := cdg.Env{Sent: sent, X: sp.RVRef(pos, r, idx)}
+			if !uc.Satisfied(&env) {
+				c.Write(ly.domAddr(gr, idx), 0)
+			}
+		})
+		ly.zeroDeadPairs(m)
+	}
+
+	// Binary constraints: 1 step each plus a consistency round.
+	for _, bc := range g.Binary() {
+		bc := bc
+		m.Step(ly.nPairs, func(p int, c *Ctx) {
+			arc := &ly.arcs[ly.pairArc[p]]
+			i, j := int(ly.pairI[p]), int(ly.pairJ[p])
+			addr := ly.bitAddr(arc, i, j)
+			if c.Read(addr) != 1 {
+				return
+			}
+			refA := sp.RVRef(arc.posA, arc.roleA, i)
+			refB := sp.RVRef(arc.posB, arc.roleB, j)
+			env := cdg.Env{Sent: sent, X: refA, Y: refB}
+			ok := bc.Satisfied(&env)
+			if ok {
+				env.X, env.Y = refB, refA
+				ok = bc.Satisfied(&env)
+			}
+			if !ok {
+				c.Write(addr, 0)
+			}
+		})
+		ly.consistencyRound(m)
+	}
+
+	// Filtering: repeat consistency rounds.
+	if opt.Filter {
+		iters := 0
+		for {
+			if opt.MaxFilterIters > 0 && iters >= opt.MaxFilterIters {
+				break
+			}
+			iters++
+			// Reset the convergence flag, run a round, inspect the flag.
+			m.Step(1, func(p int, c *Ctx) { c.Write(ly.changed, 0) })
+			ly.consistencyRound(m)
+			if m.Read(ly.changed) == 0 {
+				break
+			}
+		}
+	}
+
+	if err := m.Fault(); err != nil {
+		return nil, err
+	}
+
+	nw := ly.readBack(m)
+	counters := &metrics.Counters{
+		Steps:      m.Steps,
+		Processors: m.MaxProcessors,
+	}
+	return &Result{Network: nw, Machine: m, Counters: counters}, nil
+}
+
+// zeroDeadPairs clears every matrix bit whose row or column role value
+// has died: one step, one processor per pair.
+func (ly *layout) zeroDeadPairs(m *Machine) {
+	m.Step(ly.nPairs, func(p int, c *Ctx) {
+		arc := &ly.arcs[ly.pairArc[p]]
+		i, j := int(ly.pairI[p]), int(ly.pairJ[p])
+		addr := ly.bitAddr(arc, i, j)
+		if c.Read(addr) != 1 {
+			return
+		}
+		if c.Read(ly.domAddr(arc.a, i)) != 1 || c.Read(ly.domAddr(arc.b, j)) != 1 {
+			c.Write(addr, 0)
+		}
+	})
+}
+
+// consistencyRound is one simultaneous consistency-maintenance pass, the
+// constant-time construction of §2.1: wired-OR each row/column, wired-
+// AND across incident arcs, eliminate unsupported values, zero their
+// rows and columns.
+func (ly *layout) consistencyRound(m *Machine) {
+	// (a) clear the OR scratch: one processor per (gr, rv, other).
+	nTriples := ly.nRoles * ly.maxRV * ly.nRoles
+	m.Step(nTriples, func(p int, c *Ctx) {
+		c.Write(ly.orOff+p, 0)
+	})
+	// (b) wired-OR along rows: every surviving pair asserts support of
+	// its row value against the column's role.
+	m.Step(ly.nPairs, func(p int, c *Ctx) {
+		arc := &ly.arcs[ly.pairArc[p]]
+		i, j := int(ly.pairI[p]), int(ly.pairJ[p])
+		if c.Read(ly.bitAddr(arc, i, j)) == 1 {
+			c.Write(ly.orAddr(arc.a, i, arc.b), 1)
+		}
+	})
+	// (c) wired-OR along columns (separate step: one write per
+	// processor per step).
+	m.Step(ly.nPairs, func(p int, c *Ctx) {
+		arc := &ly.arcs[ly.pairArc[p]]
+		i, j := int(ly.pairI[p]), int(ly.pairJ[p])
+		if c.Read(ly.bitAddr(arc, i, j)) == 1 {
+			c.Write(ly.orAddr(arc.b, j, arc.a), 1)
+		}
+	})
+	// (d) seed the AND result with the current domain bit.
+	m.Step(ly.nRVProcs, func(p int, c *Ctx) {
+		gr := int(ly.rvRole[p])
+		idx := int(ly.rvIdx[p])
+		c.Write(ly.andAddr(gr, idx), c.Read(ly.domAddr(gr, idx)))
+	})
+	// (e) wired-AND: any incident role whose OR stayed 0 withdraws
+	// support (common write of 0).
+	m.Step(nTriples, func(p int, c *Ctx) {
+		other := p % ly.nRoles
+		rest := p / ly.nRoles
+		idx := rest % ly.maxRV
+		gr := rest / ly.maxRV
+		if other == gr || idx >= ly.nRV[gr] {
+			return
+		}
+		if c.Read(ly.domAddr(gr, idx)) == 1 && c.Read(ly.orAddr(gr, idx, other)) == 0 {
+			c.Write(ly.andAddr(gr, idx), 0)
+		}
+	})
+	// (f) raise the convergence flag if anything is about to die
+	// (common write). This must run BEFORE the elimination step: the
+	// flag condition reads the pre-elimination domain bits.
+	m.Step(ly.nRVProcs, func(p int, c *Ctx) {
+		gr := int(ly.rvRole[p])
+		idx := int(ly.rvIdx[p])
+		if c.Read(ly.domAddr(gr, idx)) == 1 && c.Read(ly.andAddr(gr, idx)) == 0 {
+			c.Write(ly.changed, 1)
+		}
+	})
+	// (g) eliminate unsupported role values.
+	m.Step(ly.nRVProcs, func(p int, c *Ctx) {
+		gr := int(ly.rvRole[p])
+		idx := int(ly.rvIdx[p])
+		if c.Read(ly.domAddr(gr, idx)) == 1 && c.Read(ly.andAddr(gr, idx)) == 0 {
+			c.Write(ly.domAddr(gr, idx), 0)
+		}
+	})
+	// (h) zero rows/columns of the newly dead.
+	ly.zeroDeadPairs(m)
+}
+
+// readBack materializes the machine's final state as a cn.Network so
+// results can be compared bit-for-bit with the other engines and parses
+// can be extracted.
+func (ly *layout) readBack(m *Machine) *cn.Network {
+	nw := cn.NewShell(ly.sp)
+	for gr := 0; gr < ly.nRoles; gr++ {
+		dom := nw.Domain(gr)
+		for idx := 0; idx < ly.nRV[gr]; idx++ {
+			if m.Read(ly.domAddr(gr, idx)) == 1 {
+				dom.SetBit(idx)
+			}
+		}
+	}
+	for k := range ly.arcs {
+		ai := &ly.arcs[k]
+		arc, aIsRow := nw.ArcBetween(ai.a, ai.b)
+		if !aIsRow {
+			panic(fmt.Sprintf("pram: arc order mismatch %d,%d", ai.a, ai.b))
+		}
+		for i := 0; i < ai.rows; i++ {
+			for j := 0; j < ai.cols; j++ {
+				if m.Read(ly.bitAddr(ai, i, j)) == 1 {
+					arc.M.SetBit(i, j)
+				}
+			}
+		}
+	}
+	return nw
+}
+
+// ParseWords resolves words against the lexicon and parses.
+func ParseWords(g *cdg.Grammar, words []string, opt Options) (*Result, error) {
+	sent, err := cdg.Resolve(g, words, nil)
+	if err != nil {
+		return nil, err
+	}
+	return Parse(g, sent, opt)
+}

@@ -1,0 +1,140 @@
+package pram
+
+import (
+	"testing"
+
+	"repro/internal/grammars"
+	"repro/internal/serial"
+)
+
+func TestDemoSentenceMatchesFigure6(t *testing.T) {
+	g := grammars.PaperDemo()
+	res, err := ParseWords(g, grammars.PaperSentence(), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted() {
+		t.Fatal("demo sentence should be accepted")
+	}
+	if res.Network.Ambiguous() {
+		t.Error("demo network should be unambiguous")
+	}
+	parses := res.Network.ExtractParses(0)
+	if len(parses) != 1 {
+		t.Fatalf("got %d parses, want 1", len(parses))
+	}
+	if !parses[0].Satisfies(g) {
+		t.Error("extracted parse violates constraints")
+	}
+}
+
+// TestDifferentialSerialVsPRAM compares final network state bit-for-bit
+// against the serial reference on a spread of sentences, grammatical and
+// not.
+func TestDifferentialSerialVsPRAM(t *testing.T) {
+	g := grammars.PaperDemo()
+	sentences := [][]string{
+		{"the", "program", "runs"},
+		{"a", "compiler", "halts"},
+		{"program", "runs"},
+		{"runs"},
+		{"the", "runs"},
+		{"runs", "program", "the"},
+		{"the", "program", "the", "machine", "runs"},
+		{"the", "program", "runs", "the", "machine"},
+	}
+	for _, words := range sentences {
+		sres, err := serial.ParseWords(g, words, serial.DefaultOptions())
+		if err != nil {
+			t.Fatalf("%v: serial: %v", words, err)
+		}
+		pres, err := ParseWords(g, words, DefaultOptions())
+		if err != nil {
+			t.Fatalf("%v: pram: %v", words, err)
+		}
+		if !sres.Network.EqualState(pres.Network) {
+			t.Errorf("%v: serial and P-RAM networks differ\nserial:\n%s\npram:\n%s",
+				words, sres.Network.Render(), pres.Network.Render())
+		}
+	}
+}
+
+// TestStepCountIndependentOfN verifies the O(k) claim: the step count
+// for a fixed grammar must be identical across sentence lengths (with
+// filtering bounded to a constant).
+func TestStepCountIndependentOfN(t *testing.T) {
+	g := grammars.PaperDemo()
+	opt := Options{Policy: Common, Filter: true, MaxFilterIters: 3}
+	counts := map[int]uint64{}
+	for _, words := range [][]string{
+		{"the", "program", "runs"},
+		{"the", "program", "runs", "the", "machine"},
+		{"the", "program", "the", "compiler", "the", "machine", "runs"},
+	} {
+		res, err := ParseWords(g, words, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[len(words)] = res.Machine.Steps
+	}
+	first := uint64(0)
+	for _, v := range counts {
+		first = v
+		break
+	}
+	for n, v := range counts {
+		if v != first {
+			t.Errorf("step count for n=%d is %d, others %d — not O(k)", n, v, first)
+		}
+	}
+}
+
+// TestProcessorCountGrowsN4ish sanity-checks the processor bound: the
+// dominant processor population is one per arc-matrix entry.
+func TestProcessorCountGrowsN4ish(t *testing.T) {
+	g := grammars.PaperDemo()
+	opt := DefaultOptions()
+	procs := func(words []string) uint64 {
+		res, err := ParseWords(g, words, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counters.Processors
+	}
+	p3 := procs([]string{"the", "program", "runs"})
+	p6 := procs([]string{"the", "program", "runs", "the", "machine", "halts"})
+	// n doubled: an O(n⁴) processor population grows by ~16x; allow a
+	// broad window to absorb the (n+1) and q·C(qn,2) structure.
+	ratio := float64(p6) / float64(p3)
+	if ratio < 8 || ratio > 32 {
+		t.Errorf("processor growth ratio = %.1f (p3=%d p6=%d), want within [8,32]", ratio, p3, p6)
+	}
+}
+
+// TestPoliciesAgree verifies the algorithm issues only common writes, so
+// all write policies produce identical networks.
+func TestPoliciesAgree(t *testing.T) {
+	g := grammars.PaperDemo()
+	words := []string{"the", "program", "runs", "the", "machine"}
+	var base *Result
+	for _, pol := range []Policy{Common, Arbitrary, Priority} {
+		res, err := ParseWords(g, words, Options{Policy: pol, Filter: true})
+		if err != nil {
+			t.Fatalf("%v: %v", pol, err)
+		}
+		if base == nil {
+			base = res
+			continue
+		}
+		if !base.Network.EqualState(res.Network) {
+			t.Errorf("policy %v network differs from %v", pol, Common)
+		}
+	}
+}
+
+func TestUnknownWordError(t *testing.T) {
+	g := grammars.PaperDemo()
+	if _, err := ParseWords(g, []string{"blorp"}, DefaultOptions()); err == nil {
+		t.Error("expected lexicon error")
+	}
+}

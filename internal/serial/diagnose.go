@@ -1,0 +1,128 @@
+package serial
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cdg"
+	"repro/internal/cn"
+)
+
+// Blocker describes one way to make a rejected sentence parse: drop
+// these constraints and the grammar admits it.
+type Blocker struct {
+	// Constraints that were relaxed (names, in grammar order).
+	Relaxed []string
+	// Parses found once relaxed.
+	Parses int
+}
+
+// Diagnose explains why a sentence is rejected: it searches for minimal
+// sets of constraints (up to maxRelax of them) whose removal lets the
+// sentence parse. This is the grammar-writer's follow-up to trace.Run —
+// the trace names eliminations, Diagnose names the rules standing
+// between the input and a parse. A nil result with ok=true means the
+// sentence already parses; an empty non-nil slice with ok=false means
+// no relaxation within the budget helps (likely a lexicon or word-order
+// problem deeper than any small constraint set).
+//
+// Complexity is C(k, maxRelax) parses; keep maxRelax at 1 or 2.
+func Diagnose(g *cdg.Grammar, words []string, maxRelax int) (blockers []Blocker, alreadyParses bool, err error) {
+	sent, err := cdg.Resolve(g, words, nil)
+	if err != nil {
+		return nil, false, err
+	}
+	if parses(g, sent, nil) > 0 {
+		return nil, true, nil
+	}
+	all := append(append([]*cdg.Constraint{}, g.Unary()...), g.Binary()...)
+	if maxRelax < 1 {
+		maxRelax = 1
+	}
+	// Breadth-first over subset sizes so every reported blocker set is
+	// minimal: supersets of a hit are skipped.
+	var hits []Blocker
+	isSupersetOfHit := func(set []int) bool {
+		for _, h := range hits {
+			contained := true
+			for _, name := range h.Relaxed {
+				found := false
+				for _, i := range set {
+					if all[i].Name == name {
+						found = true
+					}
+				}
+				if !found {
+					contained = false
+					break
+				}
+			}
+			if contained {
+				return true
+			}
+		}
+		return false
+	}
+	var trySets func(size int)
+	trySets = func(size int) {
+		idx := make([]int, size)
+		var rec func(start, d int)
+		rec = func(start, d int) {
+			if d == size {
+				set := append([]int(nil), idx[:size]...)
+				if isSupersetOfHit(set) {
+					return
+				}
+				skip := map[*cdg.Constraint]bool{}
+				for _, i := range set {
+					skip[all[i]] = true
+				}
+				if n := parses(g, sent, skip); n > 0 {
+					var names []string
+					for _, i := range set {
+						names = append(names, all[i].Name)
+					}
+					sort.Strings(names)
+					hits = append(hits, Blocker{Relaxed: names, Parses: n})
+				}
+				return
+			}
+			for i := start; i < len(all); i++ {
+				idx[d] = i
+				rec(i+1, d+1)
+			}
+		}
+		rec(0, 0)
+	}
+	for size := 1; size <= maxRelax; size++ {
+		trySets(size)
+	}
+	return hits, false, nil
+}
+
+// parses runs the pipeline with some constraints skipped and counts
+// complete assignments (capped at 4; the count is diagnostic).
+func parses(g *cdg.Grammar, sent *cdg.Sentence, skip map[*cdg.Constraint]bool) int {
+	sp := cdg.NewSpace(g, sent)
+	nw := cn.New(sp)
+	for _, c := range g.Unary() {
+		if skip[c] {
+			continue
+		}
+		nw.ApplyUnary(c)
+	}
+	for _, c := range g.Binary() {
+		if skip[c] {
+			continue
+		}
+		nw.ApplyBinary(c)
+		nw.ConsistencyPass()
+	}
+	nw.Filter(0)
+	return len(nw.ExtractParses(4))
+}
+
+// String renders the blocker compactly.
+func (b Blocker) String() string {
+	return fmt.Sprintf("relax %v -> %d parse(s)", b.Relaxed, b.Parses)
+}

@@ -1,0 +1,133 @@
+package serial
+
+import (
+	"testing"
+
+	"repro/internal/grammars"
+)
+
+func TestDiagnoseAlreadyParses(t *testing.T) {
+	g := grammars.PaperDemo()
+	blockers, ok, err := Diagnose(g, []string{"the", "program", "runs"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok || blockers != nil {
+		t.Errorf("grammatical sentence should report alreadyParses, got %v/%v", blockers, ok)
+	}
+}
+
+// TestDiagnoseSubjectPosition: "runs program" puts the subject after
+// the verb. Two ordering constraints pin the subject to the left (the
+// governor direction AND the verb's needs direction), so no single one
+// of them is a repair — the minimal fixes are relaxing noun-governor
+// (size 1) or relaxing both ordering constraints together (size 2).
+func TestDiagnoseSubjectPosition(t *testing.T) {
+	g := grammars.PaperDemo()
+	blockers, ok, err := Diagnose(g, []string{"runs", "program"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("\"runs program\" should not parse as-is")
+	}
+	foundSingle := false
+	foundPair := false
+	for _, b := range blockers {
+		if len(b.Relaxed) == 1 && b.Relaxed[0] == "noun-governor" {
+			foundSingle = true
+			if b.Parses == 0 {
+				t.Error("blocker should report parses")
+			}
+		}
+		if len(b.Relaxed) == 2 &&
+			b.Relaxed[0] == "s-needs-subj-left" && b.Relaxed[1] == "subj-governed-by-root" {
+			foundPair = true
+		}
+		if b.String() == "" {
+			t.Error("empty rendering")
+		}
+	}
+	if !foundSingle {
+		t.Errorf("expected noun-governor single blocker, got %v", blockers)
+	}
+	if !foundPair {
+		t.Errorf("expected the ordering-constraint pair among blockers, got %v", blockers)
+	}
+}
+
+// TestDiagnoseIntransitive: "rex slept the ball" needs the
+// OBJ-attachment restriction relaxed.
+func TestDiagnoseIntransitive(t *testing.T) {
+	g := grammars.English()
+	blockers, ok, err := Diagnose(g, []string{"rex", "slept", "the", "ball"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("should not parse")
+	}
+	found := false
+	for _, b := range blockers {
+		for _, name := range b.Relaxed {
+			if name == "obj-attaches-verb-left" {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Errorf("expected obj-attaches-verb-left among blockers, got %v", blockers)
+	}
+}
+
+// TestDiagnoseHopeless: a sentence no single constraint explains (word
+// not even orderable) returns no blockers within budget.
+func TestDiagnoseHopeless(t *testing.T) {
+	g := grammars.PaperDemo()
+	blockers, ok, err := Diagnose(g, []string{"runs", "runs", "runs", "the"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Skip("unexpectedly parses; skip")
+	}
+	// This input may or may not have a 1-relaxation; the test pins only
+	// that the search terminates and reports minimal sets.
+	for _, b := range blockers {
+		if len(b.Relaxed) != 1 {
+			t.Errorf("size-1 search returned %v", b.Relaxed)
+		}
+	}
+}
+
+func TestDiagnoseUnknownWord(t *testing.T) {
+	g := grammars.PaperDemo()
+	if _, _, err := Diagnose(g, []string{"xyzzy"}, 1); err == nil {
+		t.Error("expected lexicon error")
+	}
+}
+
+// TestDiagnoseMinimality: with maxRelax 2, supersets of a size-1 hit
+// must not be reported.
+func TestDiagnoseMinimality(t *testing.T) {
+	g := grammars.PaperDemo()
+	blockers, _, err := Diagnose(g, []string{"runs", "program"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singles := map[string]bool{}
+	for _, b := range blockers {
+		if len(b.Relaxed) == 1 {
+			singles[b.Relaxed[0]] = true
+		}
+	}
+	for _, b := range blockers {
+		if len(b.Relaxed) == 2 {
+			for _, name := range b.Relaxed {
+				if singles[name] {
+					t.Errorf("non-minimal blocker reported: %v (contains single hit %s)", b.Relaxed, name)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,107 @@
+package serial
+
+import (
+	"testing"
+
+	"repro/internal/cdg"
+)
+
+// ambiguousGrammar has a word that is both noun-like and verb-like.
+func ambiguousGrammar(t *testing.T) *cdg.Grammar {
+	t.Helper()
+	b := cdg.NewBuilder().
+		Labels("HEAD", "DEP", "IDLE").
+		Categories("n", "v").
+		Role("g", "HEAD", "DEP").
+		Role("aux", "IDLE").
+		Word("thing", "n").
+		Word("acts", "v").
+		Word("saw", "n", "v") // lexically ambiguous
+	b.Constraint("aux", `
+		(if (eq (role x) aux) (and (eq (lab x) IDLE) (eq (mod x) nil)))`)
+	// Exactly one verb, which heads; nouns depend on the verb.
+	b.Constraint("v-head", `
+		(if (and (eq (cat (word (pos x))) v) (eq (role x) g))
+		    (and (eq (lab x) HEAD) (eq (mod x) nil)))`)
+	b.Constraint("n-dep", `
+		(if (and (eq (cat (word (pos x))) n) (eq (role x) g))
+		    (and (eq (lab x) DEP) (not (eq (mod x) nil))))`)
+	b.Constraint("dep-on-verb", `
+		(if (and (eq (lab x) DEP) (eq (mod x) (pos y)))
+		    (eq (cat (word (pos y))) v))`)
+	return b.MustBuild()
+}
+
+func TestResolveAllEnumerates(t *testing.T) {
+	g := ambiguousGrammar(t)
+	sents, err := cdg.ResolveAll(g, []string{"saw", "saw"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sents) != 4 {
+		t.Fatalf("got %d assignments, want 4", len(sents))
+	}
+	// First assignment equals Resolve's default (first categories).
+	def, _ := cdg.Resolve(g, []string{"saw", "saw"}, nil)
+	c0, _ := def.Cat(1)
+	g0, _ := sents[0].Cat(1)
+	if c0 != g0 {
+		t.Error("first enumeration should match Resolve default")
+	}
+	limited, err := cdg.ResolveAll(g, []string{"saw", "saw"}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited) != 3 {
+		t.Errorf("limit=3 returned %d", len(limited))
+	}
+	if _, err := cdg.ResolveAll(g, []string{"zzz"}, 0); err == nil {
+		t.Error("unknown word should fail")
+	}
+	if _, err := cdg.ResolveAll(g, nil, 0); err == nil {
+		t.Error("empty sentence should fail")
+	}
+}
+
+// TestParseAllReadingsDisambiguates: "thing saw" is grammatical only
+// when "saw" is read as a verb.
+func TestParseAllReadingsDisambiguates(t *testing.T) {
+	g := ambiguousGrammar(t)
+	readings, err := ParseAllReadings(g, []string{"thing", "saw"}, 0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(readings) != 1 {
+		t.Fatalf("got %d accepted readings, want 1", len(readings))
+	}
+	vcat, _ := g.CatByName("v")
+	if c, _ := readings[0].Sentence.Cat(2); c != vcat {
+		t.Errorf("surviving reading has cat %v, want verb", c)
+	}
+	if !readings[0].Result.Network.HasParse() {
+		t.Error("surviving reading should have a parse")
+	}
+}
+
+// TestParseAllReadingsBothSurvive: "saw acts"? "acts" is a verb; "saw"
+// as noun gives noun+verb (grammatical); "saw" as verb gives two heads
+// (we allow: both HEAD-nil — dep-on-verb doesn't forbid two verbs).
+// Use "saw saw": readings nn (no verb → rejected), nv (ok), vn (noun
+// before verb? dep must point at verb — ok), vv (two heads, accepted
+// by this grammar). The test pins the exact surviving count.
+func TestParseAllReadingsCounts(t *testing.T) {
+	g := ambiguousGrammar(t)
+	readings, err := ParseAllReadings(g, []string{"saw", "saw"}, 0, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// n,n: two DEPs, no verb to attach to → rejected.
+	// n,v and v,n: one DEP onto the verb → accepted.
+	// v,v: two HEADs → accepted (no single-head constraint here).
+	if len(readings) != 3 {
+		for _, r := range readings {
+			t.Logf("accepted: cats=%v", r.Sentence)
+		}
+		t.Fatalf("got %d accepted readings, want 3", len(readings))
+	}
+}

@@ -1,0 +1,82 @@
+package serial
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/cdg"
+	"repro/internal/grammars"
+)
+
+// TestRefineMatchesFullReparse: parsing with the base English grammar
+// and then refining with the contextual "PPs attach to the verb"
+// constraint must yield the same network as parsing with the grammar
+// that has the constraint built in — the correctness property behind
+// the paper's contextual constraint sets (§1.5).
+func TestRefineMatchesFullReparse(t *testing.T) {
+	words := strings.Fields("the dog saw the man with the telescope")
+
+	base := grammars.English()
+	res, err := ParseWords(base, words, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Ambiguous() {
+		t.Fatal("base parse should be ambiguous")
+	}
+
+	extra, err := base.CompileConstraint("prep-attaches-verb-only", `
+		(if (and (eq (lab x) PREP) (eq (mod x) (pos y)))
+		    (eq (cat (word (pos y))) verb))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Refine(res.Network, []*cdg.Constraint{extra}, DefaultOptions())
+	if res.Ambiguous() {
+		t.Error("refined network should be unambiguous")
+	}
+
+	full, err := ParseWords(grammars.EnglishVerbAttach(), words, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Network.EqualState(full.Network) {
+		t.Errorf("incremental refinement differs from full reparse\nrefined:\n%s\nfull:\n%s",
+			res.Network.Render(), full.Network.Render())
+	}
+}
+
+// TestRefineWithUnaryConstraint exercises the unary path of Refine.
+func TestRefineWithUnaryConstraint(t *testing.T) {
+	g := grammars.PaperDemo()
+	res, err := ParseWords(g, []string{"the", "program", "runs"}, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A contradiction as contextual knowledge: nothing may carry DET.
+	extra, err := g.CompileConstraint("no-det", `
+		(if (eq (lab x) DET) (eq (mod x) nil))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	Refine(res.Network, []*cdg.Constraint{extra}, DefaultOptions())
+	if res.Accepted() {
+		t.Error("refinement should have broken the parse (DET must modify)")
+	}
+}
+
+// TestCompileConstraintAgainstGrammar: the exported compile hook rejects
+// junk and respects the grammar's name spaces.
+func TestCompileConstraintAgainstGrammar(t *testing.T) {
+	g := grammars.PaperDemo()
+	if _, err := g.CompileConstraint("x", "(if (eq (lab x) NOTALABEL) (eq (mod x) nil))"); err == nil {
+		t.Error("unknown label should fail")
+	}
+	c, err := g.CompileConstraint("ok", "(if (eq (lab x) SUBJ) (not (eq (mod x) nil)))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Arity != 1 || c.Name != "ok" {
+		t.Errorf("constraint = %+v", c)
+	}
+}

@@ -1,0 +1,33 @@
+package sexpr
+
+import "strings"
+
+// Pretty renders a node with indentation: lists whose flat rendering
+// fits in width characters stay on one line; longer lists break after
+// the head with children indented two spaces. WriteGrammar uses this to
+// keep generated constraint bodies readable.
+func Pretty(n *Node, width int) string {
+	var b strings.Builder
+	pretty(&b, n, 0, width)
+	return b.String()
+}
+
+func pretty(b *strings.Builder, n *Node, indent, width int) {
+	flat := n.String()
+	if len(flat)+indent <= width || n == nil || n.Kind != KList || len(n.List) < 2 {
+		b.WriteString(flat)
+		return
+	}
+	b.WriteByte('(')
+	// Head (plus a second atom when the form reads like an operator
+	// application, e.g. "(if ", "(eq ") stays on the opening line.
+	pretty(b, n.List[0], indent+1, width)
+	rest := n.List[1:]
+	childIndent := indent + 2
+	for _, c := range rest {
+		b.WriteByte('\n')
+		b.WriteString(strings.Repeat(" ", childIndent))
+		pretty(b, c, childIndent, width)
+	}
+	b.WriteByte(')')
+}

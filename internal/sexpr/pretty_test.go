@@ -1,0 +1,57 @@
+package sexpr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrettyShortStaysFlat(t *testing.T) {
+	n := mustParse(t, "(eq (lab x) SUBJ)")
+	out := Pretty(n, 80)
+	if strings.Contains(out, "\n") {
+		t.Errorf("short form should stay flat: %q", out)
+	}
+}
+
+func TestPrettyLongBreaks(t *testing.T) {
+	n := mustParse(t, `(if (and (eq (cat (word (pos x))) verb) (eq (role x) governor))
+	                       (and (eq (lab x) ROOT) (eq (mod x) nil)))`)
+	out := Pretty(n, 40)
+	if !strings.Contains(out, "\n") {
+		t.Errorf("long form should break: %q", out)
+	}
+	// Indented children.
+	if !strings.Contains(out, "\n  (") {
+		t.Errorf("children should be indented:\n%s", out)
+	}
+}
+
+// TestQuickPrettyRoundTrips: pretty output re-parses to the same tree.
+func TestQuickPrettyRoundTrips(t *testing.T) {
+	f := func(seed int64, width uint8) bool {
+		s := seed | 1
+		rnd := func(n int) int {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			v := int(s % int64(n))
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		n := genNode(rnd, 4)
+		w := int(width%60) + 10
+		out := Pretty(n, w)
+		back, err := Parse(out)
+		if err != nil {
+			t.Logf("pretty output unparseable (%v):\n%s", err, out)
+			return false
+		}
+		return Equal(n, back)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

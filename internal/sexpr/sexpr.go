@@ -1,0 +1,362 @@
+// Package sexpr implements a small, strict s-expression reader and
+// printer. It is the concrete syntax for the CDG constraint language
+// (section 1.3 of Helzerman & Harper 1992) and for grammar files.
+//
+// The data model is deliberately tiny: a Node is either an Atom
+// (symbol, integer, or string literal) or a List of Nodes. Atoms keep
+// their source position so that the constraint compiler can report
+// errors pointing at the offending token.
+package sexpr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Kind discriminates the variants of a Node.
+type Kind int
+
+const (
+	// KList is a parenthesized list of nodes.
+	KList Kind = iota
+	// KSymbol is a bare identifier such as `eq` or `SUBJ`.
+	KSymbol
+	// KInt is an integer literal.
+	KInt
+	// KString is a double-quoted string literal.
+	KString
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KList:
+		return "list"
+	case KSymbol:
+		return "symbol"
+	case KInt:
+		return "int"
+	case KString:
+		return "string"
+	}
+	return "unknown"
+}
+
+// Pos is a line/column source position (1-based).
+type Pos struct {
+	Line int
+	Col  int
+}
+
+func (p Pos) String() string { return fmt.Sprintf("%d:%d", p.Line, p.Col) }
+
+// Node is one s-expression: an atom or a list.
+type Node struct {
+	Kind Kind
+	// Sym holds the text of a KSymbol.
+	Sym string
+	// Int holds the value of a KInt.
+	Int int64
+	// Str holds the decoded value of a KString.
+	Str string
+	// List holds children of a KList.
+	List []*Node
+	// Pos is where the node started in the source.
+	Pos Pos
+}
+
+// IsSym reports whether n is the symbol s (case-sensitive).
+func (n *Node) IsSym(s string) bool {
+	return n != nil && n.Kind == KSymbol && n.Sym == s
+}
+
+// Head returns the leading symbol of a list node, or "" if n is not a
+// list whose first element is a symbol.
+func (n *Node) Head() string {
+	if n == nil || n.Kind != KList || len(n.List) == 0 {
+		return ""
+	}
+	if h := n.List[0]; h.Kind == KSymbol {
+		return h.Sym
+	}
+	return ""
+}
+
+// Args returns the elements of a list node after the head.
+func (n *Node) Args() []*Node {
+	if n == nil || n.Kind != KList || len(n.List) == 0 {
+		return nil
+	}
+	return n.List[1:]
+}
+
+// String renders the node back to s-expression syntax.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.write(&b)
+	return b.String()
+}
+
+func (n *Node) write(b *strings.Builder) {
+	if n == nil {
+		b.WriteString("()")
+		return
+	}
+	switch n.Kind {
+	case KSymbol:
+		b.WriteString(n.Sym)
+	case KInt:
+		b.WriteString(strconv.FormatInt(n.Int, 10))
+	case KString:
+		b.WriteString(strconv.Quote(n.Str))
+	case KList:
+		b.WriteByte('(')
+		for i, c := range n.List {
+			if i > 0 {
+				b.WriteByte(' ')
+			}
+			c.write(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// Error is a reader error with a source position.
+type Error struct {
+	Pos Pos
+	Msg string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("sexpr: %s: %s", e.Pos, e.Msg) }
+
+func errAt(pos Pos, format string, args ...any) error {
+	return &Error{Pos: pos, Msg: fmt.Sprintf(format, args...)}
+}
+
+// reader is the scanner/parser state.
+type reader struct {
+	src  string
+	off  int
+	line int
+	col  int
+}
+
+// Parse reads exactly one s-expression from src; trailing content other
+// than whitespace and comments is an error.
+func Parse(src string) (*Node, error) {
+	nodes, err := ParseAll(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(nodes) != 1 {
+		return nil, errAt(Pos{1, 1}, "expected exactly one expression, got %d", len(nodes))
+	}
+	return nodes[0], nil
+}
+
+// ParseAll reads every s-expression in src. Comments run from ';' to end
+// of line.
+func ParseAll(src string) ([]*Node, error) {
+	r := &reader{src: src, line: 1, col: 1}
+	var out []*Node
+	for {
+		r.skipSpace()
+		if r.eof() {
+			return out, nil
+		}
+		n, err := r.readNode()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, n)
+	}
+}
+
+func (r *reader) eof() bool { return r.off >= len(r.src) }
+
+func (r *reader) peek() byte { return r.src[r.off] }
+
+func (r *reader) advance() byte {
+	c := r.src[r.off]
+	r.off++
+	if c == '\n' {
+		r.line++
+		r.col = 1
+	} else {
+		r.col++
+	}
+	return c
+}
+
+func (r *reader) pos() Pos { return Pos{Line: r.line, Col: r.col} }
+
+func (r *reader) skipSpace() {
+	for !r.eof() {
+		c := r.peek()
+		switch {
+		case c == ';':
+			for !r.eof() && r.peek() != '\n' {
+				r.advance()
+			}
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v':
+			r.advance()
+		default:
+			return
+		}
+	}
+}
+
+func (r *reader) readNode() (*Node, error) {
+	r.skipSpace()
+	if r.eof() {
+		return nil, errAt(r.pos(), "unexpected end of input")
+	}
+	start := r.pos()
+	switch c := r.peek(); {
+	case c == '(':
+		r.advance()
+		node := &Node{Kind: KList, Pos: start}
+		for {
+			r.skipSpace()
+			if r.eof() {
+				return nil, errAt(start, "unterminated list")
+			}
+			if r.peek() == ')' {
+				r.advance()
+				return node, nil
+			}
+			child, err := r.readNode()
+			if err != nil {
+				return nil, err
+			}
+			node.List = append(node.List, child)
+		}
+	case c == ')':
+		return nil, errAt(start, "unexpected ')'")
+	case c == '"':
+		return r.readString(start)
+	default:
+		return r.readAtom(start)
+	}
+}
+
+func (r *reader) readString(start Pos) (*Node, error) {
+	r.advance() // opening quote
+	var b strings.Builder
+	for {
+		if r.eof() {
+			return nil, errAt(start, "unterminated string literal")
+		}
+		c := r.advance()
+		switch c {
+		case '"':
+			return &Node{Kind: KString, Str: b.String(), Pos: start}, nil
+		case '\\':
+			if r.eof() {
+				return nil, errAt(start, "unterminated escape in string literal")
+			}
+			e := r.advance()
+			switch e {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case '"', '\\':
+				b.WriteByte(e)
+			default:
+				return nil, errAt(start, "unknown escape \\%c", e)
+			}
+		case '\n':
+			return nil, errAt(start, "newline in string literal")
+		default:
+			b.WriteByte(c)
+		}
+	}
+}
+
+func isAtomChar(c byte) bool {
+	switch c {
+	case '(', ')', '"', ';', ' ', '\t', '\n', '\r', '\f', '\v':
+		return false
+	}
+	return true
+}
+
+func (r *reader) readAtom(start Pos) (*Node, error) {
+	var b strings.Builder
+	for !r.eof() && isAtomChar(r.peek()) {
+		b.WriteByte(r.advance())
+	}
+	text := b.String()
+	if text == "" {
+		return nil, errAt(start, "empty atom")
+	}
+	if looksNumeric(text) {
+		v, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return nil, errAt(start, "bad integer literal %q", text)
+		}
+		return &Node{Kind: KInt, Int: v, Pos: start}, nil
+	}
+	return &Node{Kind: KSymbol, Sym: text, Pos: start}, nil
+}
+
+// looksNumeric reports whether text should be parsed as an integer: an
+// optional sign followed by at least one digit, all digits thereafter.
+func looksNumeric(text string) bool {
+	s := text
+	if len(s) > 1 && (s[0] == '-' || s[0] == '+') {
+		s = s[1:]
+	}
+	if s == "" {
+		return false
+	}
+	for _, r := range s {
+		if !unicode.IsDigit(r) {
+			return false
+		}
+	}
+	return true
+}
+
+// Sym constructs a symbol node (convenience for tests and builders).
+func Sym(s string) *Node { return &Node{Kind: KSymbol, Sym: s} }
+
+// Int constructs an integer node.
+func Int(v int64) *Node { return &Node{Kind: KInt, Int: v} }
+
+// Str constructs a string node.
+func Str(s string) *Node { return &Node{Kind: KString, Str: s} }
+
+// L constructs a list node from children.
+func L(children ...*Node) *Node { return &Node{Kind: KList, List: children} }
+
+// Equal reports structural equality of two nodes, ignoring positions.
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Kind != b.Kind {
+		return false
+	}
+	switch a.Kind {
+	case KSymbol:
+		return a.Sym == b.Sym
+	case KInt:
+		return a.Int == b.Int
+	case KString:
+		return a.Str == b.Str
+	case KList:
+		if len(a.List) != len(b.List) {
+			return false
+		}
+		for i := range a.List {
+			if !Equal(a.List[i], b.List[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	return false
+}

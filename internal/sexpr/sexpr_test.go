@@ -1,0 +1,248 @@
+package sexpr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, src string) *Node {
+	t.Helper()
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", src, err)
+	}
+	return n
+}
+
+func TestParseSymbol(t *testing.T) {
+	n := mustParse(t, "ROOT-nil")
+	if n.Kind != KSymbol || n.Sym != "ROOT-nil" {
+		t.Fatalf("got %v %q", n.Kind, n.Sym)
+	}
+}
+
+func TestParseInt(t *testing.T) {
+	for _, tc := range []struct {
+		src  string
+		want int64
+	}{{"0", 0}, {"42", 42}, {"-7", -7}, {"+9", 9}} {
+		n := mustParse(t, tc.src)
+		if n.Kind != KInt || n.Int != tc.want {
+			t.Errorf("Parse(%q) = %v %d, want int %d", tc.src, n.Kind, n.Int, tc.want)
+		}
+	}
+}
+
+func TestSignAloneIsSymbol(t *testing.T) {
+	n := mustParse(t, "-")
+	if n.Kind != KSymbol || n.Sym != "-" {
+		t.Fatalf("bare '-' should be a symbol, got %v %q", n.Kind, n.Sym)
+	}
+}
+
+func TestParseString(t *testing.T) {
+	n := mustParse(t, `"hello\n\"world\""`)
+	if n.Kind != KString || n.Str != "hello\n\"world\"" {
+		t.Fatalf("got %v %q", n.Kind, n.Str)
+	}
+}
+
+func TestParseNestedList(t *testing.T) {
+	n := mustParse(t, "(if (and (eq (lab x) SUBJ) (eq (lab y) ROOT)) (lt (pos x) (pos y)))")
+	if n.Kind != KList || n.Head() != "if" {
+		t.Fatalf("head = %q", n.Head())
+	}
+	if len(n.Args()) != 2 {
+		t.Fatalf("args = %d, want 2", len(n.Args()))
+	}
+	ante := n.Args()[0]
+	if ante.Head() != "and" {
+		t.Fatalf("antecedent head = %q", ante.Head())
+	}
+}
+
+func TestParseEmptyList(t *testing.T) {
+	n := mustParse(t, "()")
+	if n.Kind != KList || len(n.List) != 0 {
+		t.Fatalf("got %v with %d children", n.Kind, len(n.List))
+	}
+	if n.Head() != "" {
+		t.Fatalf("empty list head should be empty, got %q", n.Head())
+	}
+}
+
+func TestComments(t *testing.T) {
+	src := `
+; leading comment
+(a b ; trailing comment
+ c)
+`
+	n := mustParse(t, src)
+	if len(n.List) != 3 {
+		t.Fatalf("comment handling broke list: %v", n)
+	}
+}
+
+func TestParseAllMultiple(t *testing.T) {
+	nodes, err := ParseAll("(a) b 12 \"s\"")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nodes) != 4 {
+		t.Fatalf("got %d nodes", len(nodes))
+	}
+	kinds := []Kind{KList, KSymbol, KInt, KString}
+	for i, k := range kinds {
+		if nodes[i].Kind != k {
+			t.Errorf("node %d kind = %v, want %v", i, nodes[i].Kind, k)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"(",
+		")",
+		"(a (b)",
+		`"unterminated`,
+		"(a) (b)", // Parse wants exactly one
+		"",
+		`"bad \q escape"`,
+		"\"line\nbreak\"",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestErrorPosition(t *testing.T) {
+	_, err := ParseAll("(a\n  b\n  )) ")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	se, ok := err.(*Error)
+	if !ok {
+		t.Fatalf("error type %T", err)
+	}
+	if se.Pos.Line != 3 {
+		t.Errorf("error line = %d, want 3", se.Pos.Line)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	srcs := []string{
+		"(if (and (eq (lab x) SUBJ)) (eq (mod x) nil))",
+		"(a -12 \"str with \\\"quote\\\"\" (nested ()))",
+		"sym",
+	}
+	for _, src := range srcs {
+		n := mustParse(t, src)
+		again := mustParse(t, n.String())
+		if !Equal(n, again) {
+			t.Errorf("round trip changed %q -> %q", src, n.String())
+		}
+	}
+}
+
+func TestEqual(t *testing.T) {
+	a := L(Sym("eq"), Sym("x"), Int(3))
+	b := L(Sym("eq"), Sym("x"), Int(3))
+	c := L(Sym("eq"), Sym("x"), Int(4))
+	if !Equal(a, b) {
+		t.Error("a should equal b")
+	}
+	if Equal(a, c) {
+		t.Error("a should not equal c")
+	}
+	if Equal(a, nil) || !Equal(nil, nil) {
+		t.Error("nil handling wrong")
+	}
+	if Equal(Sym("x"), Str("x")) {
+		t.Error("symbol vs string should differ")
+	}
+}
+
+func TestIsSymAndArgs(t *testing.T) {
+	n := mustParse(t, "(head a b)")
+	if !n.List[0].IsSym("head") {
+		t.Error("IsSym failed")
+	}
+	if n.List[0].IsSym("other") {
+		t.Error("IsSym matched wrong symbol")
+	}
+	if got := len(n.Args()); got != 2 {
+		t.Errorf("Args len = %d", got)
+	}
+	var nilNode *Node
+	if nilNode.IsSym("x") || nilNode.Head() != "" || nilNode.Args() != nil {
+		t.Error("nil node accessors should be safe")
+	}
+}
+
+// genNode builds a random node for property tests (bounded depth).
+func genNode(rnd func(int) int, depth int) *Node {
+	if depth <= 0 || rnd(3) == 0 {
+		switch rnd(3) {
+		case 0:
+			syms := []string{"a", "eq", "SUBJ-1", "ROOT-nil", "x", "governor", "w0rd"}
+			return Sym(syms[rnd(len(syms))])
+		case 1:
+			return Int(int64(rnd(2000) - 1000))
+		default:
+			strs := []string{"", "hello", "with \"quotes\"", "tab\there", "line\\slash"}
+			return Str(strs[rnd(len(strs))])
+		}
+	}
+	k := rnd(4)
+	ch := make([]*Node, k)
+	for i := range ch {
+		ch[i] = genNode(rnd, depth-1)
+	}
+	return L(ch...)
+}
+
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		s := seed
+		rnd := func(n int) int {
+			// xorshift-style deterministic generator from the seed.
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			v := int(s % int64(n))
+			if v < 0 {
+				v = -v
+			}
+			return v
+		}
+		n := genNode(rnd, 4)
+		got, err := Parse(n.String())
+		if err != nil {
+			t.Logf("parse of %q failed: %v", n.String(), err)
+			return false
+		}
+		return Equal(n, got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	depth := 2000
+	src := strings.Repeat("(a ", depth) + "b" + strings.Repeat(")", depth)
+	n, err := Parse(src)
+	if err != nil {
+		t.Fatalf("deep nesting: %v", err)
+	}
+	// walk down to make sure structure is intact
+	cur := n
+	for i := 0; i < depth-1; i++ {
+		if cur.Kind != KList || len(cur.List) != 2 {
+			t.Fatalf("level %d malformed", i)
+		}
+		cur = cur.List[1]
+	}
+}

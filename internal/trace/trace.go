@@ -1,0 +1,178 @@
+// Package trace records a structured log of a parse — which constraint
+// ran, what it eliminated, how the domains shrank — for debugging
+// grammars and for the CLI's -trace flag. The paper credits the MasPar
+// environment's "data visualization capabilities and the well
+// integrated and extensive debugging support" with making the
+// implementation easy; this package is our equivalent for grammar
+// writers.
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/cdg"
+	"repro/internal/cn"
+	"repro/internal/serial"
+)
+
+// EventKind classifies trace events.
+type EventKind int
+
+// Event kinds, in pipeline order.
+const (
+	// Initial is the network as constructed (before any constraint).
+	Initial EventKind = iota
+	// Unary is the application of one unary constraint.
+	Unary
+	// Binary is the application of one binary constraint.
+	Binary
+	// Consistency is one consistency-maintenance pass.
+	Consistency
+	// Filtering is the final filtering phase.
+	Filtering
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case Initial:
+		return "initial"
+	case Unary:
+		return "unary"
+	case Binary:
+		return "binary"
+	case Consistency:
+		return "consistency"
+	case Filtering:
+		return "filtering"
+	}
+	return "unknown"
+}
+
+// Event is one pipeline step with its effect on the network.
+type Event struct {
+	Kind       EventKind
+	Constraint string // constraint name for Unary/Binary/Consistency
+	// LiveValues is the total count of live role values after the step.
+	LiveValues int
+	// Eliminated lists role values removed by this step, rendered as
+	// "word/pos.role:LABEL-mod".
+	Eliminated []string
+}
+
+// Trace is the log of one parse.
+type Trace struct {
+	Events []Event
+	words  []string
+}
+
+// Run parses words under g with the serial engine, recording an event
+// per pipeline step.
+func Run(g *cdg.Grammar, words []string, opt serial.Options) (*serial.Result, *Trace, error) {
+	tr := &Trace{words: words}
+	var prev map[string]bool
+	kindOf := func(label string) (EventKind, string, bool) {
+		switch {
+		case label == "initial":
+			return Initial, "", true
+		case strings.HasPrefix(label, "unary:"):
+			return Unary, strings.TrimPrefix(label, "unary:"), true
+		case strings.HasPrefix(label, "binary:"):
+			return Binary, strings.TrimPrefix(label, "binary:"), true
+		case strings.HasPrefix(label, "consistency:"):
+			return Consistency, strings.TrimPrefix(label, "consistency:"), true
+		case label == "after-filtering":
+			return Filtering, "", true
+		}
+		return 0, "", false
+	}
+	opt.Phase = func(label string, nw *cn.Network) {
+		kind, name, ok := kindOf(label)
+		if !ok {
+			return
+		}
+		cur := liveSet(nw)
+		ev := Event{Kind: kind, Constraint: name, LiveValues: len(cur)}
+		if prev != nil {
+			for rv := range prev {
+				if !cur[rv] {
+					ev.Eliminated = append(ev.Eliminated, rv)
+				}
+			}
+			sortStrings(ev.Eliminated)
+		}
+		prev = cur
+		tr.Events = append(tr.Events, ev)
+	}
+	res, err := serial.ParseWords(g, words, opt)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, tr, nil
+}
+
+// liveSet snapshots all live role values as rendered strings.
+func liveSet(nw *cn.Network) map[string]bool {
+	sp := nw.Space()
+	g := sp.Grammar()
+	out := map[string]bool{}
+	for gr := 0; gr < sp.NumRoles(); gr++ {
+		pos, r := sp.RoleAt(gr)
+		prefix := fmt.Sprintf("%s/%d.%s:", sp.Sentence().Word(pos), pos, g.RoleName(r))
+		for _, v := range nw.DomainStrings(gr) {
+			out[prefix+v] = true
+		}
+	}
+	return out
+}
+
+// String renders the trace, one line per event, eliminations indented.
+func (tr *Trace) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace of %q\n", strings.Join(tr.words, " "))
+	for i, ev := range tr.Events {
+		name := ev.Constraint
+		if name != "" {
+			name = " " + name
+		}
+		fmt.Fprintf(&b, "%3d %-11s%s: %d live role values", i, ev.Kind, name, ev.LiveValues)
+		if len(ev.Eliminated) > 0 {
+			fmt.Fprintf(&b, " (-%d)", len(ev.Eliminated))
+		}
+		b.WriteByte('\n')
+		for _, rv := range ev.Eliminated {
+			fmt.Fprintf(&b, "      - %s\n", rv)
+		}
+	}
+	return b.String()
+}
+
+// TotalEliminated sums eliminations across events.
+func (tr *Trace) TotalEliminated() int {
+	n := 0
+	for _, ev := range tr.Events {
+		n += len(ev.Eliminated)
+	}
+	return n
+}
+
+// Culprits returns the constraints that eliminated at least one role
+// value, with counts, in pipeline order — the first thing to look at
+// when a grammatical sentence gets rejected.
+func (tr *Trace) Culprits() []string {
+	var out []string
+	for _, ev := range tr.Events {
+		if len(ev.Eliminated) > 0 && ev.Constraint != "" {
+			out = append(out, fmt.Sprintf("%s %s (-%d)", ev.Kind, ev.Constraint, len(ev.Eliminated)))
+		}
+	}
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

@@ -1,0 +1,95 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/grammars"
+	"repro/internal/serial"
+)
+
+func TestTraceDemoSentence(t *testing.T) {
+	g := grammars.PaperDemo()
+	res, tr, err := Run(g, grammars.PaperSentence(), serial.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Accepted() {
+		t.Fatal("demo should parse")
+	}
+	if len(tr.Events) == 0 {
+		t.Fatal("no events recorded")
+	}
+	if tr.Events[0].Kind != Initial {
+		t.Error("first event should be initial")
+	}
+	last := tr.Events[len(tr.Events)-1]
+	if last.Kind != Filtering {
+		t.Errorf("last event = %v", last.Kind)
+	}
+	// Final network has 6 role values (one per role).
+	if last.LiveValues != 6 {
+		t.Errorf("final live = %d, want 6", last.LiveValues)
+	}
+	// The first unary constraint (verb-governor) eliminates 8 of the 9
+	// governor values of "runs" (Figure 2).
+	var verbGov *Event
+	for i := range tr.Events {
+		if tr.Events[i].Kind == Unary && tr.Events[i].Constraint == "verb-governor" {
+			verbGov = &tr.Events[i]
+		}
+	}
+	if verbGov == nil {
+		t.Fatal("verb-governor event missing")
+	}
+	if len(verbGov.Eliminated) != 8 {
+		t.Errorf("verb-governor eliminated %d values, want 8 (Figure 2)", len(verbGov.Eliminated))
+	}
+	for _, rv := range verbGov.Eliminated {
+		if !strings.HasPrefix(rv, "runs/3.governor:") {
+			t.Errorf("unexpected elimination %q", rv)
+		}
+	}
+}
+
+func TestTraceConservation(t *testing.T) {
+	// initial live − total eliminated == final live.
+	g := grammars.PaperDemo()
+	_, tr, err := Run(g, []string{"the", "program", "runs"}, serial.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial := tr.Events[0].LiveValues
+	final := tr.Events[len(tr.Events)-1].LiveValues
+	if initial-tr.TotalEliminated() != final {
+		t.Errorf("conservation: %d - %d != %d", initial, tr.TotalEliminated(), final)
+	}
+}
+
+func TestTraceRejection(t *testing.T) {
+	g := grammars.PaperDemo()
+	res, tr, err := Run(g, []string{"runs", "program", "the"}, serial.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Accepted() {
+		t.Fatal("should reject")
+	}
+	culprits := tr.Culprits()
+	if len(culprits) == 0 {
+		t.Error("rejection should name culprits")
+	}
+	out := tr.String()
+	for _, want := range []string{"trace of", "initial", "live role values"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("trace rendering missing %q", want)
+		}
+	}
+}
+
+func TestTraceUnknownWord(t *testing.T) {
+	g := grammars.PaperDemo()
+	if _, _, err := Run(g, []string{"xyzzy"}, serial.DefaultOptions()); err == nil {
+		t.Error("expected error")
+	}
+}

@@ -1,0 +1,95 @@
+// Package workload generates the benchmark inputs for the experiment
+// harness: grammatical sentences of arbitrary length for the paper's
+// demo grammar and the English grammar, plus mixed batches for
+// throughput measurements.
+package workload
+
+import "fmt"
+
+// DemoSentence returns an n-word sentence over the PaperDemo lexicon
+// (n ≥ 1). For n ≤ 3 it is the paper's own example truncated; longer
+// sentences extend the pattern with determiner–noun pairs. Not every
+// length is grammatical under the demo grammar — the harness measures
+// propagation cost, which is shape- not acceptance-dependent.
+func DemoSentence(n int) []string {
+	if n < 1 {
+		panic(fmt.Sprintf("workload: DemoSentence(%d)", n))
+	}
+	nouns := []string{"program", "compiler", "machine", "parser"}
+	out := make([]string, 0, n)
+	// Leading determiner–noun pairs, then the verb, then trailing
+	// pairs to reach the requested length.
+	lead := (n - 1) / 2
+	for i := 0; i < lead; i++ {
+		out = append(out, "the", nouns[i%len(nouns)])
+	}
+	if len(out)+1 < n {
+		out = append(out, nouns[lead%len(nouns)])
+	}
+	out = append(out, "runs")
+	for len(out) < n {
+		out = append(out, "the")
+	}
+	return out[:n]
+}
+
+// EnglishSentence returns a grammatical n-word sentence for the English
+// grammar, n ≥ 3: a base clause padded with attributive adjectives
+// (one word each) and prepositional phrases (three words each).
+func EnglishSentence(n int) []string {
+	if n < 3 {
+		panic(fmt.Sprintf("workload: EnglishSentence(%d) — need n ≥ 3", n))
+	}
+	rest := n - 3
+	adjs := rest % 3
+	pps := rest / 3
+	adjNames := []string{"big", "old"}
+	out := []string{"the"}
+	for i := 0; i < adjs; i++ {
+		out = append(out, adjNames[i%len(adjNames)])
+	}
+	out = append(out, "dog", "walked")
+	ppNouns := []string{"park", "telescope", "ball", "cat"}
+	for i := 0; i < pps; i++ {
+		out = append(out, "in", "the", ppNouns[i%len(ppNouns)])
+	}
+	return out
+}
+
+// AmbiguousEnglish returns the PP-attachment sentence with extra PPs:
+// each additional PP multiplies the reading count.
+func AmbiguousEnglish(pps int) []string {
+	out := []string{"the", "dog", "saw", "the", "man"}
+	ppHeads := []string{"telescope", "park", "ball"}
+	for i := 0; i < pps; i++ {
+		out = append(out, "with", "the", ppHeads[i%len(ppHeads)])
+	}
+	return out
+}
+
+// CopyString returns the length-2n copy-language string (w·w) derived
+// from the bits of pattern.
+func CopyString(n int, pattern uint64) []string {
+	half := make([]string, n)
+	for i := range half {
+		if pattern>>(uint(i)%64)&1 == 0 {
+			half[i] = "a"
+		} else {
+			half[i] = "b"
+		}
+	}
+	return append(append([]string{}, half...), half...)
+}
+
+// BalancedParens returns the fully nested balanced string of depth n:
+// ((( … ))).
+func BalancedParens(n int) []string {
+	out := make([]string, 0, 2*n)
+	for i := 0; i < n; i++ {
+		out = append(out, "(")
+	}
+	for i := 0; i < n; i++ {
+		out = append(out, ")")
+	}
+	return out
+}

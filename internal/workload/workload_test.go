@@ -1,0 +1,111 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/cdg"
+	"repro/internal/grammars"
+	"repro/internal/serial"
+)
+
+func TestDemoSentenceLengths(t *testing.T) {
+	g := grammars.PaperDemo()
+	for n := 1; n <= 12; n++ {
+		words := DemoSentence(n)
+		if len(words) != n {
+			t.Fatalf("DemoSentence(%d) has %d words", n, len(words))
+		}
+		if _, err := cdg.Resolve(g, words, nil); err != nil {
+			t.Errorf("DemoSentence(%d) = %v not in demo lexicon: %v", n, words, err)
+		}
+	}
+	if DemoSentence(3)[0] != "the" || DemoSentence(3)[2] != "runs" {
+		t.Errorf("DemoSentence(3) = %v", DemoSentence(3))
+	}
+}
+
+func TestEnglishSentenceGrammatical(t *testing.T) {
+	g := grammars.English()
+	for n := 3; n <= 14; n++ {
+		words := EnglishSentence(n)
+		if len(words) != n {
+			t.Fatalf("EnglishSentence(%d) has %d words: %v", n, len(words), words)
+		}
+		res, err := serial.ParseWords(g, words, serial.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Accepted() {
+			t.Errorf("EnglishSentence(%d) = %v rejected", n, words)
+		}
+		if !res.Network.HasParse() {
+			t.Errorf("EnglishSentence(%d) = %v has no parse", n, words)
+		}
+	}
+}
+
+func TestAmbiguousEnglishGrowsReadings(t *testing.T) {
+	g := grammars.English()
+	counts := make([]int, 0, 2)
+	for pps := 1; pps <= 2; pps++ {
+		words := AmbiguousEnglish(pps)
+		res, err := serial.ParseWords(g, words, serial.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts = append(counts, len(res.Network.ExtractParses(0)))
+	}
+	if counts[0] < 2 {
+		t.Errorf("1 PP should give ≥ 2 readings, got %d", counts[0])
+	}
+	if counts[1] <= counts[0] {
+		t.Errorf("2 PPs should give more readings than 1 (%d vs %d)", counts[1], counts[0])
+	}
+}
+
+func TestCopyString(t *testing.T) {
+	g := grammars.CopyLanguage()
+	words := CopyString(3, 0b101)
+	if len(words) != 6 {
+		t.Fatalf("len = %d", len(words))
+	}
+	for i := 0; i < 3; i++ {
+		if words[i] != words[i+3] {
+			t.Errorf("not a copy at %d", i)
+		}
+	}
+	res, err := serial.ParseWords(g, words, serial.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Network.HasParse() {
+		t.Error("copy string rejected by copy grammar")
+	}
+}
+
+func TestBalancedParens(t *testing.T) {
+	g := grammars.Dyck()
+	res, err := serial.ParseWords(g, BalancedParens(3), serial.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Network.HasParse() {
+		t.Error("((())) rejected")
+	}
+}
+
+func TestPanicsOnBadLengths(t *testing.T) {
+	for _, f := range []func(){
+		func() { DemoSentence(0) },
+		func() { EnglishSentence(2) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
