@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: build test race vet ci serve load
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+race:
+	$(GO) test -race ./...
+
+# ci is the gate: static checks plus the full suite under the race
+# detector (the server/coalescer tests are written to be hammered).
+ci: vet race
+
+# serve runs the parse service on the default port.
+serve:
+	$(GO) run ./cmd/parsecd
+
+# load drives a locally running parsecd with the default mix.
+load:
+	$(GO) run ./cmd/parsecload -c 16 -n 400

@@ -18,6 +18,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ import (
 	"repro/internal/grammars"
 	"repro/internal/maspar"
 	"repro/internal/serial"
+	"repro/internal/server"
 	"repro/internal/trace"
 )
 
@@ -58,6 +60,7 @@ func run(args []string, out io.Writer) error {
 		diagnose    = fs.Int("diagnose", 0, "when rejected, search for blocker constraint sets up to this size")
 		maxParses   = fs.Int("max-parses", 10, "max precedence graphs to print (0 = all)")
 		stats       = fs.Bool("stats", true, "print machine statistics")
+		jsonOut     = fs.Bool("json", false, "emit the parsecd service result schema instead of text")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -106,6 +109,22 @@ func run(args []string, out io.Writer) error {
 	res, err := p.Parse(words)
 	if err != nil {
 		return err
+	}
+
+	if *jsonOut {
+		// Emit exactly the schema POST /v1/parse returns, so CLI and
+		// service output are diffable.
+		key := *grammarName
+		if *grammarFile != "" {
+			key = "file:" + *grammarFile
+		}
+		mp := *maxParses
+		if mp == 0 {
+			mp = -1 // CLI 0 means all; the wire convention is -1
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(server.NewResult(words, key, *backend, res, mp))
 	}
 
 	fmt.Fprintf(out, "sentence: %s\n", strings.Join(words, " "))
@@ -185,21 +204,5 @@ func loadGrammar(name, file string) (*cdg.Grammar, error) {
 		}
 		return cdg.ParseGrammar(string(src))
 	}
-	switch name {
-	case "demo":
-		return grammars.PaperDemo(), nil
-	case "english":
-		return grammars.English(), nil
-	case "ww":
-		return grammars.CopyLanguage(), nil
-	case "dyck":
-		return grammars.Dyck(), nil
-	case "anbn":
-		return grammars.AnBn(), nil
-	case "chain":
-		return grammars.Chain(), nil
-	case "crossserial":
-		return grammars.CrossSerial(), nil
-	}
-	return nil, fmt.Errorf("unknown grammar %q (demo|english|ww|dyck|anbn|crossserial|chain)", name)
+	return grammars.ByName(name)
 }

@@ -2,10 +2,16 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
+
+	"repro/internal/server"
 )
 
 func runCLI(t *testing.T, args ...string) (string, error) {
@@ -157,6 +163,50 @@ func TestCLIErrors(t *testing.T) {
 		if _, err := runCLI(t, args...); err == nil {
 			t.Errorf("args %v: expected error", args)
 		}
+	}
+}
+
+// TestCLIJSONDiffableWithService pins the satellite guarantee: `parsec
+// -json` emits the same result schema POST /v1/parse returns, equal
+// field for field once the run-dependent timing/batching extras are
+// zeroed.
+func TestCLIJSONDiffableWithService(t *testing.T) {
+	out, err := runCLI(t, "-json", "-backend", "serial", "the", "program", "runs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cli server.ParseResult
+	if err := json.Unmarshal([]byte(out), &cli); err != nil {
+		t.Fatalf("CLI -json output is not the wire schema: %v\n%s", err, out)
+	}
+
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	body, _ := json.Marshal(server.ParseRequest{
+		Grammar: "demo", Backend: "serial",
+		Sentence: []string{"the", "program", "runs"},
+	})
+	resp, err := http.Post(ts.URL+"/v1/parse", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var svc server.ParseResult
+	if err := json.NewDecoder(resp.Body).Decode(&svc); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	normalize := func(r *server.ParseResult) {
+		r.HostTimeUS, r.ModelTimeUS, r.QueueTimeUS, r.BatchSize = 0, 0, 0, 0
+	}
+	normalize(&cli)
+	normalize(&svc)
+	if !reflect.DeepEqual(cli, svc) {
+		t.Errorf("CLI and service results differ:\ncli: %+v\nsvc: %+v", cli, svc)
+	}
+	if cli.Counters == nil || cli.Counters.ConstraintChecks == 0 {
+		t.Errorf("counters not populated: %+v", cli.Counters)
 	}
 }
 

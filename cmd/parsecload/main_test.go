@@ -1,0 +1,56 @@
+package main
+
+import (
+	"bytes"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/server"
+)
+
+// TestSmokeLoadAgainstInProcessServer exercises the whole load path in
+// tier-1: an in-process parsecd handler, the -smoke request mix, and
+// the /metrics scrape at the end of the run.
+func TestSmokeLoadAgainstInProcessServer(t *testing.T) {
+	s := server.New(server.Config{Workers: 4, BatchWindow: 5 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-url", ts.URL, "-smoke", "-backend", "serial"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"requests=32",
+		"status 200: 32",
+		"latency p50=",
+		"throughput=",
+		"server batching: batches=",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if st := s.Stats(); st.Parses != 32 {
+		t.Errorf("server executed %d parses, want 32", st.Parses)
+	}
+}
+
+// TestLoadReportsNon200s pins the error-accounting path: a grammar mix
+// the server doesn't know must show up as 404s, not silent drops.
+func TestLoadReportsNon200s(t *testing.T) {
+	s := server.New(server.Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-url", ts.URL, "-n", "8", "-c", "2", "-grammars", "nope"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "status 404: 8") {
+		t.Errorf("expected 8 404s:\n%s", out.String())
+	}
+}

@@ -20,6 +20,7 @@
 package cn
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/bitset"
@@ -351,15 +352,29 @@ func (nw *Network) ConsistencyPass() int {
 // the number of passes that performed at least one elimination plus the
 // final no-op pass, i.e. the total passes executed.
 func (nw *Network) Filter(maxIters int) int {
+	passes, _ := nw.FilterCtx(context.Background(), maxIters)
+	return passes
+}
+
+// FilterCtx is Filter with a cancellation check before every
+// consistency pass, so a deadline interrupts filtering between passes
+// rather than being noticed only after the fixpoint. On cancellation it
+// returns the passes completed so far and ctx.Err(); the network is
+// left in the (valid, partially filtered) state the last completed pass
+// produced.
+func (nw *Network) FilterCtx(ctx context.Context, maxIters int) (int, error) {
 	passes := 0
 	for {
+		if err := ctx.Err(); err != nil {
+			return passes, err
+		}
 		if maxIters > 0 && passes >= maxIters {
-			return passes
+			return passes, nil
 		}
 		passes++
 		nw.Counters.FilterIterations++
 		if nw.ConsistencyPass() == 0 {
-			return passes
+			return passes, nil
 		}
 	}
 }

@@ -1,6 +1,8 @@
 package cn
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -413,5 +415,48 @@ func TestExtractParsesLimit(t *testing.T) {
 	one := nw.ExtractParses(1)
 	if len(one) != 1 {
 		t.Errorf("limit=1 returned %d", len(one))
+	}
+}
+
+// TestFilterCtx pins the cancellation contract of the filtering loop: a
+// live context filters exactly like Filter, a dead one stops before the
+// next pass and reports the context error.
+func TestFilterCtx(t *testing.T) {
+	g := testGrammar(t)
+	build := func() *Network {
+		sent, err := cdg.Resolve(g, []string{"w", "v", "w"}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nw := New(cdg.NewSpace(g, sent))
+		for _, c := range g.Unary() {
+			nw.ApplyUnary(c)
+		}
+		for _, c := range g.Binary() {
+			nw.ApplyBinary(c)
+			nw.ConsistencyPass()
+		}
+		return nw
+	}
+
+	live := build()
+	passes, err := live.FilterCtx(context.Background(), 0)
+	if err != nil || passes < 1 {
+		t.Fatalf("live filter: passes=%d err=%v", passes, err)
+	}
+	ref := build()
+	if got := ref.Filter(0); got != passes {
+		t.Errorf("Filter=%d FilterCtx=%d, should agree", got, passes)
+	}
+	if !live.EqualState(ref) {
+		t.Error("FilterCtx and Filter reached different fixpoints")
+	}
+
+	cancelled := build()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	passes, err = cancelled.FilterCtx(ctx, 0)
+	if passes != 0 || !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled filter: passes=%d err=%v, want 0/Canceled", passes, err)
 	}
 }

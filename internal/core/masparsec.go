@@ -19,6 +19,7 @@ package core
 //     Figure 13) plus ⌈S²/P⌉ physical layers (§2.2.3).
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cdg"
@@ -49,8 +50,11 @@ type masparRun struct {
 }
 
 // runMasPar executes the full algorithm and returns the run plus the
-// final network read back from the PE array.
-func runMasPar(sp *cdg.Space, m *maspar.Machine, consistencyPerConstraint bool, filter bool, maxIters int) (*masparRun, *cn.Network, error) {
+// final network read back from the PE array. The context is checked
+// between ACU constraint broadcasts and between consistency rounds — a
+// cancelled parse stops mid-algorithm and the partial PE state is
+// discarded.
+func runMasPar(ctx context.Context, sp *cdg.Space, m *maspar.Machine, consistencyPerConstraint bool, filter bool, maxIters int) (*masparRun, *cn.Network, error) {
 	if sp.NumRoles() < 2 {
 		return nil, nil, fmt.Errorf("core: the MasPar layout needs at least two roles in the network (got %d)", sp.NumRoles())
 	}
@@ -98,12 +102,18 @@ func runMasPar(sp *cdg.Space, m *maspar.Machine, consistencyPerConstraint bool, 
 	// Constraint propagation: the ACU broadcasts each constraint, all
 	// PEs apply it to their local arc elements.
 	for _, uc := range g.Unary() {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		run.applyUnary(uc)
 		if consistencyPerConstraint {
 			run.consistencyRound()
 		}
 	}
 	for _, bc := range g.Binary() {
+		if err := ctx.Err(); err != nil {
+			return nil, nil, err
+		}
 		run.applyBinary(bc)
 		if consistencyPerConstraint {
 			run.consistencyRound()
@@ -113,6 +123,9 @@ func runMasPar(sp *cdg.Space, m *maspar.Machine, consistencyPerConstraint bool, 
 	// Consistency maintenance + filtering.
 	if filter {
 		for {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, err
+			}
 			if maxIters > 0 && run.rounds >= maxIters {
 				break
 			}

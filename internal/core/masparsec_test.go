@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/cdg"
@@ -21,7 +22,7 @@ func runDemo(t *testing.T, words []string) *masparRun {
 	if err != nil {
 		t.Fatal(err)
 	}
-	run, _, err := runMasPar(cdg.NewSpace(g, sent), m, false, true, 0)
+	run, _, err := runMasPar(context.Background(), cdg.NewSpace(g, sent), m, false, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -175,17 +176,31 @@ func (r *Result) Stats() string {
 // Parse tokenizes words against the lexicon (first category wins on
 // lexical ambiguity) and parses them.
 func (p *Parser) Parse(words []string) (*Result, error) {
+	return p.ParseContext(context.Background(), words)
+}
+
+// ParseContext is Parse with cancellation: the context is checked
+// between constraint propagations and between consistency rounds, so a
+// deadline stops a long parse mid-algorithm rather than after it
+// completes. On cancellation it returns ctx.Err() (possibly wrapped).
+func (p *Parser) ParseContext(ctx context.Context, words []string) (*Result, error) {
 	sent, err := cdg.Resolve(p.g, words, nil)
 	if err != nil {
 		return nil, err
 	}
-	return p.ParseSentence(sent)
+	return p.ParseSentenceContext(ctx, sent)
 }
 
 // ParseSentence parses an already-resolved sentence.
 func (p *Parser) ParseSentence(sent *cdg.Sentence) (*Result, error) {
+	return p.ParseSentenceContext(context.Background(), sent)
+}
+
+// ParseSentenceContext is ParseSentence with cancellation (see
+// ParseContext).
+func (p *Parser) ParseSentenceContext(ctx context.Context, sent *cdg.Sentence) (*Result, error) {
 	start := time.Now()
-	res, err := p.parseSentence(sent)
+	res, err := p.parseSentence(ctx, sent)
 	if err != nil {
 		return nil, err
 	}
@@ -193,10 +208,14 @@ func (p *Parser) ParseSentence(sent *cdg.Sentence) (*Result, error) {
 	return res, nil
 }
 
-func (p *Parser) parseSentence(sent *cdg.Sentence) (*Result, error) {
+func (p *Parser) parseSentence(ctx context.Context, sent *cdg.Sentence) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	switch p.cfg.backend {
 	case Serial:
 		sres, err := serial.Parse(p.g, sent, serial.Options{
+			Ctx:            ctx,
 			Filter:         p.cfg.filter,
 			MaxFilterIters: p.cfg.maxFilterIters,
 		})
@@ -243,7 +262,7 @@ func (p *Parser) parseSentence(sent *cdg.Sentence) (*Result, error) {
 			return nil, err
 		}
 		sp := cdg.NewSpace(p.g, sent)
-		run, nw, err := runMasPar(sp, m, p.cfg.consistencyPerConstraint, p.cfg.filter, p.cfg.maxFilterIters)
+		run, nw, err := runMasPar(ctx, sp, m, p.cfg.consistencyPerConstraint, p.cfg.filter, p.cfg.maxFilterIters)
 		if err != nil {
 			return nil, err
 		}

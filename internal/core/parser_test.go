@@ -1,7 +1,10 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/grammars"
 )
@@ -198,5 +201,41 @@ func TestStatsRendering(t *testing.T) {
 	s := res.Stats()
 	if s == "" {
 		t.Error("empty stats")
+	}
+}
+
+// TestParseContextCancellation pins the context plumbing: an expired
+// deadline aborts every backend's parse with the context error instead
+// of running the algorithm to completion.
+func TestParseContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, b := range []Backend{Serial, PRAM, MasPar, Mesh, HostParallel} {
+		p := NewParser(grammars.PaperDemo(), WithBackend(b))
+		if _, err := p.ParseContext(ctx, grammars.PaperSentence()); !errors.Is(err, context.Canceled) {
+			t.Errorf("%v: err=%v, want context.Canceled", b, err)
+		}
+	}
+}
+
+// TestParseContextDeadlineMidParse cancels after the parse has started:
+// the serial and MasPar engines must notice between constraints and
+// abort rather than finish. The chain grammar's n filtering rounds give
+// the deadline room to land mid-algorithm.
+func TestParseContextDeadlineMidParse(t *testing.T) {
+	for _, b := range []Backend{Serial, MasPar} {
+		p := NewParser(grammars.Chain(), WithBackend(b))
+		words := grammars.ChainSentence(24)
+		ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+		_, err := p.ParseContext(ctx, words)
+		cancel()
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Errorf("%v: err=%v, want context.DeadlineExceeded", b, err)
+		}
+	}
+	// And with no deadline pressure the same parse completes.
+	p := NewParser(grammars.Chain(), WithBackend(Serial))
+	if _, err := p.ParseContext(context.Background(), grammars.ChainSentence(24)); err != nil {
+		t.Errorf("uncancelled chain parse failed: %v", err)
 	}
 }

@@ -1,0 +1,40 @@
+package grammars
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cdg"
+)
+
+// builtins maps the public name of every shipped grammar to its
+// constructor. Constructors build a fresh Grammar per call; callers that
+// want compile-once semantics cache the result (internal/server does).
+var builtins = map[string]func() *cdg.Grammar{
+	"demo":        PaperDemo,
+	"english":     English,
+	"ww":          CopyLanguage,
+	"dyck":        Dyck,
+	"anbn":        AnBn,
+	"chain":       Chain,
+	"crossserial": CrossSerial,
+}
+
+// Names returns the built-in grammar names, sorted.
+func Names() []string {
+	out := make([]string, 0, len(builtins))
+	for n := range builtins {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ByName builds the named built-in grammar.
+func ByName(name string) (*cdg.Grammar, error) {
+	f, ok := builtins[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown grammar %q (built-ins: demo|english|ww|dyck|anbn|crossserial|chain)", name)
+	}
+	return f(), nil
+}

@@ -11,6 +11,7 @@
 package serial
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cdg"
@@ -20,6 +21,11 @@ import (
 
 // Options tune the serial parser.
 type Options struct {
+	// Ctx, when non-nil, is checked between constraint propagations and
+	// between filtering passes; a deadline or cancellation aborts the
+	// parse mid-algorithm with the context's error instead of running to
+	// completion. Nil means never cancelled.
+	Ctx context.Context
 	// Filter enables the optional filtering phase (§1.4: "filtering is
 	// an optional part of the parsing algorithm").
 	Filter bool
@@ -69,6 +75,10 @@ func (r *Result) Parses(limit int) []*cn.Assignment { return r.Network.ExtractPa
 
 // Parse runs the full serial algorithm for sent under g.
 func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	sp := cdg.NewSpace(g, sent)
 	nw := cn.New(sp)
 	snapshot := func(label string) {
@@ -80,6 +90,9 @@ func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
 
 	// Unary constraint propagation: O(k_u · n²).
 	for _, c := range g.Unary() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		nw.ApplyUnary(c)
 		snapshot("unary:" + c.Name)
 	}
@@ -94,6 +107,9 @@ func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
 		snapshot("consistency:fused")
 	} else {
 		for _, c := range g.Binary() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			nw.ApplyBinary(c)
 			snapshot("binary:" + c.Name)
 			nw.ConsistencyPass()
@@ -105,9 +121,12 @@ func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
 	// loses support (or the configured bound).
 	if opt.Filter {
 		if opt.UseAC4 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			nw.FilterAC4()
-		} else {
-			nw.Filter(opt.MaxFilterIters)
+		} else if _, err := nw.FilterCtx(ctx, opt.MaxFilterIters); err != nil {
+			return nil, err
 		}
 		snapshot("after-filtering")
 	}

@@ -1,0 +1,136 @@
+package server
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/cdg"
+	"repro/internal/grammars"
+)
+
+// Cache is the compiled-grammar cache: built-in grammars are
+// constructed once per name, inline grammar sources are compiled once
+// per content hash. Safe for concurrent use; a compile in flight for
+// one key does not block lookups of other keys.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*entry
+	hits    uint64
+	misses  uint64
+}
+
+// entry publishes its fields by closing ready; readers wait on the
+// channel (or poll it, for Lookup) before touching g/err.
+type entry struct {
+	ready chan struct{}
+	g     *cdg.Grammar
+	err   error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{entries: make(map[string]*entry)}
+}
+
+// SourceKey is the cache key of an inline grammar source: the prefix
+// "src:" plus the first 16 hex digits of its SHA-256.
+func SourceKey(source string) string {
+	sum := sha256.Sum256([]byte(source))
+	return "src:" + hex.EncodeToString(sum[:])[:16]
+}
+
+// Get resolves a request's grammar: source (compiled and cached by
+// content hash) when non-empty, else the built-in registry by name
+// (empty name: "demo"). It returns the grammar and the cache key that
+// identifies it in responses and /v1/grammars.
+func (c *Cache) Get(name, source string) (*cdg.Grammar, string, error) {
+	var key string
+	var build func() (*cdg.Grammar, error)
+	if source != "" {
+		key = SourceKey(source)
+		build = func() (*cdg.Grammar, error) { return cdg.ParseGrammar(source) }
+	} else {
+		if name == "" {
+			name = "demo"
+		}
+		key = name
+		build = func() (*cdg.Grammar, error) { return grammars.ByName(name) }
+	}
+
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if ok {
+		c.hits++
+		c.mu.Unlock()
+		<-e.ready
+	} else {
+		e = &entry{ready: make(chan struct{})}
+		c.entries[key] = e
+		c.misses++
+		c.mu.Unlock()
+		e.g, e.err = build()
+		close(e.ready)
+		if e.err != nil {
+			// Do not cache failures: a later identical request
+			// recompiles, and the key stays out of /v1/grammars.
+			c.mu.Lock()
+			if c.entries[key] == e {
+				delete(c.entries, key)
+			}
+			c.mu.Unlock()
+		}
+	}
+	if e.err != nil {
+		return nil, key, fmt.Errorf("grammar %s: %w", key, e.err)
+	}
+	return e.g, key, nil
+}
+
+// Keys lists the successfully compiled grammar keys, sorted.
+func (c *Cache) Keys() []string {
+	c.mu.Lock()
+	entries := make(map[string]*entry, len(c.entries))
+	for k, e := range c.entries {
+		entries[k] = e
+	}
+	c.mu.Unlock()
+	out := make([]string, 0, len(entries))
+	for k, e := range entries {
+		select {
+		case <-e.ready:
+			if e.err == nil {
+				out = append(out, k)
+			}
+		default: // still compiling
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Lookup returns an already-compiled grammar without compiling
+// anything.
+func (c *Cache) Lookup(key string) (*cdg.Grammar, bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	c.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	select {
+	case <-e.ready:
+		return e.g, e.err == nil
+	default:
+		return nil, false
+	}
+}
+
+// Stats returns the hit/miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

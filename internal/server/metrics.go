@@ -1,0 +1,149 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// serverMetrics aggregates the service-side observability state: HTTP
+// request counts by status, the batching/queueing histograms, and the
+// machine-work counters (internal/metrics.Counters) summed over every
+// parse the service has executed.
+type serverMetrics struct {
+	started time.Time
+
+	mu       sync.Mutex
+	requests map[int]uint64 // HTTP status → count
+	work     metrics.Counters
+
+	batches   atomic.Uint64 // coalesced batches executed
+	parses    atomic.Uint64 // parses executed (jobs that reached a worker)
+	timeouts  atomic.Uint64 // deadline-exceeded requests
+	rejected  atomic.Uint64 // queue-full rejections
+	panics    atomic.Uint64 // panics recovered from parse workers
+	coalesced atomic.Uint64 // jobs that shared a batch with at least one other
+
+	queueWait    *Histogram // seconds
+	parseLatency *Histogram // seconds
+	batchSize    *Histogram
+}
+
+func newServerMetrics() *serverMetrics {
+	return &serverMetrics{
+		started:      time.Now(),
+		requests:     make(map[int]uint64),
+		queueWait:    NewHistogram(LatencyBuckets()...),
+		parseLatency: NewHistogram(LatencyBuckets()...),
+		batchSize:    NewHistogram(BatchSizeBuckets()...),
+	}
+}
+
+func (m *serverMetrics) countRequest(status int) {
+	m.mu.Lock()
+	m.requests[status]++
+	m.mu.Unlock()
+}
+
+func (m *serverMetrics) addWork(c *metrics.Counters) {
+	if c == nil {
+		return
+	}
+	m.mu.Lock()
+	m.work.Add(c)
+	m.mu.Unlock()
+}
+
+// Stats is a point-in-time snapshot of the service counters, exposed
+// for tests and for parsecload's end-of-run report.
+type Stats struct {
+	Batches       uint64
+	Parses        uint64
+	Timeouts      uint64
+	Rejected      uint64
+	Panics        uint64
+	Coalesced     uint64
+	MeanBatchSize float64
+	CacheHits     uint64
+	CacheMisses   uint64
+}
+
+func (m *serverMetrics) snapshot(cache *Cache) Stats {
+	hits, misses := cache.Stats()
+	return Stats{
+		Batches:       m.batches.Load(),
+		Parses:        m.parses.Load(),
+		Timeouts:      m.timeouts.Load(),
+		Rejected:      m.rejected.Load(),
+		Panics:        m.panics.Load(),
+		Coalesced:     m.coalesced.Load(),
+		MeanBatchSize: m.batchSize.Mean(),
+		CacheHits:     hits,
+		CacheMisses:   misses,
+	}
+}
+
+// writePrometheus renders every metric in Prometheus text exposition
+// format (version 0.0.4).
+func (m *serverMetrics) writePrometheus(w io.Writer, cache *Cache) {
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+
+	m.mu.Lock()
+	statuses := make([]int, 0, len(m.requests))
+	for s := range m.requests {
+		statuses = append(statuses, s)
+	}
+	sort.Ints(statuses)
+	fmt.Fprintf(w, "# HELP parsecd_requests_total HTTP requests by status code\n# TYPE parsecd_requests_total counter\n")
+	for _, s := range statuses {
+		fmt.Fprintf(w, "parsecd_requests_total{code=%q} %d\n", fmt.Sprint(s), m.requests[s])
+	}
+	work := m.work
+	m.mu.Unlock()
+
+	counter("parsecd_parses_total", "parses executed by the worker pool", m.parses.Load())
+	counter("parsecd_batches_total", "coalesced batches executed", m.batches.Load())
+	counter("parsecd_coalesced_jobs_total", "jobs that shared a batch with another request", m.coalesced.Load())
+	counter("parsecd_timeouts_total", "requests that exceeded their deadline", m.timeouts.Load())
+	counter("parsecd_queue_rejections_total", "requests rejected because a backend queue was full", m.rejected.Load())
+	counter("parsecd_panics_total", "panics recovered during parsing", m.panics.Load())
+
+	hits, misses := cache.Stats()
+	counter("parsecd_grammar_cache_hits_total", "grammar cache hits", hits)
+	counter("parsecd_grammar_cache_misses_total", "grammar cache misses (compiles)", misses)
+
+	// The machine-work accounting every engine shares (internal/metrics),
+	// summed over all parses served.
+	workCounters := []struct {
+		name, help string
+		v          uint64
+	}{
+		{"constraint_checks", "elementary constraint evaluations", work.ConstraintChecks},
+		{"matrix_writes", "arc-matrix bit writes", work.MatrixWrites},
+		{"support_checks", "role-value support tests", work.SupportChecks},
+		{"eliminations", "role values eliminated", work.Eliminations},
+		{"filter_iterations", "consistency-maintenance passes", work.FilterIterations},
+		{"pram_steps", "synchronous P-RAM steps", work.Steps},
+		{"maspar_cycles", "simulated MasPar cycles", work.Cycles},
+		{"maspar_scans", "segmented scan invocations", work.ScanOps},
+		{"maspar_router_ops", "router point-to-point sends", work.RouterOps},
+		{"maspar_broadcasts", "ACU broadcasts", work.Broadcasts},
+	}
+	for _, c := range workCounters {
+		counter("parsecd_work_"+c.name+"_total", c.help, c.v)
+	}
+
+	m.queueWait.WritePrometheus(w, "parsecd_queue_wait_seconds", "time requests spent queued before a worker picked them up")
+	m.parseLatency.WritePrometheus(w, "parsecd_parse_latency_seconds", "parse execution time per request")
+	m.batchSize.WritePrometheus(w, "parsecd_batch_size", "requests coalesced per simulator run")
+
+	fmt.Fprintf(w, "# HELP parsecd_uptime_seconds seconds since the server started\n# TYPE parsecd_uptime_seconds gauge\nparsecd_uptime_seconds %.3f\n",
+		time.Since(m.started).Seconds())
+}

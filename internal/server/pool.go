@@ -1,0 +1,293 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cdg"
+	"repro/internal/core"
+)
+
+// job is one parse request travelling through the pool. The sentence is
+// already resolved against the grammar (client errors never occupy a
+// worker). The result channel is buffered so a worker can deliver even
+// after the handler gave up on the deadline.
+type job struct {
+	words   []string
+	sent    *cdg.Sentence
+	g       *cdg.Grammar
+	gkey    string
+	backend core.Backend
+	// cfgKey is the coalescing key: grammar key + backend + every
+	// parser option that affects the run. Jobs coalesce into one batch
+	// (one compiled parser, one simulator configuration) only when the
+	// whole key matches.
+	cfgKey    string
+	opts      []core.Option
+	maxParses int
+	ctx       context.Context
+	enq       time.Time
+	result    chan jobResult
+}
+
+// jobResult pairs the wire result with the HTTP status it maps to.
+type jobResult struct {
+	status int
+	resp   ParseResult
+}
+
+// batch is a group of same-configuration jobs executed as one run.
+type batch struct {
+	cfgKey string
+	jobs   []*job
+	timer  *time.Timer
+}
+
+// backendQueue is the bounded queue and coalescer state of one machine
+// model. Each backend gets its own queue so a pile-up of slow maspar
+// simulations cannot starve cheap serial parses.
+type backendQueue struct {
+	backend core.Backend
+	submit  chan *job
+	batches chan *batch
+	flush   chan *batch
+	done    chan struct{}
+	// queued counts jobs accepted but not yet picked up by a worker —
+	// the backpressure gauge behind 429s.
+	queued atomic.Int64
+}
+
+// Pool is the bounded worker pool: per-backend queues, a micro-batching
+// dispatcher per queue, and Workers workers per queue.
+type Pool struct {
+	window   time.Duration
+	maxBatch int
+	depth    int
+	m        *serverMetrics
+
+	mu     sync.RWMutex // guards closed vs. in-flight submits
+	closed bool
+
+	queues    map[core.Backend]*backendQueue
+	wg        sync.WaitGroup // dispatchers + workers
+	closeOnce sync.Once
+}
+
+// errQueueFull is returned (as a 429) when a backend's queue gauge is
+// at capacity.
+var errQueueFull = errors.New("queue full")
+
+func newPool(workers, depth, maxBatch int, window time.Duration, m *serverMetrics) *Pool {
+	p := &Pool{
+		window:   window,
+		maxBatch: maxBatch,
+		depth:    depth,
+		m:        m,
+		queues:   make(map[core.Backend]*backendQueue),
+	}
+	for _, b := range Backends() {
+		q := &backendQueue{
+			backend: b,
+			submit:  make(chan *job, depth),
+			batches: make(chan *batch, workers),
+			flush:   make(chan *batch, depth),
+			done:    make(chan struct{}),
+		}
+		p.queues[b] = q
+		p.wg.Add(1 + workers)
+		go p.dispatch(q)
+		for i := 0; i < workers; i++ {
+			go p.worker(q)
+		}
+	}
+	return p
+}
+
+// Submit enqueues a job, rejecting with errQueueFull when the backend's
+// queue is at capacity and with an error after Close.
+func (p *Pool) Submit(j *job) error {
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	if p.closed {
+		return errors.New("server is draining")
+	}
+	q := p.queues[j.backend]
+	if q.queued.Load() >= int64(p.depth) {
+		p.m.rejected.Add(1)
+		return errQueueFull
+	}
+	q.queued.Add(1)
+	select {
+	case q.submit <- j:
+		return nil
+	default:
+		q.queued.Add(-1)
+		p.m.rejected.Add(1)
+		return errQueueFull
+	}
+}
+
+// dispatch is the coalescer: it accumulates incoming jobs into
+// per-configuration pending batches and releases a batch to the workers
+// when it reaches maxBatch jobs or its window expires, whichever comes
+// first. A closed submit channel flushes everything and shuts the
+// worker feed.
+func (p *Pool) dispatch(q *backendQueue) {
+	defer p.wg.Done()
+	pending := make(map[string]*batch)
+	release := func(b *batch) {
+		if b.timer != nil {
+			b.timer.Stop()
+		}
+		delete(pending, b.cfgKey)
+		q.batches <- b
+	}
+	for {
+		select {
+		case j, ok := <-q.submit:
+			if !ok {
+				for _, b := range pending {
+					b := b
+					if b.timer != nil {
+						b.timer.Stop()
+					}
+					q.batches <- b
+				}
+				close(q.batches)
+				return
+			}
+			b := pending[j.cfgKey]
+			if b == nil {
+				b = &batch{cfgKey: j.cfgKey}
+				pending[j.cfgKey] = b
+				if p.window > 0 {
+					bb := b
+					b.timer = time.AfterFunc(p.window, func() {
+						select {
+						case q.flush <- bb:
+						case <-q.done:
+						}
+					})
+				}
+			}
+			b.jobs = append(b.jobs, j)
+			if len(b.jobs) >= p.maxBatch || p.window <= 0 {
+				release(b)
+			}
+		case b := <-q.flush:
+			// A stale timer may fire for a batch already released by
+			// size; only flush if it is still the pending one.
+			if pending[b.cfgKey] == b {
+				release(b)
+			}
+		}
+	}
+}
+
+// worker executes released batches: one compiled parser per batch (the
+// coalesced "one simulator run"), jobs in arrival order.
+func (p *Pool) worker(q *backendQueue) {
+	defer p.wg.Done()
+	for b := range q.batches {
+		p.m.batches.Add(1)
+		p.m.batchSize.Observe(float64(len(b.jobs)))
+		if len(b.jobs) > 1 {
+			p.m.coalesced.Add(uint64(len(b.jobs)))
+		}
+		parser := core.NewParser(b.jobs[0].g, b.jobs[0].opts...)
+		for _, j := range b.jobs {
+			q.queued.Add(-1)
+			p.runJob(parser, j, len(b.jobs))
+		}
+	}
+}
+
+// runJob executes one job with panic isolation and delivers its result.
+func (p *Pool) runJob(parser *core.Parser, j *job, batchSize int) {
+	wait := time.Since(j.enq)
+	p.m.queueWait.Observe(wait.Seconds())
+	var jr jobResult
+	if err := j.ctx.Err(); err != nil {
+		// The deadline expired while the job sat in the queue; the
+		// handler has already answered 504. Skip the parse entirely.
+		jr = jobResult{
+			status: http.StatusGatewayTimeout,
+			resp: ParseResult{
+				Sentence: j.words, Grammar: j.gkey, Backend: j.backend.String(),
+				TimedOut: true, Error: "deadline exceeded while queued",
+			},
+		}
+	} else {
+		jr = p.execute(parser, j)
+	}
+	jr.resp.QueueTimeUS = durationUS(wait)
+	jr.resp.BatchSize = batchSize
+	j.result <- jr
+}
+
+// execute runs the parse, converting panics to 500s so one poisoned
+// request cannot take the worker (or the daemon) down.
+func (p *Pool) execute(parser *core.Parser, j *job) (jr jobResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			p.m.panics.Add(1)
+			jr = jobResult{
+				status: http.StatusInternalServerError,
+				resp: ParseResult{
+					Sentence: j.words, Grammar: j.gkey, Backend: j.backend.String(),
+					Error: fmt.Sprintf("panic during parse: %v", r),
+				},
+			}
+		}
+	}()
+	start := time.Now()
+	res, err := parser.ParseSentenceContext(j.ctx, j.sent)
+	p.m.parses.Add(1)
+	p.m.parseLatency.Observe(time.Since(start).Seconds())
+	if err != nil {
+		if errors.Is(err, context.DeadlineExceeded) || errors.Is(err, context.Canceled) {
+			return jobResult{
+				status: http.StatusGatewayTimeout,
+				resp: ParseResult{
+					Sentence: j.words, Grammar: j.gkey, Backend: j.backend.String(),
+					TimedOut: true, Error: err.Error(),
+				},
+			}
+		}
+		return jobResult{
+			status: http.StatusInternalServerError,
+			resp: ParseResult{
+				Sentence: j.words, Grammar: j.gkey, Backend: j.backend.String(),
+				Error: err.Error(),
+			},
+		}
+	}
+	p.m.addWork(res.Counters)
+	return jobResult{status: http.StatusOK, resp: NewResult(j.words, j.gkey, j.backend.String(), res, j.maxParses)}
+}
+
+// Close drains the pool: no new submits are accepted, pending batches
+// flush, queued jobs execute, and Close returns when every worker has
+// finished. Idempotent.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() {
+		p.mu.Lock()
+		p.closed = true
+		for _, q := range p.queues {
+			close(q.submit)
+		}
+		p.mu.Unlock()
+		p.wg.Wait()
+		for _, q := range p.queues {
+			close(q.done)
+		}
+	})
+}
+
+// Queued reports the backpressure gauge of one backend (tests).
+func (p *Pool) Queued(b core.Backend) int64 { return p.queues[b].queued.Load() }

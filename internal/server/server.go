@@ -1,0 +1,350 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/cdg"
+	"repro/internal/core"
+	"repro/internal/grammars"
+)
+
+// Config tunes the service. Zero values take the defaults noted.
+type Config struct {
+	// Addr is the listen address for Start (default "127.0.0.1:8723").
+	Addr string
+	// Workers is the worker count per backend queue (default 2).
+	Workers int
+	// QueueDepth bounds jobs accepted but not yet executing, per
+	// backend; beyond it requests get 429 (default 256).
+	QueueDepth int
+	// BatchWindow is how long the coalescer holds an open batch waiting
+	// for same-configuration requests (default 2ms; 0 disables
+	// coalescing).
+	BatchWindow time.Duration
+	// MaxBatch releases a batch early once it has this many jobs
+	// (default 16).
+	MaxBatch int
+	// DefaultTimeout is the per-request deadline when the request sets
+	// none (default 30s).
+	DefaultTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8723"
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.BatchWindow == 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	return c
+}
+
+// Server is the parse service: HTTP handlers over the grammar cache and
+// the batching worker pool.
+type Server struct {
+	cfg   Config
+	cache *Cache
+	pool  *Pool
+	m     *serverMetrics
+	mux   *http.ServeMux
+
+	mu sync.Mutex
+	hs *http.Server
+	ln net.Listener
+}
+
+// New builds a ready-to-serve Server (no listener yet; use Start, or
+// mount Handler on a test server).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:   cfg,
+		cache: NewCache(),
+		m:     newServerMetrics(),
+		mux:   http.NewServeMux(),
+	}
+	s.pool = newPool(cfg.Workers, cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, s.m)
+	s.mux.HandleFunc("/v1/parse", s.handleParse)
+	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/grammars", s.handleGrammars)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the full route tree with status accounting — what
+// Start serves and what tests mount on httptest.
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		s.mux.ServeHTTP(rec, r)
+		s.m.countRequest(rec.status)
+	})
+}
+
+// Start listens on cfg.Addr and serves in the background, returning the
+// bound address (useful with port 0).
+func (s *Server) Start() (string, error) {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return "", err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	s.mu.Lock()
+	s.ln, s.hs = ln, hs
+	s.mu.Unlock()
+	go hs.Serve(ln) //nolint:errcheck // ErrServerClosed on shutdown
+	return ln.Addr().String(), nil
+}
+
+// Shutdown gracefully drains: stop accepting connections, wait for
+// in-flight handlers (bounded by ctx), then drain the worker pool so
+// every accepted job has been answered before returning.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	hs := s.hs
+	s.mu.Unlock()
+	var err error
+	if hs != nil {
+		err = hs.Shutdown(ctx)
+	}
+	s.pool.Close()
+	return err
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats { return s.m.snapshot(s.cache) }
+
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+	wrote  bool
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	if !r.wrote {
+		r.status = code
+		r.wrote = true
+	}
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// maxBody bounds request bodies (grammar sources included).
+const maxBody = 1 << 20
+
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v) //nolint:errcheck // client gone
+}
+
+func errResult(req ParseRequest, msg string, timedOut bool) ParseResult {
+	return ParseResult{
+		Sentence: req.Words(),
+		Grammar:  req.Grammar,
+		Backend:  req.Backend,
+		TimedOut: timedOut,
+		Error:    msg,
+	}
+}
+
+// do runs one request end to end: validate, resolve the grammar and
+// sentence, submit to the pool, and wait for the result or the
+// deadline — whichever comes first, so an expired request answers 504
+// promptly even when the queue behind it is long.
+func (s *Server) do(ctx context.Context, req ParseRequest) (ParseResult, int) {
+	words := req.Words()
+	if len(words) == 0 {
+		return errResult(req, "empty sentence: set \"sentence\" or \"text\"", false), http.StatusBadRequest
+	}
+	backend, err := ParseBackend(req.Backend)
+	if err != nil {
+		return errResult(req, err.Error(), false), http.StatusBadRequest
+	}
+	g, key, err := s.cache.Get(req.Grammar, req.GrammarSource)
+	if err != nil {
+		status := http.StatusBadRequest
+		if req.GrammarSource == "" {
+			status = http.StatusNotFound // unknown built-in name
+		}
+		return errResult(req, err.Error(), false), status
+	}
+	sent, err := cdg.Resolve(g, words, nil)
+	if err != nil {
+		res := errResult(req, err.Error(), false)
+		res.Grammar = key
+		return res, http.StatusBadRequest
+	}
+
+	timeout := s.cfg.DefaultTimeout
+	if req.TimeoutMS > 0 {
+		timeout = time.Duration(req.TimeoutMS) * time.Millisecond
+	}
+	jctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+
+	opts := []core.Option{
+		core.WithBackend(backend),
+		core.WithFilter(!req.NoFilter),
+		core.WithMaxFilterIters(req.MaxFilterIters),
+	}
+	if req.PEs > 0 {
+		opts = append(opts, core.WithPEs(req.PEs))
+	}
+	j := &job{
+		words:   words,
+		sent:    sent,
+		g:       g,
+		gkey:    key,
+		backend: backend,
+		cfgKey: fmt.Sprintf("%s|%s|filter=%v|iters=%d|pes=%d",
+			key, backend, !req.NoFilter, req.MaxFilterIters, req.PEs),
+		opts:      opts,
+		maxParses: req.MaxParses,
+		ctx:       jctx,
+		enq:       time.Now(),
+		result:    make(chan jobResult, 1),
+	}
+	if err := s.pool.Submit(j); err != nil {
+		res := errResult(req, err.Error(), false)
+		res.Grammar = key
+		if errors.Is(err, errQueueFull) {
+			return res, http.StatusTooManyRequests
+		}
+		return res, http.StatusServiceUnavailable
+	}
+	select {
+	case jr := <-j.result:
+		if jr.status == http.StatusGatewayTimeout {
+			s.m.timeouts.Add(1)
+		}
+		return jr.resp, jr.status
+	case <-jctx.Done():
+		// Answer now; the worker will notice the dead context and skip
+		// the parse (its late delivery lands in the buffered channel).
+		s.m.timeouts.Add(1)
+		res := errResult(req, jctx.Err().Error(), true)
+		res.Grammar = key
+		return res, http.StatusGatewayTimeout
+	}
+}
+
+func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req ParseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, errResult(req, "malformed request: "+err.Error(), false))
+		return
+	}
+	res, status := s.do(r.Context(), req)
+	s.writeJSON(w, status, res)
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var breq BatchRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBody)).Decode(&breq); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, BatchResult{})
+		return
+	}
+	if len(breq.Requests) == 0 {
+		s.writeJSON(w, http.StatusBadRequest, BatchResult{})
+		return
+	}
+	// Fan the batch out concurrently — this is what hands the coalescer
+	// same-configuration jobs inside one window.
+	results := make([]ParseResult, len(breq.Requests))
+	var wg sync.WaitGroup
+	for i, req := range breq.Requests {
+		wg.Add(1)
+		go func(i int, req ParseRequest) {
+			defer wg.Done()
+			results[i], _ = s.do(r.Context(), req)
+		}(i, req)
+	}
+	wg.Wait()
+	s.writeJSON(w, http.StatusOK, BatchResult{Results: results})
+}
+
+// grammarInfo is one entry of GET /v1/grammars.
+type grammarInfo struct {
+	Key         string `json:"key"`
+	Cached      bool   `json:"cached"`
+	Roles       int    `json:"roles,omitempty"`
+	Labels      int    `json:"labels,omitempty"`
+	Categories  int    `json:"categories,omitempty"`
+	Words       int    `json:"words,omitempty"`
+	Constraints int    `json:"constraints,omitempty"`
+}
+
+func (s *Server) handleGrammars(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		http.Error(w, "GET only", http.StatusMethodNotAllowed)
+		return
+	}
+	seen := make(map[string]bool)
+	var infos []grammarInfo
+	describe := func(key string, g *cdg.Grammar, cached bool) {
+		infos = append(infos, grammarInfo{
+			Key: key, Cached: cached,
+			Roles: g.NumRoles(), Labels: g.NumLabels(), Categories: g.NumCats(),
+			Words: len(g.Words()), Constraints: g.NumConstraints(),
+		})
+	}
+	for _, key := range s.cache.Keys() {
+		if g, ok := s.cache.Lookup(key); ok {
+			describe(key, g, true)
+			seen[key] = true
+		}
+	}
+	for _, name := range grammars.Names() {
+		if seen[name] {
+			continue
+		}
+		g, err := grammars.ByName(name)
+		if err != nil {
+			continue
+		}
+		describe(name, g, false)
+	}
+	s.writeJSON(w, http.StatusOK, map[string]any{"grammars": infos})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.m.started).Seconds(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.m.writePrometheus(w, s.cache)
+}

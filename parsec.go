@@ -21,6 +21,18 @@
 //	if err != nil { … }
 //	fmt.Println(res.Accepted(), res.ModelTime)
 //	for _, a := range res.Parses(0) { fmt.Print(a) }
+//
+// Parsing under a deadline — the context is checked between constraint
+// propagations and consistency rounds, so cancellation stops a long
+// parse mid-algorithm:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), 100*time.Millisecond)
+//	defer cancel()
+//	res, err := p.ParseContext(ctx, words) // err == context.DeadlineExceeded on expiry
+//
+// The same parsers are served over HTTP by cmd/parsecd (internal/server):
+// POST /v1/parse with request batching, a compiled-grammar cache, and
+// Prometheus metrics; cmd/parsecload generates load against it.
 package parsec
 
 import (

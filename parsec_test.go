@@ -4,6 +4,8 @@ package parsec_test
 // touches in the README quick start must work exactly as documented.
 
 import (
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -130,5 +132,20 @@ func TestOptionsViaFacade(t *testing.T) {
 	}
 	if res.Counters.FilterIterations > 2 {
 		t.Errorf("filter bound ignored: %d", res.Counters.FilterIterations)
+	}
+}
+
+// TestFacadeParseContext pins the documented context-aware entry point
+// on the public facade.
+func TestFacadeParseContext(t *testing.T) {
+	p := parsec.NewParser(parsec.PaperDemo())
+	res, err := p.ParseContext(context.Background(), []string{"the", "program", "runs"})
+	if err != nil || !res.Accepted() {
+		t.Fatalf("ParseContext: res=%v err=%v", res, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := p.ParseContext(ctx, []string{"the", "program", "runs"}); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled ParseContext: err=%v, want context.Canceled", err)
 	}
 }
