@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet ci serve load
+.PHONY: build test race vet lint ci serve load
 
 build:
 	$(GO) build ./...
@@ -11,12 +11,20 @@ test:
 vet:
 	$(GO) vet ./...
 
+# lint runs the project analyzers (determinism, map ordering, context
+# flow, lock discipline) over the whole module. parseclint is a
+# multichecker built on the stdlib; if golang.org/x/tools is ever
+# vendored, the same analyzers can run as `go vet -vettool` — see
+# cmd/parseclint.
+lint:
+	$(GO) run ./cmd/parseclint ./...
+
 race:
 	$(GO) test -race ./...
 
 # ci is the gate: static checks plus the full suite under the race
 # detector (the server/coalescer tests are written to be hammered).
-ci: vet race
+ci: vet lint race
 
 # serve runs the parse service on the default port.
 serve:

@@ -1,0 +1,96 @@
+// Command parseclint is the project's static-analysis gate: a
+// multichecker running the internal/analysis suite (ctxflow, detrand,
+// locksafe, maporder) over the package patterns given on the command
+// line. It is `make lint` and part of `make ci`.
+//
+// Usage:
+//
+//	parseclint [-only names] [-list] [packages...]
+//
+// With no packages, ./... is checked. Exit status is 1 when any
+// diagnostic survives suppression. Findings are suppressed one line at
+// a time with
+//
+//	//lint:allow <analyzer> (justification)
+//
+// on the offending line or the line above; the justification is
+// mandatory.
+//
+// The suite is stdlib-only (see internal/analysis). If the module ever
+// vendors golang.org/x/tools, the same analyzers port to
+// go/analysis + unitchecker, at which point `go vet
+// -vettool=$(which parseclint) ./...` becomes the driver and this
+// main shrinks to a multichecker.Main call.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errw *os.File) int {
+	fs := flag.NewFlagSet("parseclint", flag.ContinueOnError)
+	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.SetOutput(errw)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Fprintf(out, "%-10s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := make(map[string]*analysis.Analyzer)
+		for _, a := range analyzers {
+			byName[a.Name] = a
+		}
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(errw, "parseclint: unknown analyzer %q\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(".", patterns)
+	if err != nil {
+		fmt.Fprintf(errw, "parseclint: %v\n", err)
+		return 2
+	}
+	bad := false
+	for _, pkg := range pkgs {
+		diags, err := analysis.RunAnalyzers(pkg, analyzers, false)
+		if err != nil {
+			fmt.Fprintf(errw, "parseclint: %v\n", err)
+			return 2
+		}
+		for _, d := range diags {
+			bad = true
+			fmt.Fprintln(out, d)
+		}
+	}
+	if bad {
+		return 1
+	}
+	return 0
+}

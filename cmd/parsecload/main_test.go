@@ -24,6 +24,7 @@ func TestSmokeLoadAgainstInProcessServer(t *testing.T) {
 	}
 	report := out.String()
 	for _, want := range []string{
+		"seed=1", // the default seed is echoed so the run can be replayed
 		"requests=32",
 		"status 200: 32",
 		"latency p50=",

@@ -1,0 +1,188 @@
+// Package analysis is parseclint's static-analysis framework: a
+// self-contained, stdlib-only reimplementation of the
+// golang.org/x/tools/go/analysis surface this repository needs.
+//
+// The module is deliberately dependency-free, so instead of vendoring
+// x/tools the package provides the same shapes — Analyzer, Pass,
+// Diagnostic — over a loader (load.go) that typechecks packages from
+// `go list -export` output. Analyzers written against this API port to
+// the real go/analysis API (and therefore to `go vet -vettool`)
+// mechanically; see DESIGN.md "Static analysis & determinism
+// invariants".
+//
+// The suite machine-checks the invariants the paper's claims rest on:
+// the simulator packages must be bit-deterministic (detrand, maporder)
+// and the server must keep its cancellation and locking contracts
+// (ctxflow, locksafe). Findings can be suppressed one line at a time
+// with
+//
+//	//lint:allow <analyzer> (justification)
+//
+// where the parenthesized justification is mandatory: an allow without
+// a reason is itself a diagnostic.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named check, mirroring x/tools' analysis.Analyzer.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and //lint:allow
+	// comments.
+	Name string
+	// Doc is the one-paragraph description shown by parseclint -list.
+	Doc string
+	// Match restricts which package import paths the analyzer runs on
+	// when driven over the real tree; nil means every package. Fixture
+	// tests bypass it.
+	Match func(pkgPath string) bool
+	// Run reports findings on one package via pass.Reportf.
+	Run func(pass *Pass) error
+}
+
+// Pass carries one package's syntax and type information to an
+// analyzer, mirroring x/tools' analysis.Pass.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// allowRe matches the suppression comment. The justification inside
+// the parentheses is required.
+var allowRe = regexp.MustCompile(`//lint:allow\s+([A-Za-z0-9_,]+)(?:\s*\(([^)]*)\))?`)
+
+// allowSite is one //lint:allow comment, keyed by file and line.
+type allowSite struct {
+	analyzers map[string]bool
+	reason    string
+	pos       token.Position
+	used      bool
+}
+
+// collectAllows indexes every //lint:allow comment of the files by
+// (filename, line). A suppression covers diagnostics on its own line
+// and on the line directly below it (comment-above style).
+func collectAllows(fset *token.FileSet, files []*ast.File) map[string]*allowSite {
+	sites := make(map[string]*allowSite)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				site := &allowSite{analyzers: make(map[string]bool), pos: fset.Position(c.Pos())}
+				for _, name := range strings.Split(m[1], ",") {
+					site.analyzers[strings.TrimSpace(name)] = true
+				}
+				if len(m) > 2 {
+					site.reason = strings.TrimSpace(m[2])
+				}
+				key := fmt.Sprintf("%s:%d", site.pos.Filename, site.pos.Line)
+				sites[key] = site
+			}
+		}
+	}
+	return sites
+}
+
+// RunAnalyzers applies analyzers to pkg (respecting each analyzer's
+// Match unless force is set), applies //lint:allow suppressions, and
+// returns the surviving diagnostics sorted by position. A suppression
+// comment with no justification, or one that suppresses nothing, is
+// reported as a finding of the pseudo-analyzer "lintallow".
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, force bool) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		if !force && a.Match != nil && !a.Match(pkg.ImportPath) {
+			continue
+		}
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+		}
+	}
+
+	sites := collectAllows(pkg.Fset, pkg.Files)
+	kept := diags[:0]
+	for _, d := range diags {
+		if site := matchAllow(sites, d); site != nil {
+			site.used = true
+			if site.reason == "" {
+				kept = append(kept, Diagnostic{
+					Analyzer: "lintallow",
+					Pos:      site.pos,
+					Message:  fmt.Sprintf("//lint:allow %s needs a (justification)", d.Analyzer),
+				})
+			}
+			continue
+		}
+		kept = append(kept, d)
+	}
+	diags = kept
+
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return diags, nil
+}
+
+// matchAllow finds a suppression covering d: an allow on the same line
+// or on the line directly above.
+func matchAllow(sites map[string]*allowSite, d Diagnostic) *allowSite {
+	for _, line := range []int{d.Pos.Line, d.Pos.Line - 1} {
+		if s, ok := sites[fmt.Sprintf("%s:%d", d.Pos.Filename, line)]; ok && s.analyzers[d.Analyzer] {
+			return s
+		}
+	}
+	return nil
+}

@@ -1,0 +1,172 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// wantRe matches a fixture expectation: // want "regexp" ["regexp" ...]
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// RunFixture loads the fixture package at
+// testdata/src/<name>, runs a over it (ignoring a.Match), and checks
+// the diagnostics against the `// want "re"` comments in the fixture:
+// every diagnostic must be expected on its line and every expectation
+// must fire. This is the analysistest contract, stdlib-only.
+func RunFixture(t *testing.T, a *Analyzer, name string) {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", name, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			imports[p] = true
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s: no Go files", name)
+	}
+
+	var deps []string
+	for p := range imports {
+		deps = append(deps, p)
+	}
+	sort.Strings(deps)
+	exports, err := ListExports(".", deps)
+	if err != nil {
+		t.Fatalf("fixture %s: resolving imports: %v", name, err)
+	}
+	tpkg, info, err := Check("fixture/"+name, fset, files, exports)
+	if err != nil {
+		t.Fatalf("fixture %s: typecheck: %v", name, err)
+	}
+
+	pkg := &Package{
+		ImportPath: "fixture/" + name,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
+	}
+	diags, err := RunAnalyzers(pkg, []*Analyzer{a}, true)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				for _, q := range splitQuoted(m[1]) {
+					re, err := regexp.Compile(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q, err)
+					}
+					k := key{pos.Filename, pos.Line}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	matched := map[*regexp.Regexp]bool{}
+	for _, d := range diags {
+		k := key{d.Pos.Filename, d.Pos.Line}
+		ok := false
+		for _, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				matched[re] = true
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for k, res := range wants {
+		for _, re := range res {
+			if !matched[re] {
+				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
+			}
+		}
+	}
+}
+
+// splitQuoted extracts the quoted patterns of a want comment: raw
+// backquoted strings, or double-quoted strings where \" and \\ are
+// unescaped (other backslash sequences pass through to the regexp).
+func splitQuoted(s string) []string {
+	var out []string
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '`':
+			j := strings.IndexByte(s[i+1:], '`')
+			if j < 0 {
+				return out
+			}
+			out = append(out, s[i+1:i+1+j])
+			i += j + 1
+		case '"':
+			var b strings.Builder
+			i++
+			for i < len(s) && s[i] != '"' {
+				if s[i] == '\\' && i+1 < len(s) && (s[i+1] == '"' || s[i+1] == '\\') {
+					i++
+				}
+				b.WriteByte(s[i])
+				i++
+			}
+			if i >= len(s) {
+				return out
+			}
+			out = append(out, b.String())
+		}
+	}
+	return out
+}
+
+// pkgPathIn reports whether path is one of the repro-module packages in
+// names (each given relative to "repro/internal/"). Fixture packages
+// ("fixture/...") always match so tests exercise analyzers directly.
+func pkgPathIn(names ...string) func(string) bool {
+	set := make(map[string]bool, len(names))
+	for _, n := range names {
+		set["repro/internal/"+n] = true
+	}
+	return func(path string) bool {
+		return set[path] || strings.HasPrefix(path, "fixture/")
+	}
+}

@@ -1,0 +1,7 @@
+package analysis
+
+// All returns every analyzer in the parseclint suite, in reporting
+// order.
+func All() []*Analyzer {
+	return []*Analyzer{CtxFlow, DetRand, LockSafe, MapOrder}
+}

@@ -1,0 +1,59 @@
+package analysis
+
+import "testing"
+
+func TestDetRandFixture(t *testing.T)  { RunFixture(t, DetRand, "detrand") }
+func TestMapOrderFixture(t *testing.T) { RunFixture(t, MapOrder, "maporder") }
+func TestCtxFlowFixture(t *testing.T)  { RunFixture(t, CtxFlow, "ctxflow") }
+func TestLockSafeFixture(t *testing.T) { RunFixture(t, LockSafe, "locksafe") }
+
+// TestMatchScopes pins each analyzer to the packages its invariants
+// live in: the simulator set for determinism, the service set for
+// locking, everything for context flow.
+func TestMatchScopes(t *testing.T) {
+	cases := []struct {
+		a    *Analyzer
+		path string
+		want bool
+	}{
+		{DetRand, "repro/internal/maspar", true},
+		{DetRand, "repro/internal/serial", true},
+		{DetRand, "repro/internal/server", false},
+		{DetRand, "repro/cmd/parsecload", false},
+		{MapOrder, "repro/internal/server", true},
+		{MapOrder, "repro/internal/grammars", true},
+		{MapOrder, "repro/internal/workload", false},
+		{CtxFlow, "repro/internal/core", true},
+		{CtxFlow, "repro/cmd/parsecd", true},
+		{LockSafe, "repro/internal/server", true},
+		{LockSafe, "repro/internal/metrics", true},
+		{LockSafe, "repro/internal/cn", false},
+	}
+	for _, c := range cases {
+		if got := c.a.Match(c.path); got != c.want {
+			t.Errorf("%s.Match(%q) = %v, want %v", c.a.Name, c.path, got, c.want)
+		}
+	}
+}
+
+// TestLoadRealPackage exercises the go list -export loader against a
+// real module package end to end.
+func TestLoadRealPackage(t *testing.T) {
+	pkgs, err := Load("../..", []string{"./internal/bitset"})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("got %d packages, want 1", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.ImportPath != "repro/internal/bitset" {
+		t.Errorf("ImportPath = %q", p.ImportPath)
+	}
+	if p.Types == nil || len(p.Files) == 0 || len(p.TypesInfo.Defs) == 0 {
+		t.Errorf("package not fully typechecked: %+v", p)
+	}
+	if _, err := RunAnalyzers(p, All(), false); err != nil {
+		t.Errorf("RunAnalyzers: %v", err)
+	}
+}

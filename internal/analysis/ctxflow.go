@@ -1,0 +1,231 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow guards the cancellation plumbing the HTTP service depends
+// on: a parse entry point that drops its context silently turns the
+// server's deadline handling into a no-op. Three rules:
+//
+//  1. A function that receives a context.Context must pass it (or a
+//     context derived from it), never context.Background() or
+//     context.TODO(), to callees that accept one.
+//
+//  2. A function that receives a context.Context and builds an options
+//     struct with an exported `Ctx context.Context` field must set
+//     that field — an unset Ctx severs cancellation at a package
+//     boundary.
+//
+//  3. An exported Parse*/Filter* entry point that manufactures a fresh
+//     context (Background/TODO passed to a context-taking callee) must
+//     either itself accept a context — directly or via an options
+//     struct with a Ctx field — or have an exported Context/Ctx
+//     sibling variant (e.g. Parse → ParseContext) so callers can
+//     cancel.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "parse entry points must accept a context and pass it through, " +
+		"not sever cancellation with context.Background()/TODO()",
+	Match: func(path string) bool {
+		return strings.HasPrefix(path, "repro") || strings.HasPrefix(path, "fixture/")
+	},
+	Run: runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			hasCtx := funcHasCtxParam(pass, fd) || funcHasCtxOptions(pass, fd)
+			fresh := checkCtxCalls(pass, fd, hasCtx)
+			if fresh && !hasCtx && isParseEntryPoint(fd) && !hasContextSibling(pass, fd) {
+				pass.Reportf(fd.Name.Pos(),
+					"exported entry point %s manufactures its own context and cannot be cancelled: "+
+						"accept a context.Context (directly or via an options Ctx field) or add a %sContext variant",
+					fd.Name.Name, fd.Name.Name)
+			}
+		}
+	}
+	return nil
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// funcHasCtxParam reports whether fd has a parameter of type
+// context.Context.
+func funcHasCtxParam(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if isContextType(pass.TypesInfo.TypeOf(field.Type)) {
+			return true
+		}
+	}
+	return false
+}
+
+// funcHasCtxOptions reports whether fd has a parameter whose struct
+// type (or pointee) carries a Ctx/Context field of type
+// context.Context — the options-struct convention serial.Options uses.
+func funcHasCtxOptions(pass *Pass, fd *ast.FuncDecl) bool {
+	if fd.Type.Params == nil {
+		return false
+	}
+	for _, field := range fd.Type.Params.List {
+		if ctxFieldOf(pass.TypesInfo.TypeOf(field.Type)) != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxFieldOf returns the Ctx/Context context.Context field of t's
+// struct form (through one pointer), or nil.
+func ctxFieldOf(t types.Type) *types.Var {
+	if t == nil {
+		return nil
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		fld := st.Field(i)
+		if (fld.Name() == "Ctx" || fld.Name() == "Context") && isContextType(fld.Type()) {
+			return fld
+		}
+	}
+	return nil
+}
+
+// checkCtxCalls walks fd's body enforcing rules 1 and 2, and reports
+// whether the body passes a fresh Background/TODO context to any
+// context-taking callee (input to rule 3).
+func checkCtxCalls(pass *Pass, fd *ast.FuncDecl, hasCtx bool) (manufactures bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			for _, arg := range n.Args {
+				if !isFreshContextCall(pass, arg) {
+					continue
+				}
+				manufactures = true
+				if hasCtx {
+					pass.Reportf(arg.Pos(),
+						"%s receives a context but passes %s here: pass the caller's context (or one derived from it)",
+						fd.Name.Name, exprString(arg))
+				}
+			}
+		case *ast.CompositeLit:
+			if !hasCtx {
+				return true
+			}
+			fld := ctxFieldOf(pass.TypesInfo.TypeOf(n))
+			if fld == nil {
+				return true
+			}
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					if id, ok := kv.Key.(*ast.Ident); ok && id.Name == fld.Name() {
+						return true // field set; fine
+					}
+				}
+			}
+			pass.Reportf(n.Pos(),
+				"%s receives a context but builds %s without setting %s: cancellation is severed here",
+				fd.Name.Name, typeName(pass, n), fld.Name())
+		}
+		return true
+	})
+	return manufactures
+}
+
+// isFreshContextCall reports whether e is context.Background() or
+// context.TODO().
+func isFreshContextCall(pass *Pass, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	obj := pass.TypesInfo.Uses[sel.Sel]
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "context" &&
+		(obj.Name() == "Background" || obj.Name() == "TODO")
+}
+
+// isParseEntryPoint reports whether fd is an exported Parse*/Filter*
+// function or method.
+func isParseEntryPoint(fd *ast.FuncDecl) bool {
+	name := fd.Name.Name
+	return ast.IsExported(name) &&
+		(strings.HasPrefix(name, "Parse") || strings.HasPrefix(name, "Filter"))
+}
+
+// hasContextSibling reports whether fd's package (and receiver type,
+// for methods) also exports <Name>Context or <Name>Ctx.
+func hasContextSibling(pass *Pass, fd *ast.FuncDecl) bool {
+	names := []string{fd.Name.Name + "Context", fd.Name.Name + "Ctx"}
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		for _, n := range names {
+			if obj := pass.Pkg.Scope().Lookup(n); obj != nil {
+				return true
+			}
+		}
+		return false
+	}
+	recvType := pass.TypesInfo.TypeOf(fd.Recv.List[0].Type)
+	if recvType == nil {
+		return false
+	}
+	for _, n := range names {
+		if obj, _, _ := types.LookupFieldOrMethod(recvType, true, pass.Pkg, n); obj != nil {
+			return true
+		}
+	}
+	return false
+}
+
+// exprString renders a short form of e for messages.
+func exprString(e ast.Expr) string {
+	if call, ok := e.(*ast.CallExpr); ok {
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := sel.X.(*ast.Ident); ok {
+				return id.Name + "." + sel.Sel.Name + "()"
+			}
+		}
+	}
+	return "a fresh context"
+}
+
+// typeName renders the composite literal's type for messages.
+func typeName(pass *Pass, lit *ast.CompositeLit) string {
+	if t := pass.TypesInfo.TypeOf(lit); t != nil {
+		s := t.String()
+		if i := strings.LastIndexByte(s, '/'); i >= 0 {
+			s = s[i+1:]
+		}
+		return s
+	}
+	return "an options literal"
+}

@@ -1,0 +1,48 @@
+package ctxflow
+
+import "context"
+
+// Passing the received context (or one derived from it) is the point.
+func ParseGood(ctx context.Context, words []string) error {
+	return engine(ctx)
+}
+
+func ParseDeadline(ctx context.Context, words []string) error {
+	dctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return engine(dctx)
+}
+
+// Setting the options Ctx keeps cancellation flowing.
+func FilterSet(ctx context.Context) error {
+	return runWith(Options{Ctx: ctx, Filter: true})
+}
+
+// A Background-manufacturing wrapper is fine when an exported Context
+// sibling exists.
+func ParseDoc(b []byte) error { return engine(context.Background()) }
+
+func ParseDocContext(ctx context.Context, b []byte) error { return engine(ctx) }
+
+// Same for methods.
+type P struct{}
+
+func (p *P) Parse(words []string) error { return engine(context.Background()) }
+
+func (p *P) ParseContext(ctx context.Context, words []string) error { return engine(ctx) }
+
+// An options struct carrying Ctx counts as accepting a context; the
+// nil-default inside is the established engine pattern.
+func ParseOpt(opt Options) error {
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return engine(ctx)
+}
+
+// Unexported helpers are not entry points.
+func parseInner(words []string) error { return engine(context.Background()) }
+
+// Exported non-Parse/Filter names are out of rule 3's scope.
+func RenderTree(words []string) error { return engine(context.Background()) }

@@ -1,0 +1,33 @@
+package ctxflow
+
+import "context"
+
+// Options mirrors the engines' options-struct convention.
+type Options struct {
+	Ctx    context.Context
+	Filter bool
+}
+
+func engine(ctx context.Context) error { return ctx.Err() }
+
+func runWith(opt Options) error { return nil }
+
+// Rule 1: a received context must be the one passed on.
+func ParseTree(ctx context.Context, words []string) error {
+	return engine(context.Background()) // want "receives a context but passes context.Background"
+}
+
+func FilterTodo(ctx context.Context) error {
+	return engine(context.TODO()) // want "receives a context but passes context.TODO"
+}
+
+// Rule 2: an options literal with a Ctx field must set it.
+func FilterAll(ctx context.Context) error {
+	return runWith(Options{Filter: true}) // want "without setting Ctx"
+}
+
+// Rule 3: an exported entry point that manufactures a context needs a
+// Context variant or a ctx parameter.
+func ParseWords(words []string) error { // want "cannot be cancelled"
+	return engine(context.Background())
+}

@@ -1,0 +1,27 @@
+package detrand
+
+// splitmix64 is the deterministic way to get randomness in a simulator
+// package: an explicitly seeded generator.
+type splitmix64 struct{ s uint64 }
+
+func (r *splitmix64) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func deterministicRoll(seed uint64) uint64 {
+	r := splitmix64{s: seed | 1}
+	return r.next() % 6
+}
+
+// fixedWorkers shows the deterministic alternative to GOMAXPROCS: an
+// explicit worker count from configuration.
+func fixedWorkers(configured int) int {
+	if configured < 1 {
+		return 1
+	}
+	return configured
+}

@@ -1,0 +1,35 @@
+package detrand
+
+import (
+	"math/rand" // want "import of math/rand in a deterministic simulator package"
+	"runtime"
+	"time"
+)
+
+func clock() time.Duration {
+	t0 := time.Now()      // want "time.Now reads the host clock"
+	return time.Since(t0) // want "time.Since reads the host clock"
+}
+
+func workers() int {
+	if runtime.NumCPU() > 4 { // want "runtime.NumCPU depends on the host machine"
+		return 4
+	}
+	return runtime.GOMAXPROCS(0) // want "runtime.GOMAXPROCS depends on host configuration"
+}
+
+func probe() int {
+	return runtime.NumGoroutine() // want "runtime.NumGoroutine depends on scheduler state"
+}
+
+func roll() int { return rand.Intn(6) }
+
+func allowedWithReason() int {
+	//lint:allow detrand (chunking only; results identical at any worker count)
+	return runtime.GOMAXPROCS(0)
+}
+
+func allowedWithoutReason() time.Time {
+	//lint:allow detrand // want "needs a \\(justification\\)"
+	return time.Now()
+}

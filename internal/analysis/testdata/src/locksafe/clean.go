@@ -1,0 +1,44 @@
+package locksafe
+
+import "sync"
+
+func (c *counters) good() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+func (c *counters) goodWrite() {
+	c.mu.Lock()
+	c.work++
+	c.hits++
+	c.mu.Unlock()
+}
+
+// Unguarded fields need no lock.
+func (c *counters) title() string { return c.name }
+
+// Pointers to sync primitives are fine at API boundaries.
+func withPointer(mu *sync.Mutex, wg *sync.WaitGroup) {
+	mu.Lock()
+	defer mu.Unlock()
+	wg.Add(0)
+}
+
+// Pointer receivers over lock-holding structs are the correct shape.
+func (h *holder) ok() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+}
+
+// rw demonstrates RLock satisfying the read path.
+type rw struct {
+	rmu  sync.RWMutex
+	data map[string]int
+}
+
+func (r *rw) read(k string) int {
+	r.rmu.RLock()
+	defer r.rmu.RUnlock()
+	return r.data[k]
+}

@@ -1,0 +1,38 @@
+package locksafe
+
+import "sync"
+
+type counters struct {
+	mu   sync.Mutex
+	hits int
+	work int
+
+	name string // unguarded: the blank line above ends mu's block
+}
+
+func (c *counters) bad() int {
+	return c.hits // want "c.hits is guarded by mu"
+}
+
+func (c *counters) badWrite() {
+	c.work++ // want "c.work is guarded by mu"
+}
+
+func (c *counters) lockedLate() int {
+	h := c.hits // want "c.hits is guarded by mu"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return h + c.hits
+}
+
+func byValue(mu sync.Mutex) {} // want "parameter of byValue carries a sync primitive by value"
+
+func wgByValue(wg sync.WaitGroup) {} // want "parameter of wgByValue carries a sync primitive by value"
+
+type holder struct{ mu sync.Mutex }
+
+func (h holder) method() {} // want "receiver of method carries a sync primitive by value"
+
+func makeLock() (m sync.Mutex) { return } // want "result of makeLock carries a sync primitive by value"
+
+func nested(hs [2]holder) {} // want "parameter of nested carries a sync primitive by value"

@@ -1,0 +1,59 @@
+package maporder
+
+import (
+	"fmt"
+	"sort"
+)
+
+// keysSorted is the canonical fix: collect, sort, then use.
+func keysSorted(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// emitSorted writes in deterministic order by iterating sorted keys.
+func emitSorted(m map[string]int) {
+	for _, k := range keysSorted(m) {
+		fmt.Printf("%s=%d\n", k, m[k])
+	}
+}
+
+// aggregate only folds with a commutative operation; order-free.
+func aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// localState appends to a slice scoped inside the loop body.
+func localState(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		local := make([]int, 0, len(vs))
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// mutateMap deletes during iteration — order-insensitive and legal.
+func mutateMap(m map[string]int) {
+	for k := range m {
+		if m[k] == 0 {
+			delete(m, k)
+		}
+	}
+}
+
+// sliceRange is not a map range at all.
+func sliceRange(xs []string, ch chan string) {
+	for _, x := range xs {
+		ch <- x
+	}
+}

@@ -1,0 +1,49 @@
+package maporder
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+func keysUnsorted(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want "append to \"out\" inside map iteration without sorting"
+	}
+	return out
+}
+
+func send(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want "channel send inside map iteration"
+	}
+}
+
+func write(m map[string]int) {
+	for k, v := range m {
+		fmt.Printf("%s=%d\n", k, v) // want "Printf inside map iteration"
+	}
+}
+
+func hashIt(m map[string]bool) uint64 {
+	h := fnv.New64a()
+	for k := range m {
+		h.Write([]byte(k)) // want "Write inside map iteration"
+	}
+	return h.Sum64()
+}
+
+func callOut(m map[string]int, sink func(string)) {
+	for k := range m {
+		sink(k) // want "call with map iteration variables as arguments"
+	}
+}
+
+func assignForm(m map[string]int) []int {
+	var vals []int
+	var v int
+	for _, v = range m {
+		vals = append(vals, v) // want "append to \"vals\" inside map iteration without sorting"
+	}
+	return vals
+}

@@ -226,6 +226,7 @@ func (p *Parser) parseSentence(ctx context.Context, sent *cdg.Sentence) (*Result
 
 	case PRAM:
 		pres, err := pram.Parse(p.g, sent, pram.Options{
+			Ctx:            ctx,
 			Policy:         p.cfg.policy,
 			Filter:         p.cfg.filter,
 			MaxFilterIters: p.cfg.maxFilterIters,
@@ -237,6 +238,7 @@ func (p *Parser) parseSentence(ctx context.Context, sent *cdg.Sentence) (*Result
 
 	case Mesh:
 		mres, err := meshcdg.Parse(p.g, sent, meshcdg.Options{
+			Ctx:            ctx,
 			Filter:         p.cfg.filter,
 			MaxFilterIters: p.cfg.maxFilterIters,
 		})
@@ -247,6 +249,7 @@ func (p *Parser) parseSentence(ctx context.Context, sent *cdg.Sentence) (*Result
 
 	case HostParallel:
 		hres, err := hostpar.Parse(p.g, sent, hostpar.Options{
+			Ctx:            ctx,
 			Workers:        p.cfg.workers,
 			Filter:         p.cfg.filter,
 			MaxFilterIters: p.cfg.maxFilterIters,

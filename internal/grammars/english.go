@@ -47,18 +47,18 @@ func englishBuilder() *cdg.Builder {
 		Role("needs", "NP", "S", "PC", "BLANK").
 		Role("comp", "O", "NONE")
 
-	for word, cat := range map[string]string{
-		"the": "det", "a": "det", "every": "det",
-		"big": "adj", "old": "adj", "red": "adj",
-		"dog": "noun", "man": "noun", "telescope": "noun", "park": "noun", "cat": "noun", "ball": "noun",
-		"rex": "pnoun", "fido": "pnoun",
-		"saw": "verb", "walked": "verb", "liked": "verb", "chased": "verb",
-		"caught": "tverb", "took": "tverb",
-		"slept": "iverb", "ran": "iverb",
-		"with": "prep", "in": "prep", "of": "prep",
-		"quickly": "adv", "slowly": "adv",
+	for _, e := range []struct{ word, cat string }{
+		{"the", "det"}, {"a", "det"}, {"every", "det"},
+		{"big", "adj"}, {"old", "adj"}, {"red", "adj"},
+		{"dog", "noun"}, {"man", "noun"}, {"telescope", "noun"}, {"park", "noun"}, {"cat", "noun"}, {"ball", "noun"},
+		{"rex", "pnoun"}, {"fido", "pnoun"},
+		{"saw", "verb"}, {"walked", "verb"}, {"liked", "verb"}, {"chased", "verb"},
+		{"caught", "tverb"}, {"took", "tverb"},
+		{"slept", "iverb"}, {"ran", "iverb"},
+		{"with", "prep"}, {"in", "prep"}, {"of", "prep"},
+		{"quickly", "adv"}, {"slowly", "adv"},
 	} {
-		b.Word(word, cat)
+		b.Word(e.word, e.cat)
 	}
 
 	// ---- unary constraints: category × role templates ----

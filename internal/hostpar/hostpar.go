@@ -13,6 +13,7 @@
 package hostpar
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -24,6 +25,11 @@ import (
 
 // Options tune the host-parallel parse.
 type Options struct {
+	// Ctx, when non-nil, is checked between constraint applications
+	// and between filtering rounds; a deadline or cancellation aborts
+	// the parse mid-algorithm with the context's error. Nil means
+	// never cancelled.
+	Ctx context.Context
 	// Workers caps the goroutine pool (<= 0: GOMAXPROCS).
 	Workers int
 	// Filter enables the filtering phase; MaxFilterIters bounds it
@@ -49,8 +55,15 @@ func (r *Result) Accepted() bool { return r.Network.AllRolesAlive() }
 // Parse runs the pipeline of §1.4 with the expensive phases fanned out
 // across cores.
 func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	workers := opt.Workers
 	if workers <= 0 {
+		// The pool size never changes results: work units are disjoint
+		// and reductions are two-phase (cf. TestMasParDeterminismAcrossGOMAXPROCS).
+		//lint:allow detrand (pool sizing only; output is worker-count independent)
 		workers = runtime.GOMAXPROCS(0)
 	}
 	sp := cdg.NewSpace(g, sent)
@@ -64,6 +77,9 @@ func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
 	}
 	// Binary constraints: arcs are disjoint — perfect fan-out.
 	for _, c := range g.Binary() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		e.applyBinaryParallel(c)
 		e.consistencyParallel()
 	}
@@ -74,6 +90,9 @@ func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
 				break
 			}
 			iters++
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			nw.Counters.FilterIterations++
 			if e.consistencyParallel() == 0 {
 				break

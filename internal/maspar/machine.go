@@ -100,6 +100,10 @@ func New(phys int, costs CostModel) (*Machine, error) {
 	if phys <= 0 {
 		return nil, fmt.Errorf("maspar: need a positive PE count, got %d", phys)
 	}
+	// Workers only chunk the PE sweep: writes are PE-local and cycle
+	// charging is host-side, so results are identical at any pool size
+	// (enforced by TestMasParDeterminismAcrossGOMAXPROCS).
+	//lint:allow detrand (chunking only; output is worker-count independent)
 	w := runtime.GOMAXPROCS(0)
 	if w < 1 {
 		w = 1

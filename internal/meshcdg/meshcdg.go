@@ -25,6 +25,8 @@
 package meshcdg
 
 import (
+	"context"
+
 	"repro/internal/cdg"
 	"repro/internal/cn"
 	"repro/internal/metrics"
@@ -32,6 +34,11 @@ import (
 
 // Options tune the mesh parse.
 type Options struct {
+	// Ctx, when non-nil, is checked between constraint applications
+	// and between consistency rounds; a deadline or cancellation
+	// aborts the parse mid-algorithm with the context's error. Nil
+	// means never cancelled.
+	Ctx context.Context
 	// Filter enables the filtering phase (to fixpoint when
 	// MaxFilterIters <= 0).
 	Filter         bool
@@ -60,6 +67,10 @@ func (r *Result) Accepted() bool { return r.Network.AllRolesAlive() }
 // so the final network is bit-identical to the serial engine's — which
 // the differential tests enforce.
 func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	sp := cdg.NewSpace(g, sent)
 	nw := cn.New(sp)
 
@@ -76,10 +87,16 @@ func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
 	// Constraint propagation, like the MasPar: all constraints first,
 	// consistency afterwards (fixpoints agree; see core's ablation).
 	for _, c := range g.Unary() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		nw.ApplyUnary(c)
 		res.Steps += perCell
 	}
 	for _, c := range g.Binary() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		nw.ApplyBinary(c)
 		res.Steps += perCell
 	}
@@ -102,6 +119,9 @@ func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
 				break
 			}
 			iters++
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if round() == 0 {
 				break
 			}

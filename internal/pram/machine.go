@@ -67,6 +67,9 @@ type Machine struct {
 
 // New returns a machine with memWords words of zeroed shared memory.
 func New(memWords int, policy Policy) *Machine {
+	// Workers only chunk the processor sweep; two-phase commit keeps
+	// results identical at any pool size.
+	//lint:allow detrand (chunking only; output is worker-count independent)
 	w := runtime.GOMAXPROCS(0)
 	if w < 1 {
 		w = 1

@@ -17,6 +17,7 @@ package pram
 // chain-grammar experiment E5 demonstrates.
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/cdg"
@@ -26,6 +27,11 @@ import (
 
 // Options tune the P-RAM parse.
 type Options struct {
+	// Ctx, when non-nil, is checked between constraint steps and
+	// between filtering rounds; a deadline or cancellation aborts the
+	// parse mid-algorithm with the context's error. Nil means never
+	// cancelled.
+	Ctx context.Context
 	// Policy is the concurrent-write rule; the algorithm only ever
 	// issues common writes, so all policies give identical results.
 	Policy Policy
@@ -152,6 +158,10 @@ func (ly *layout) andAddr(gr, idx int) int { return ly.andOff + gr*ly.maxRV + id
 
 // Parse runs the O(k)-step algorithm for sent under g.
 func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	sp := cdg.NewSpace(g, sent)
 	ly := buildLayout(sp)
 	m := New(ly.memSize, opt.Policy)
@@ -180,6 +190,9 @@ func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
 
 	// Unary constraints: 2 steps each.
 	for _, uc := range g.Unary() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		uc := uc
 		m.Step(ly.nRVProcs, func(p int, c *Ctx) {
 			gr := int(ly.rvRole[p])
@@ -198,6 +211,9 @@ func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
 
 	// Binary constraints: 1 step each plus a consistency round.
 	for _, bc := range g.Binary() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		bc := bc
 		m.Step(ly.nPairs, func(p int, c *Ctx) {
 			arc := &ly.arcs[ly.pairArc[p]]
@@ -229,6 +245,9 @@ func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
 				break
 			}
 			iters++
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			// Reset the convergence flag, run a round, inspect the flag.
 			m.Step(1, func(p int, c *Ctx) { c.Write(ly.changed, 0) })
 			ly.consistencyRound(m)

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -151,8 +152,15 @@ func (p *Pool) dispatch(q *backendQueue) {
 		select {
 		case j, ok := <-q.submit:
 			if !ok {
-				for _, b := range pending {
-					b := b
+				// Flush in key order so the final drain releases
+				// batches deterministically.
+				keys := make([]string, 0, len(pending))
+				for k := range pending {
+					keys = append(keys, k)
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					b := pending[k]
 					if b.timer != nil {
 						b.timer.Stop()
 					}

@@ -352,3 +352,48 @@ func TestGrammarsListsBuiltins(t *testing.T) {
 		}
 	}
 }
+
+// TestGrammarsResponseByteStable pins the ordering invariant the
+// maporder analyzer guards: the grammar inventory is assembled from a
+// map-backed cache, so repeated GETs must serialize the same bytes —
+// map iteration order must never leak into a response.
+func TestGrammarsResponseByteStable(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	// Seed the cache with several inline grammars so the map has
+	// multiple entries whose order could wobble.
+	for _, label := range []string{"A1", "B2", "C3", "D4"} {
+		src := fmt.Sprintf(`
+(grammar
+  (labels %[1]s)
+  (categories c)
+  (role r %[1]s)
+  (word w c)
+  (constraint "r" (if (eq (role x) r) (and (eq (lab x) %[1]s) (eq (mod x) nil)))))`, label)
+		status, data := postJSON(t, ts.URL+"/v1/parse", ParseRequest{
+			GrammarSource: src,
+			Backend:       "serial",
+			Sentence:      []string{"w"},
+		})
+		if status != http.StatusOK {
+			t.Fatalf("seeding cache with %s: status %d: %s", label, status, data)
+		}
+	}
+	get := func() string {
+		resp, err := http.Get(ts.URL + "/v1/grammars")
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d: %s", resp.StatusCode, data)
+		}
+		return string(data)
+	}
+	want := get()
+	for i := 0; i < 5; i++ {
+		if got := get(); got != want {
+			t.Fatalf("GET %d differs:\n got: %s\nwant: %s", i+2, got, want)
+		}
+	}
+}
