@@ -134,8 +134,9 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return err
 		}
-		ly := core.NewLayout(cdg.NewSpace(g, sent))
-		fmt.Fprintf(out, "\nPE allocation (Figure 11):\n%s", ly.RenderAllocation())
+		sp := cdg.NewSpace(g, sent)
+		ly := core.NewLayout(sp)
+		fmt.Fprintf(out, "\nPE allocation (Figure 11):\n%s", ly.RenderAllocation(sp))
 	}
 	if *showTrace {
 		_, tr, err := trace.Run(g, words, serial.Options{

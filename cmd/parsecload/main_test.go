@@ -19,7 +19,7 @@ func TestSmokeLoadAgainstInProcessServer(t *testing.T) {
 	defer ts.Close()
 
 	var out bytes.Buffer
-	if err := run([]string{"-url", ts.URL, "-smoke", "-backend", "serial"}, &out); err != nil {
+	if err := run([]string{"-url", ts.URL, "-smoke", "-backend", "serial", "-hist"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	report := out.String()
@@ -30,6 +30,10 @@ func TestSmokeLoadAgainstInProcessServer(t *testing.T) {
 		"latency p50=",
 		"throughput=",
 		"server batching: batches=",
+		// -hist appends the client-side latency histogram with the same
+		// bucket layout the server exports.
+		"# TYPE parsecload_request_latency_seconds histogram",
+		"parsecload_request_latency_seconds_count 32",
 	} {
 		if !strings.Contains(report, want) {
 			t.Errorf("report missing %q:\n%s", want, report)

@@ -27,6 +27,7 @@ func TestMatchScopes(t *testing.T) {
 		{CtxFlow, "repro/cmd/parsecd", true},
 		{LockSafe, "repro/internal/server", true},
 		{LockSafe, "repro/internal/metrics", true},
+		{LockSafe, "repro/internal/maspar", true},
 		{LockSafe, "repro/internal/cn", false},
 	}
 	for _, c := range cases {

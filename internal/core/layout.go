@@ -8,6 +8,7 @@ package core
 
 import (
 	"repro/internal/cdg"
+	"repro/internal/maspar"
 )
 
 // Layout is the PE allocation of section 2.2.2 (Figures 11 and 13).
@@ -27,7 +28,7 @@ import (
 // what lets every role value's support be computed entirely inside its
 // own column block.
 type Layout struct {
-	sp *cdg.Space
+	g *cdg.Grammar
 
 	n int // words
 	q int // roles per word
@@ -47,16 +48,33 @@ type Layout struct {
 	blockFirstActive []bool
 	// transposeSrc[v] is the mirror PE rowGroup·S + colGroup, the
 	// router gather pattern that converts column-liveness into
-	// row-liveness.
+	// row-liveness. The packed backend runs this permutation with the
+	// word-parallel RouterTransposeV kernel; the explicit index form is
+	// kept as the reference statement of the pattern (and for tests).
 	transposeSrc []int32
+
+	// Packed (64 PEs/word) images of the masks above, precomputed once
+	// so the hot loop issues SetMaskWords and packed scans without any
+	// per-parse planning. scanAndMaskW is baseMask ∧ arcSegHead — the
+	// mask of Figure 12's "PE disabled only during the scanAnd".
+	baseMaskW         []uint64
+	arcSegHeadW       []uint64
+	blockFirstActiveW []uint64
+	scanAndMaskW      []uint64
 }
 
 // NewLayout computes the allocation for one (grammar, sentence) space.
+// Everything in a Layout depends only on the grammar and the sentence
+// length, so layouts are shared across parses through layoutFor's
+// cache; a Layout is immutable after construction.
 func NewLayout(sp *cdg.Space) *Layout {
-	n, q := sp.N(), sp.Q()
-	l := sp.Grammar().MaxLabelsPerRole()
+	return buildLayout(sp.Grammar(), sp.N(), sp.Q())
+}
+
+func buildLayout(g *cdg.Grammar, n, q int) *Layout {
+	l := g.MaxLabelsPerRole()
 	s := q * n * n
-	ly := &Layout{sp: sp, n: n, q: q, l: l, s: s, v: s * s}
+	ly := &Layout{g: g, n: n, q: q, l: l, s: s, v: s * s}
 	ly.baseMask = make([]bool, ly.v)
 	ly.arcSegHead = make([]bool, ly.v)
 	ly.blockFirstActive = make([]bool, ly.v)
@@ -80,6 +98,17 @@ func NewLayout(sp *cdg.Space) *Layout {
 		if first < s {
 			ly.blockFirstActive[col*s+first] = true
 		}
+	}
+	nw := maspar.WordsFor(ly.v)
+	ly.baseMaskW = make([]uint64, nw)
+	ly.arcSegHeadW = make([]uint64, nw)
+	ly.blockFirstActiveW = make([]uint64, nw)
+	ly.scanAndMaskW = make([]uint64, nw)
+	maspar.PackBools(ly.baseMaskW, ly.baseMask)
+	maspar.PackBools(ly.arcSegHeadW, ly.arcSegHead)
+	maspar.PackBools(ly.blockFirstActiveW, ly.blockFirstActive)
+	for w := 0; w < nw; w++ {
+		ly.scanAndMaskW[w] = ly.baseMaskW[w] & ly.arcSegHeadW[w]
 	}
 	return ly
 }
@@ -125,7 +154,7 @@ func (ly *Layout) GroupOf(pos int, role cdg.RoleID, mod int) int {
 // ok is false for padding slots (ls beyond the role's label count).
 func (ly *Layout) RVRef(g, ls int) (ref cdg.RVRef, ok bool) {
 	pos, role, mod := ly.Group(g)
-	labels := ly.sp.Grammar().RoleLabels(role)
+	labels := ly.g.RoleLabels(role)
 	if ls >= len(labels) {
 		return cdg.RVRef{}, false
 	}

@@ -9,7 +9,7 @@ import (
 	"repro/internal/grammars"
 )
 
-func demoLayout(t *testing.T, n int) *Layout {
+func demoSpace(t *testing.T, n int) *cdg.Space {
 	t.Helper()
 	g := grammars.PaperDemo()
 	words := make([]string, 0, n)
@@ -23,7 +23,12 @@ func demoLayout(t *testing.T, n int) *Layout {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return NewLayout(cdg.NewSpace(g, sent))
+	return cdg.NewSpace(g, sent)
+}
+
+func demoLayout(t *testing.T, n int) *Layout {
+	t.Helper()
+	return NewLayout(demoSpace(t, n))
 }
 
 // TestFigure11PECounts pins the layout to the paper's Figure 11: 324
@@ -183,8 +188,9 @@ func TestQuickGroupEncoding(t *testing.T) {
 }
 
 func TestRenderAllocationFigure11(t *testing.T) {
-	ly := demoLayout(t, 3)
-	out := ly.RenderAllocation()
+	sp := demoSpace(t, 3)
+	ly := NewLayout(sp)
+	out := ly.RenderAllocation(sp)
 	for _, want := range []string{
 		"324 PEs total",
 		"3x3 label submatrix",
@@ -200,11 +206,12 @@ func TestRenderAllocationFigure11(t *testing.T) {
 }
 
 func TestRenderPE(t *testing.T) {
-	ly := demoLayout(t, 3)
-	if out := ly.RenderPE(0); !strings.Contains(out, "disabled") {
+	sp := demoSpace(t, 3)
+	ly := NewLayout(sp)
+	if out := ly.RenderPE(sp, 0); !strings.Contains(out, "disabled") {
 		t.Errorf("PE 0 should render as disabled:\n%s", out)
 	}
-	out := ly.RenderPE(9)
+	out := ly.RenderPE(sp, 9)
 	// Figure 11's example: "Consider processor number 9 … The column
 	// role values … belong to the word the … the role … is governor,
 	// and their modifiee value is nil. The row role values' word is

@@ -17,10 +17,20 @@ package core
 //     when exact agreement with the serial engine is wanted.
 //  5. PEs are virtualized: l² arc elements per PE always (decision #6,
 //     Figure 13) plus ⌈S²/P⌉ physical layers (§2.2.3).
+//
+// Plural storage is packed, structure-of-arrays: one []uint64 vector
+// (64 PEs per word) per (column label, row label) pair for the arc
+// elements, and one per label slot for each liveness side. The
+// instruction *schedule* — what the ACU issues, and therefore every
+// cycle, scan, and router charge — is identical to the byte-per-PE
+// formulation (PlanMasPar depends on that); only the host-side
+// execution of each lockstep instruction is word-parallel. See
+// DESIGN.md "Packed plural state".
 
 import (
 	"context"
 	"fmt"
+	"math/bits"
 
 	"repro/internal/cdg"
 	"repro/internal/cn"
@@ -35,18 +45,40 @@ type masparRun struct {
 	sp   *cdg.Space
 	sent *cdg.Sentence
 
-	// bits is the mirrored arc-element store: l×l bits per PE.
-	bits []maspar.Bit
-	// aliveCol[v·l+ls] is the liveness of the PE's column group's
-	// role value with label slot ls; aliveRow is the row-side mirror.
-	aliveCol []maspar.Bit
-	aliveRow []maspar.Bit
+	// bitsV[lc·l+lr] is the packed plural vector of arc-element (lc,lr)
+	// across all PEs — the mirrored arc-element store, l×l bits per PE.
+	bitsV [][]uint64
+	// aliveColV[ls] is the packed liveness of each PE's column group's
+	// role value with label slot ls; aliveRowV is the row-side mirror.
+	aliveColV [][]uint64
+	aliveRowV [][]uint64
 
 	// allowed[role][cat][ls] is the broadcast table-T slice: label slot
 	// ls of role legal for a word of category cat.
 	allowed [][][]bool
 
 	rounds int
+}
+
+// Accessors for the packed plural state (tests and readBack use these;
+// the hot loops below work on whole words).
+
+func (run *masparRun) bitAt(pe, lc, lr int) maspar.Bit {
+	return maspar.Bit(run.bitsV[lc*run.ly.l+lr][pe>>6] >> (uint(pe) & 63) & 1)
+}
+
+func (run *masparRun) aliveColAt(pe, ls int) maspar.Bit {
+	return maspar.Bit(run.aliveColV[ls][pe>>6] >> (uint(pe) & 63) & 1)
+}
+
+func (run *masparRun) aliveRowAt(pe, ls int) maspar.Bit {
+	return maspar.Bit(run.aliveRowV[ls][pe>>6] >> (uint(pe) & 63) & 1)
+}
+
+func clearVec(v []uint64) {
+	for i := range v {
+		v[i] = 0
+	}
 }
 
 // runMasPar executes the full algorithm and returns the run plus the
@@ -58,19 +90,30 @@ func runMasPar(ctx context.Context, sp *cdg.Space, m *maspar.Machine, consistenc
 	if sp.NumRoles() < 2 {
 		return nil, nil, fmt.Errorf("core: the MasPar layout needs at least two roles in the network (got %d)", sp.NumRoles())
 	}
-	ly := NewLayout(sp)
+	ly := layoutFor(sp)
 	if _, err := m.Setup(ly.V()); err != nil {
 		return nil, nil, err
 	}
 	g := sp.Grammar()
+	l := ly.L()
 	run := &masparRun{
-		ly:       ly,
-		m:        m,
-		sp:       sp,
-		sent:     sp.Sentence(),
-		bits:     make([]maspar.Bit, ly.V()*ly.L()*ly.L()),
-		aliveCol: make([]maspar.Bit, ly.V()*ly.L()),
-		aliveRow: make([]maspar.Bit, ly.V()*ly.L()),
+		ly:        ly,
+		m:         m,
+		sp:        sp,
+		sent:      sp.Sentence(),
+		bitsV:     make([][]uint64, l*l),
+		aliveColV: make([][]uint64, l),
+		aliveRowV: make([][]uint64, l),
+	}
+	for i := range run.bitsV {
+		run.bitsV[i] = m.GetVec()
+		clearVec(run.bitsV[i])
+	}
+	for ls := 0; ls < l; ls++ {
+		run.aliveColV[ls] = m.GetVec()
+		run.aliveRowV[ls] = m.GetVec()
+		clearVec(run.aliveColV[ls])
+		clearVec(run.aliveRowV[ls])
 	}
 
 	// ACU broadcast: sentence words/categories and the table-T slices
@@ -94,7 +137,7 @@ func runMasPar(ctx context.Context, sp *cdg.Space, m *maspar.Machine, consistenc
 	m.BroadcastData()
 
 	// Disable the role-to-itself blocks for the whole parse.
-	m.SetMask(func(pe int) bool { return ly.baseMask[pe] })
+	m.SetMaskWords(ly.baseMaskW)
 
 	run.initAlive()
 	run.initBits()
@@ -162,28 +205,40 @@ func (run *masparRun) aliveInit(g, ls int) maspar.Bit {
 	return 0
 }
 
-// initAlive fills aliveCol and aliveRow. Each PE computes both sides
-// locally from its id — no communication (design decision #2).
+// initAlive fills aliveColV and aliveRowV. Each PE computes both sides
+// locally from its id — no communication (design decision #2). One
+// elemental instruction; word granularity keeps every packed word
+// written by a single worker.
 func (run *masparRun) initAlive() {
 	ly := run.ly
-	run.m.All(func(pe int) {
-		col, row := ly.ColGroup(pe), ly.RowGroup(pe)
-		for ls := 0; ls < ly.l; ls++ {
-			run.aliveCol[ly.AliveIndex(pe, ls)] = run.aliveInit(col, ls)
-			run.aliveRow[ly.AliveIndex(pe, ls)] = run.aliveInit(row, ls)
+	run.m.AllWords(func(w int, active uint64) {
+		for bset := active; bset != 0; bset &= bset - 1 {
+			pe := w<<6 + bits.TrailingZeros64(bset)
+			bit := uint64(1) << (uint(pe) & 63)
+			col, row := ly.ColGroup(pe), ly.RowGroup(pe)
+			for ls := 0; ls < ly.l; ls++ {
+				if run.aliveInit(col, ls) == 1 {
+					run.aliveColV[ls][w] |= bit
+				}
+				if run.aliveInit(row, ls) == 1 {
+					run.aliveRowV[ls][w] |= bit
+				}
+			}
 		}
 	})
 }
 
 // initBits sets every arc element to aliveCol ∧ aliveRow — "initially,
 // all entries in the matrices are set to 1" (for live role values).
+// Word-parallel: each (lc,lr) vector is the AND of two liveness
+// vectors under the activity mask.
 func (run *masparRun) initBits() {
 	ly := run.ly
-	run.m.All(func(pe int) {
+	run.m.AllWords(func(w int, active uint64) {
 		for lc := 0; lc < ly.l; lc++ {
-			ac := run.aliveCol[ly.AliveIndex(pe, lc)]
+			ac := run.aliveColV[lc][w]
 			for lr := 0; lr < ly.l; lr++ {
-				run.bits[ly.BitIndex(pe, lc, lr)] = ac & run.aliveRow[ly.AliveIndex(pe, lr)]
+				run.bitsV[lc*ly.l+lr][w] = ac & run.aliveRowV[lr][w] & active
 			}
 		}
 	})
@@ -193,35 +248,40 @@ func (run *masparRun) initBits() {
 // column-side and row-side role values locally and zeroes the liveness
 // and arc elements of violators. Pure elemental work; PEs in the same
 // column block reach identical verdicts redundantly, which is exactly
-// how a SIMD machine avoids communication here.
+// how a SIMD machine avoids communication here. The constraint checks
+// are per-lane (they evaluate grammar predicates); the arc-element
+// masking that follows is word-parallel.
 func (run *masparRun) applyUnary(c *cdg.Constraint) {
 	ly := run.ly
-	run.m.AllChecks(2*ly.l, func(pe int) {
-		col, row := ly.ColGroup(pe), ly.RowGroup(pe)
-		env := cdg.Env{Sent: run.sent}
-		for ls := 0; ls < ly.l; ls++ {
-			ci := ly.AliveIndex(pe, ls)
-			if run.aliveCol[ci] == 1 {
-				if ref, ok := ly.RVRef(col, ls); ok {
-					env.X = ref
-					if !c.Satisfied(&env) {
-						run.aliveCol[ci] = 0
+	run.m.AllChecksWords(2*ly.l, func(w int, active uint64) {
+		for bset := active; bset != 0; bset &= bset - 1 {
+			pe := w<<6 + bits.TrailingZeros64(bset)
+			bit := uint64(1) << (uint(pe) & 63)
+			col, row := ly.ColGroup(pe), ly.RowGroup(pe)
+			env := cdg.Env{Sent: run.sent}
+			for ls := 0; ls < ly.l; ls++ {
+				if run.aliveColV[ls][w]&bit != 0 {
+					if ref, ok := ly.RVRef(col, ls); ok {
+						env.X = ref
+						if !c.Satisfied(&env) {
+							run.aliveColV[ls][w] &^= bit
+						}
 					}
 				}
-			}
-			if run.aliveRow[ci] == 1 {
-				if ref, ok := ly.RVRef(row, ls); ok {
-					env.X = ref
-					if !c.Satisfied(&env) {
-						run.aliveRow[ci] = 0
+				if run.aliveRowV[ls][w]&bit != 0 {
+					if ref, ok := ly.RVRef(row, ls); ok {
+						env.X = ref
+						if !c.Satisfied(&env) {
+							run.aliveRowV[ls][w] &^= bit
+						}
 					}
 				}
 			}
 		}
 		for lc := 0; lc < ly.l; lc++ {
-			ac := run.aliveCol[ly.AliveIndex(pe, lc)]
+			ac := run.aliveColV[lc][w]
 			for lr := 0; lr < ly.l; lr++ {
-				run.bits[ly.BitIndex(pe, lc, lr)] &= ac & run.aliveRow[ly.AliveIndex(pe, lr)]
+				run.bitsV[lc*ly.l+lr][w] &= (ac & run.aliveRowV[lr][w]) | ^active
 			}
 		}
 	})
@@ -233,31 +293,35 @@ func (run *masparRun) applyUnary(c *cdg.Constraint) {
 // with identical outcomes.
 func (run *masparRun) applyBinary(c *cdg.Constraint) {
 	ly := run.ly
-	run.m.AllChecks(2*ly.l*ly.l, func(pe int) {
-		col, row := ly.ColGroup(pe), ly.RowGroup(pe)
-		env := cdg.Env{Sent: run.sent}
-		for lc := 0; lc < ly.l; lc++ {
-			refC, okC := ly.RVRef(col, lc)
-			if !okC {
-				continue
-			}
-			for lr := 0; lr < ly.l; lr++ {
-				bi := ly.BitIndex(pe, lc, lr)
-				if run.bits[bi] != 1 {
+	run.m.AllChecksWords(2*ly.l*ly.l, func(w int, active uint64) {
+		for bset := active; bset != 0; bset &= bset - 1 {
+			pe := w<<6 + bits.TrailingZeros64(bset)
+			bit := uint64(1) << (uint(pe) & 63)
+			col, row := ly.ColGroup(pe), ly.RowGroup(pe)
+			env := cdg.Env{Sent: run.sent}
+			for lc := 0; lc < ly.l; lc++ {
+				refC, okC := ly.RVRef(col, lc)
+				if !okC {
 					continue
 				}
-				refR, okR := ly.RVRef(row, lr)
-				if !okR {
-					continue
-				}
-				env.X, env.Y = refC, refR
-				ok := c.Satisfied(&env)
-				if ok {
-					env.X, env.Y = refR, refC
-					ok = c.Satisfied(&env)
-				}
-				if !ok {
-					run.bits[bi] = 0
+				for lr := 0; lr < ly.l; lr++ {
+					bv := run.bitsV[lc*ly.l+lr]
+					if bv[w]&bit == 0 {
+						continue
+					}
+					refR, okR := ly.RVRef(row, lr)
+					if !okR {
+						continue
+					}
+					env.X, env.Y = refC, refR
+					ok := c.Satisfied(&env)
+					if ok {
+						env.X, env.Y = refR, refC
+						ok = c.Satisfied(&env)
+					}
+					if !ok {
+						bv[w] &^= bit
+					}
 				}
 			}
 		}
@@ -270,63 +334,81 @@ func (run *masparRun) applyBinary(c *cdg.Constraint) {
 // copy-scan the verdict back across the block, mirror it to the row
 // side through the router, and zero the arc elements of the dead. It
 // reports whether any role value died.
+//
+// The instruction schedule is the cycle-accounting contract (PlanMasPar
+// counts 6l+1 elementals, 3l+1 scans, and l routers per round): every
+// charged operation below corresponds one-to-one to an operation of the
+// scalar formulation. Scratch vectors come from the machine's arena, so
+// a round allocates nothing in steady state.
 func (run *masparRun) consistencyRound() bool {
 	ly, m := run.ly, run.m
 	run.rounds++
-	changed := make([]maspar.Bit, ly.v)
-	tmp := make([]maspar.Bit, ly.v)
+	changed := m.GetVec()
+	tmp := m.GetVec()
+	perArc := m.GetVec()
+	blockSup := m.GetVec()
+	dist := m.GetVec()
+	defer func() {
+		m.PutVec(changed)
+		m.PutVec(tmp)
+		m.PutVec(perArc)
+		m.PutVec(blockSup)
+		m.PutVec(dist)
+	}()
+	clearVec(changed)
 
 	for lc := 0; lc < ly.l; lc++ {
 		// Per-PE OR over the row label slots of this column value.
-		m.All(func(pe int) {
-			var t maspar.Bit
+		m.AllWords(func(w int, active uint64) {
+			var t uint64
 			for lr := 0; lr < ly.l; lr++ {
-				t |= run.bits[ly.BitIndex(pe, lc, lr)]
+				t |= run.bitsV[lc*ly.l+lr][w]
 			}
-			tmp[pe] = t
+			tmp[w] = t & active
 		})
 		// OR along each arc segment, result at the arc's first PE.
-		perArc := m.SegReduceOrToHead(tmp, ly.arcSegHead)
+		m.SegReduceOrToHeadV(perArc, tmp, ly.arcSegHeadW)
 		// AND the per-arc results across the column block: only the
 		// boundary PEs participate (Figure 12's "PE disabled only
 		// during the scanAnd").
-		m.SetMask(func(pe int) bool { return ly.baseMask[pe] && ly.arcSegHead[pe] })
-		blockSup := m.SegReduceAndToHead(perArc, ly.blockFirstActive)
+		m.SetMaskWords(ly.scanAndMaskW)
+		m.SegReduceAndToHeadV(blockSup, perArc, ly.blockFirstActiveW)
 		// Re-enable the block and distribute the verdict.
-		m.SetMask(func(pe int) bool { return ly.baseMask[pe] })
-		dist := m.CopySegHead(blockSup, ly.blockFirstActive)
+		m.SetMaskWords(ly.baseMaskW)
+		m.CopySegHeadV(dist, blockSup, ly.blockFirstActiveW)
 		// A value stays alive only if it was alive and is supported.
-		m.All(func(pe int) {
-			ai := ly.AliveIndex(pe, lc)
-			old := run.aliveCol[ai]
-			now := old & dist[pe]
-			if now != old {
-				run.aliveCol[ai] = now
-				changed[pe] = 1
-			}
+		ac := run.aliveColV[lc]
+		m.AllWords(func(w int, active uint64) {
+			old := ac[w]
+			now := old & (dist[w] | ^active)
+			ac[w] = now
+			changed[w] |= old ^ now
 		})
 	}
 
 	// Mirror column liveness to the row side through the global router
-	// (one gather per label slot along the transpose permutation).
+	// (one transpose permutation per label slot, word-parallel).
 	for ls := 0; ls < ly.l; ls++ {
-		m.All(func(pe int) { tmp[pe] = run.aliveCol[ly.AliveIndex(pe, ls)] })
-		rowSide := m.RouterFetch(ly.transposeSrc, tmp)
-		m.All(func(pe int) { run.aliveRow[ly.AliveIndex(pe, ls)] = rowSide[pe] })
+		acv, arv := run.aliveColV[ls], run.aliveRowV[ls]
+		m.AllWords(func(w int, active uint64) { tmp[w] = acv[w] & active })
+		m.RouterTransposeV(dist, tmp, ly.s)
+		m.AllWords(func(w int, active uint64) {
+			arv[w] = (dist[w] & active) | (arv[w] &^ active)
+		})
 	}
 
 	// Zero rows/columns of the newly dead (decision #4: dimensions are
 	// never reduced, entries are zeroed).
-	m.All(func(pe int) {
+	m.AllWords(func(w int, active uint64) {
 		for lc := 0; lc < ly.l; lc++ {
-			ac := run.aliveCol[ly.AliveIndex(pe, lc)]
+			ac := run.aliveColV[lc][w]
 			for lr := 0; lr < ly.l; lr++ {
-				run.bits[ly.BitIndex(pe, lc, lr)] &= ac & run.aliveRow[ly.AliveIndex(pe, lr)]
+				run.bitsV[lc*ly.l+lr][w] &= (ac & run.aliveRowV[lr][w]) | ^active
 			}
 		}
 	})
 
-	return m.ReduceOr(changed) == 1
+	return m.ReduceOrV(changed) == 1
 }
 
 // readBack materializes the PE state as a cn.Network (domains read at
@@ -356,7 +438,7 @@ func (run *masparRun) readBack() *cn.Network {
 		}
 		labels := sp.Grammar().RoleLabels(role)
 		for ls := range labels {
-			if run.aliveCol[ly.AliveIndex(first, ls)] == 1 {
+			if run.aliveColAt(first, ls) == 1 {
 				nw.Domain(gr).SetBit(ls*(n+1) + mod)
 			}
 		}
@@ -381,7 +463,7 @@ func (run *masparRun) readBack() *cn.Network {
 				pe := colG*ly.s + rowG
 				for lsA := range labsA {
 					for lsB := range labsB {
-						if run.bits[ly.BitIndex(pe, lsA, lsB)] == 1 {
+						if run.bitAt(pe, lsA, lsB) == 1 {
 							arc.M.SetBit(lsA*(n+1)+modA, lsB*(n+1)+modB)
 						}
 					}

@@ -42,8 +42,8 @@ func TestMirrorInvariant(t *testing.T) {
 		tr := int(ly.transposeSrc[v])
 		for lc := 0; lc < ly.L(); lc++ {
 			for lr := 0; lr < ly.L(); lr++ {
-				a := run.bits[ly.BitIndex(v, lc, lr)]
-				b := run.bits[ly.BitIndex(tr, lr, lc)]
+				a := run.bitAt(v, lc, lr)
+				b := run.bitAt(tr, lr, lc)
 				if a != b {
 					t.Fatalf("mirror mismatch at PE %d (lc=%d lr=%d): %d vs %d", v, lc, lr, a, b)
 				}
@@ -64,14 +64,14 @@ func TestAliveConsistency(t *testing.T) {
 		}
 		tr := int(ly.transposeSrc[v])
 		for ls := 0; ls < ly.L(); ls++ {
-			if run.aliveRow[ly.AliveIndex(v, ls)] != run.aliveCol[ly.AliveIndex(tr, ls)] {
+			if run.aliveRowAt(v, ls) != run.aliveColAt(tr, ls) {
 				t.Fatalf("aliveRow is not the transpose of aliveCol at PE %d slot %d", v, ls)
 			}
 		}
 		for lc := 0; lc < ly.L(); lc++ {
 			for lr := 0; lr < ly.L(); lr++ {
-				if run.bits[ly.BitIndex(v, lc, lr)] == 1 {
-					if run.aliveCol[ly.AliveIndex(v, lc)] != 1 || run.aliveRow[ly.AliveIndex(v, lr)] != 1 {
+				if run.bitAt(v, lc, lr) == 1 {
+					if run.aliveColAt(v, lc) != 1 || run.aliveRowAt(v, lr) != 1 {
 						t.Fatalf("surviving bit under dead role value at PE %d", v)
 					}
 				}
@@ -98,7 +98,7 @@ func TestAliveColUniformWithinBlock(t *testing.T) {
 				continue
 			}
 			for ls := 0; ls < ly.L(); ls++ {
-				if run.aliveCol[ly.AliveIndex(v, ls)] != run.aliveCol[ly.AliveIndex(ref, ls)] {
+				if run.aliveColAt(v, ls) != run.aliveColAt(ref, ls) {
 					t.Fatalf("block %d: aliveCol differs between PEs %d and %d", c, ref, v)
 				}
 			}

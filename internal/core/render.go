@@ -13,8 +13,7 @@ import (
 // submatrix size (Figure 13). For the paper's 3-word sentence this
 // shows the 324-PE layout with PEs 0–107 supporting "the", 108–215
 // "program", and 216–323 "runs".
-func (ly *Layout) RenderAllocation() string {
-	sp := ly.sp
+func (ly *Layout) RenderAllocation(sp *cdg.Space) string {
 	g := sp.Grammar()
 	var b strings.Builder
 	fmt.Fprintf(&b, "%d PEs total: S=%d column groups x S=%d row groups, %dx%d label submatrix per PE\n",
@@ -54,8 +53,7 @@ func (ly *Layout) RenderAllocation() string {
 // block: the scanOr segments (one per arc, n PEs each), the disabled
 // self-arc rows, the boundary PEs where per-arc ORs land, and the block
 // head that receives the scanAnd verdict and sources the copy-scan.
-func (ly *Layout) RenderScanSegments(colGroup int) string {
-	sp := ly.sp
+func (ly *Layout) RenderScanSegments(sp *cdg.Space, colGroup int) string {
 	g := sp.Grammar()
 	pos, role, mod := ly.Group(colGroup)
 	modStr := "nil"
@@ -89,8 +87,7 @@ func (ly *Layout) RenderScanSegments(colGroup int) string {
 // RenderPE describes one virtual PE: which arc elements it owns, in the
 // style of the Figure 13 call-out ("each PE processes a 3×3 element
 // submatrix").
-func (ly *Layout) RenderPE(v int) string {
-	sp := ly.sp
+func (ly *Layout) RenderPE(sp *cdg.Space, v int) string {
 	g := sp.Grammar()
 	col, row := ly.ColGroup(v), ly.RowGroup(v)
 	cp, cr, cm := ly.Group(col)

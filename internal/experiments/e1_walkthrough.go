@@ -100,13 +100,13 @@ func E1Walkthrough() string {
 
 	ly := core.NewLayout(sp)
 	b.WriteString("\n--- Figure 11: PE allocation ---\n")
-	b.WriteString(ly.RenderAllocation())
+	b.WriteString(ly.RenderAllocation(sp))
 
 	b.WriteString("\n--- Figure 12: scan segments for program/2.governor mod=nil's column block ---\n")
 	gov, _ := g.RoleByName("governor")
-	b.WriteString(ly.RenderScanSegments(ly.GroupOf(2, gov, cdg.NilMod)))
+	b.WriteString(ly.RenderScanSegments(sp, ly.GroupOf(2, gov, cdg.NilMod)))
 
 	b.WriteString("\n--- Figure 13: the paper's worked example, PE 9 ---\n")
-	b.WriteString(ly.RenderPE(9))
+	b.WriteString(ly.RenderPE(sp, 9))
 	return b.String()
 }

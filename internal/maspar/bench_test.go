@@ -17,6 +17,18 @@ func benchMachine(b *testing.B, v int) *Machine {
 	return m
 }
 
+// reportCycles attaches the simulated machine-cycle cost of one
+// iteration so BENCH_scan.json can track the cost model alongside
+// host-side ns/op.
+func reportCycles(b *testing.B, m *Machine) {
+	b.Helper()
+	if b.N > 0 {
+		b.ReportMetric(float64(m.Cycles)/float64(b.N), "cycles/op")
+	}
+}
+
+// BenchmarkSegScanOr measures the packed word-parallel scan — the hot
+// path the core backend runs in its filter loop.
 func BenchmarkSegScanOr(b *testing.B) {
 	for _, v := range []int{1024, 16384, 262144} {
 		b.Run(fmt.Sprintf("v=%d", v), func(b *testing.B) {
@@ -27,16 +39,97 @@ func BenchmarkSegScanOr(b *testing.B) {
 				head[i] = true
 				data[i+v/128%16] = 1
 			}
+			dataV, headV, dst := m.GetVec(), m.GetVec(), m.GetVec()
+			PackBits(dataV, data)
+			PackBools(headV, head)
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				m.SegScanOr(data, head)
+				m.SegScanOrV(dst, dataV, headV)
 			}
+			reportCycles(b, m)
 		})
 	}
 }
 
+// BenchmarkSegScanOrRef is the scalar reference kernel on the same
+// shape, for the packed-vs-refscan trajectory in BENCH_scan.json.
+func BenchmarkSegScanOrRef(b *testing.B) {
+	for _, v := range []int{1024, 16384} {
+		b.Run(fmt.Sprintf("v=%d", v), func(b *testing.B) {
+			m := benchMachine(b, v)
+			data := make([]Bit, v)
+			head := make([]bool, v)
+			for i := 0; i < v; i += 16 {
+				head[i] = true
+				data[i+v/128%16] = 1
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.PutBits(m.SegScanOr(data, head))
+			}
+			reportCycles(b, m)
+		})
+	}
+}
+
+// BenchmarkRouterFetch measures the router primitive in the shape
+// production runs it: the PARSEC mirror exchange, i.e. the s×s
+// transpose permutation over the PE grid, executed by the tiled
+// word-parallel RouterTransposeV kernel. The scatter sub-benchmarks
+// measure the generic RouterFetchV gather on an arbitrary permutation,
+// which is inherently a per-lane operation.
 func BenchmarkRouterFetch(b *testing.B) {
-	for _, v := range []int{1024, 65536} {
+	for _, s := range []int{32, 128, 256} {
+		v := s * s
+		b.Run(fmt.Sprintf("v=%d", v), func(b *testing.B) {
+			m := benchMachine(b, v)
+			data := make([]Bit, v)
+			for i := range data {
+				data[i] = Bit(i & 1)
+			}
+			dataV, dst := m.GetVec(), m.GetVec()
+			PackBits(dataV, data)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.RouterTransposeV(dst, dataV, s)
+			}
+			reportCycles(b, m)
+		})
+	}
+	for _, v := range []int{16384, 65536} {
+		b.Run(fmt.Sprintf("scatter/v=%d", v), func(b *testing.B) {
+			m := benchMachine(b, v)
+			data := make([]Bit, v)
+			src := make([]int32, v)
+			for i := range src {
+				src[i] = int32((i * 7) % v)
+			}
+			dataV, dst := m.GetVec(), m.GetVec()
+			PackBits(dataV, data)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				m.RouterFetchV(dst, src, dataV)
+			}
+			reportCycles(b, m)
+		})
+	}
+}
+
+// BenchmarkRouterCopy measures the masked-copy router primitive the
+// consistency round's mirror exchange uses directly.
+func BenchmarkRouterCopy(b *testing.B) {
+	m := benchMachine(b, 16384)
+	dataV, dst := m.GetVec(), m.GetVec()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.RouterCopyV(dst, dataV)
+	}
+	reportCycles(b, m)
+}
+
+// BenchmarkRouterFetchRef is the scalar reference gather.
+func BenchmarkRouterFetchRef(b *testing.B) {
+	for _, v := range []int{1024, 16384} {
 		b.Run(fmt.Sprintf("v=%d", v), func(b *testing.B) {
 			m := benchMachine(b, v)
 			data := make([]Bit, v)
@@ -46,10 +139,32 @@ func BenchmarkRouterFetch(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				m.RouterFetch(src, data)
+				m.PutBits(m.RouterFetch(src, data))
 			}
+			reportCycles(b, m)
 		})
 	}
+}
+
+// BenchmarkSegReduceOrToHead covers the backward (reduce-to-head)
+// carry chain, the other scan shape the consistency round leans on.
+func BenchmarkSegReduceOrToHead(b *testing.B) {
+	v := 16384
+	m := benchMachine(b, v)
+	data := make([]Bit, v)
+	head := make([]bool, v)
+	for i := 0; i < v; i += 16 {
+		head[i] = true
+		data[(i+3)%v] = 1
+	}
+	dataV, headV, dst := m.GetVec(), m.GetVec(), m.GetVec()
+	PackBits(dataV, data)
+	PackBools(headV, head)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.SegReduceOrToHeadV(dst, dataV, headV)
+	}
+	reportCycles(b, m)
 }
 
 func BenchmarkAll(b *testing.B) {
@@ -59,6 +174,7 @@ func BenchmarkAll(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		m.All(func(pe int) { data[pe] ^= 1 })
 	}
+	reportCycles(b, m)
 }
 
 func BenchmarkXNetShift(b *testing.B) {
@@ -72,4 +188,5 @@ func BenchmarkXNetShift(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		data = g.Shift(data, East)
 	}
+	reportCycles(b, m)
 }

@@ -15,6 +15,14 @@
 // not support transparent processor virtualization" — this package
 // does, and charges for it).
 //
+// Two plural representations coexist. The reference representation is
+// one byte per PE ([]Bit) with the scalar kernels of refscan.go; the
+// hot representation packs 64 PEs into each uint64 word ([]uint64,
+// LSB = lowest PE) with the word-parallel kernels of packed.go. Both
+// charge identical cycles — how the *host* computes a lockstep
+// instruction is a simulation detail, not a model change — and the
+// property tests in packed_test.go hold them bit-identical.
+//
 // Host goroutines chunk the PE loop for speed; semantics are lockstep
 // SIMD (an instruction's reads all precede its writes only when the
 // instruction itself needs that, which scans and router sends
@@ -75,10 +83,15 @@ func DefaultCosts() CostModel {
 type Machine struct {
 	phys  int
 	v     int
+	nw    int // words per packed plural vector, ⌈v/64⌉
 	layer int
 	costs CostModel
 
-	enabled []bool
+	// mask is the packed activity mask: bit pe&63 of word pe>>6 is PE
+	// pe's activity bit. Tail bits beyond v-1 are always zero.
+	mask []uint64
+
+	buf arena
 
 	// Cycles is the simulated machine-cycle total.
 	Cycles uint64
@@ -112,22 +125,37 @@ func New(phys int, costs CostModel) (*Machine, error) {
 }
 
 // Setup sizes the virtual PE array for a program and enables every PE.
-// It returns the virtualization layer count ⌈v/phys⌉.
+// It returns the virtualization layer count ⌈v/phys⌉. Buffers handed
+// out by the arena before Setup must not be reused after it.
 func (m *Machine) Setup(v int) (layers int, err error) {
 	if v <= 0 {
 		return 0, fmt.Errorf("maspar: need a positive virtual PE count, got %d", v)
 	}
 	m.v = v
 	m.layer = (v + m.phys - 1) / m.phys
-	m.enabled = make([]bool, v)
-	for i := range m.enabled {
-		m.enabled[i] = true
-	}
+	m.nw = (v + 63) / 64
+	m.mask = make([]uint64, m.nw)
+	m.fillMask()
+	m.buf.reset(m.nw, v)
 	return m.layer, nil
+}
+
+// fillMask enables every PE (tail bits stay zero).
+func (m *Machine) fillMask() {
+	for w := range m.mask {
+		m.mask[w] = ^uint64(0)
+	}
+	if tail := uint(m.v & 63); tail != 0 {
+		m.mask[m.nw-1] = (uint64(1) << tail) - 1
+	}
 }
 
 // V returns the virtual PE count of the current program.
 func (m *Machine) V() int { return m.v }
+
+// WordLen returns the length in uint64 words of a packed plural vector
+// covering the current program's V PEs.
+func (m *Machine) WordLen() int { return m.nw }
 
 // Phys returns the physical PE count.
 func (m *Machine) Phys() int { return m.phys }
@@ -177,19 +205,41 @@ func (m *Machine) ModelTime() time.Duration {
 // Charged as one elemental instruction (a plural comparison).
 func (m *Machine) SetMask(pred func(pe int) bool) {
 	m.chargeElemental()
-	m.forAll(func(pe int) { m.enabled[pe] = pred(pe) })
+	m.forAllWords(func(w int) {
+		base := w << 6
+		lim := m.v - base
+		if lim > 64 {
+			lim = 64
+		}
+		var x uint64
+		for b := 0; b < lim; b++ {
+			if pred(base + b) {
+				x |= uint64(1) << uint(b)
+			}
+		}
+		m.mask[w] = x
+	})
+}
+
+// SetMaskWords loads a precomputed packed activity mask (len WordLen,
+// tail bits beyond V must be zero). Charged as one elemental
+// instruction, exactly like SetMask — precomputing the mask words is a
+// host-side shortcut for a plural comparison the ACU would broadcast.
+func (m *Machine) SetMaskWords(words []uint64) {
+	m.chargeElemental()
+	copy(m.mask, words)
 }
 
 // EnableAll reactivates every PE.
 func (m *Machine) EnableAll() {
 	m.chargeElemental()
-	for i := range m.enabled {
-		m.enabled[i] = true
-	}
+	m.fillMask()
 }
 
 // Enabled reports PE pe's activity bit.
-func (m *Machine) Enabled(pe int) bool { return m.enabled[pe] }
+func (m *Machine) Enabled(pe int) bool {
+	return m.mask[pe>>6]>>(uint(pe)&63)&1 == 1
+}
 
 // forAll runs f over every virtual PE (mask-blind), chunked across host
 // cores.
@@ -226,16 +276,63 @@ func (m *Machine) forAll(f func(pe int)) {
 	wg.Wait()
 }
 
+// forAllWords runs f over every packed-vector word index, chunked
+// across host cores. Word granularity keeps each 64-PE word owned by
+// exactly one worker, so packed plural writes never straddle workers.
+func (m *Machine) forAllWords(f func(w int)) {
+	n := m.nw
+	nworkers := m.workers
+	if nworkers > n {
+		nworkers = n
+	}
+	if nworkers <= 1 {
+		for w := 0; w < n; w++ {
+			f(w)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (n + nworkers - 1) / nworkers
+	for k := 0; k < nworkers; k++ {
+		lo, hi := k*chunk, (k+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for w := lo; w < hi; w++ {
+				f(w)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
 // All executes one elemental instruction: f runs on every active PE.
 // f must touch only PE-local plural data (its own index in caller
 // slices) — that is the SIMD contract.
 func (m *Machine) All(f func(pe int)) {
 	m.chargeElemental()
 	m.forAll(func(pe int) {
-		if m.enabled[pe] {
+		if m.mask[pe>>6]>>(uint(pe)&63)&1 == 1 {
 			f(pe)
 		}
 	})
+}
+
+// AllWords executes one elemental instruction over the packed
+// representation: f runs once per vector word with that word's activity
+// mask. f must touch only word-local plural data (index w in packed
+// caller vectors) — the word-granular SIMD contract; it is responsible
+// for honouring the mask itself (inactive lanes must keep their values
+// or stay zero, depending on the instruction's semantics).
+func (m *Machine) AllWords(f func(w int, active uint64)) {
+	m.chargeElemental()
+	m.forAllWords(func(w int) { f(w, m.mask[w]) })
 }
 
 // AllChecks is All for constraint evaluation: it additionally charges
@@ -244,4 +341,11 @@ func (m *Machine) All(f func(pe int)) {
 func (m *Machine) AllChecks(checksPerPE int, f func(pe int)) {
 	m.chargeChecks(uint64(checksPerPE))
 	m.All(f)
+}
+
+// AllChecksWords is AllWords for constraint evaluation, charging like
+// AllChecks.
+func (m *Machine) AllChecksWords(checksPerPE int, f func(w int, active uint64)) {
+	m.chargeChecks(uint64(checksPerPE))
+	m.AllWords(f)
 }

@@ -1,0 +1,396 @@
+package maspar
+
+import (
+	"fmt"
+	"math/bits"
+)
+
+// Word-parallel scan/router kernels over the packed plural
+// representation: 64 PEs per uint64 word, LSB = lowest PE. Each kernel
+// is charged exactly like its scalar counterpart in refscan.go
+// (chargeScan / chargeRouter) and is held bit-identical to it by the
+// property tests in packed_test.go — host word-parallelism is a
+// simulation speedup, not a model change.
+//
+// The segment machinery rides the binary-add carry chain. Every
+// segmented primitive here reduces to the lane recurrence
+//
+//	acc[i] = gen[i] | (^reset[i] & acc[i-1])        (acc[-1] = 0)
+//
+// over the packed lanes. Complementing b = ^acc turns it into
+//
+//	b[i] = G[i] | (P[i] & b[i-1])   with   P = ^gen, G = ^gen & reset
+//
+// which is exactly the carry recurrence c·2 = G + P·c of a binary
+// adder (G ⊆ P always holds here, making generate/propagate
+// consistent). One bits.Add64 per word therefore propagates all 64
+// lane resets at once: S = P + G + cin has carry-out into lane i+1
+// precisely where b[i] would be set, so the per-lane carries are
+// recovered as C = P ^ G ^ S and b = (C >> 1) | (cout << 63). The
+// chain starts with cin = 1 so that acc[-1] = ^b[-1] = 0.
+func segFillWord(gen, reset, cin uint64) (acc, cout uint64) {
+	p := ^gen
+	g := p & reset
+	sum, co := bits.Add64(p, g, cin)
+	b := ((p ^ g ^ sum) >> 1) | (co << 63)
+	return ^b, co
+}
+
+// firstActive returns the word index and in-word bit of the lowest
+// active PE (ok=false when the mask is empty). Segmented primitives
+// need it because the first active PE always begins a segment whether
+// or not its head bit is set.
+func (m *Machine) firstActive() (w int, bit uint64, ok bool) {
+	for i, e := range m.mask {
+		if e != 0 {
+			return i, e & -e, true
+		}
+	}
+	return 0, 0, false
+}
+
+// SegScanOrV is the packed SegScanOr: dst[i] receives the OR of lane
+// i's segment up to and including itself; inactive lanes get 0. dst
+// may alias data or segHead. All vectors are WordLen words.
+func (m *Machine) SegScanOrV(dst, data, segHead []uint64) {
+	m.chargeScan()
+	cin := uint64(1)
+	for w, e := range m.mask {
+		var acc uint64
+		acc, cin = segFillWord(data[w]&e, segHead[w]&e, cin)
+		dst[w] = acc & e
+	}
+}
+
+// SegScanAndV is the packed SegScanAnd. De Morgan turns the AND-scan
+// into an OR-scan of the complement: acc tracks "a zero has been seen
+// in this segment", and the result is its complement on active lanes.
+func (m *Machine) SegScanAndV(dst, data, segHead []uint64) {
+	m.chargeScan()
+	cin := uint64(1)
+	for w, e := range m.mask {
+		acc, co := segFillWord(^data[w]&e, segHead[w]&e, cin)
+		dst[w] = ^acc & e
+		cin = co
+	}
+}
+
+// CopySegHeadV is the packed CopySegHead: every active lane receives
+// its segment head's data value. With gen = data & effectiveHead and
+// reset = effectiveHead the shared recurrence loads the head's value
+// (0 or 1) at each head and carries it across the segment.
+func (m *Machine) CopySegHeadV(dst, data, segHead []uint64) {
+	m.chargeScan()
+	fw, fbit, _ := m.firstActive()
+	cin := uint64(1)
+	for w, e := range m.mask {
+		reset := segHead[w] & e
+		if w == fw {
+			reset |= fbit
+		}
+		acc, co := segFillWord(data[w]&reset, reset, cin)
+		dst[w] = acc & e
+		cin = co
+	}
+}
+
+// SegReduceOrToHeadV is the packed SegReduceOrToHead: each segment's
+// OR lands on its head lane, zero elsewhere. The backward recurrence
+//
+//	r[i] = gen[i] | (^reset[i+1] & r[i+1])
+//
+// runs on bit-reversed words from the top word down, so the same
+// adder-carry kernel serves; the reset stream is pre-shifted down one
+// lane because lane i stops absorbing from above when lane i+1 starts
+// a new segment. dst must not alias data or segHead.
+func (m *Machine) SegReduceOrToHeadV(dst, data, segHead []uint64) {
+	m.chargeScan()
+	m.segReduceToHead(dst, data, segHead, false)
+}
+
+// SegReduceAndToHeadV is the packed SegReduceAndToHead (each segment's
+// AND to its head lane). dst must not alias data or segHead.
+func (m *Machine) SegReduceAndToHeadV(dst, data, segHead []uint64) {
+	m.chargeScan()
+	m.segReduceToHead(dst, data, segHead, true)
+}
+
+func (m *Machine) segReduceToHead(dst, data, segHead []uint64, and bool) {
+	fw, fbit, _ := m.firstActive()
+	cin := uint64(1)
+	var resetAbove uint64 // reset word at w+1, for the lane shift
+	for w := len(m.mask) - 1; w >= 0; w-- {
+		e := m.mask[w]
+		reset := segHead[w] & e
+		// Lane i's backward flow is blocked by a head at lane i+1.
+		s1 := (reset >> 1) | (resetAbove << 63)
+		resetAbove = reset
+		gen := data[w] & e
+		if and {
+			gen = ^data[w] & e
+		}
+		acc, co := segFillWord(bits.Reverse64(gen), bits.Reverse64(s1), cin)
+		cin = co
+		heads := reset
+		if w == fw {
+			heads |= fbit
+		}
+		r := bits.Reverse64(acc)
+		if and {
+			r = ^r
+		}
+		dst[w] = r & heads
+	}
+}
+
+// ReduceOrV returns the global OR over all active lanes.
+func (m *Machine) ReduceOrV(data []uint64) Bit {
+	m.chargeScan()
+	var acc uint64
+	for w, e := range m.mask {
+		acc |= data[w] & e
+	}
+	if acc != 0 {
+		return 1
+	}
+	return 0
+}
+
+// ReduceAndV returns the global AND over all active lanes (1 when no
+// lane is active).
+func (m *Machine) ReduceAndV(data []uint64) Bit {
+	m.chargeScan()
+	var acc uint64
+	for w, e := range m.mask {
+		acc |= ^data[w] & e
+	}
+	if acc == 0 {
+		return 1
+	}
+	return 0
+}
+
+// routerSeqThreshold is the vector size (in words) below which the
+// packed router gather runs on the calling goroutine: spawning workers
+// costs more than the gather itself and the sequential path is
+// allocation-free.
+const routerSeqThreshold = 64
+
+// RouterFetchV is the packed RouterFetch: every active lane pe
+// receives bit data[src[pe]]; inactive lanes get 0. src indexes the
+// full virtual array. dst must not alias data (the gather reads
+// arbitrary source words after dst words are written).
+//
+// The kernel is adaptive: destination words whose 64 sources are
+// consecutive (src[i+1] = src[i]+1 — the word-aligned communication
+// shape the PARSEC transpose produces in the packed layout) are
+// fetched as one funnel-shifted word instead of 64 bit gathers. The
+// run check inspects all 64 lanes, so the fast path is bit-exact; an
+// arbitrary scatter degrades gracefully to the per-lane gather, which
+// is inherently element-at-a-time (a software router has no word trick
+// for a random permutation).
+func (m *Machine) RouterFetchV(dst []uint64, src []int32, data []uint64) {
+	m.chargeRouter()
+	if m.workers <= 1 || m.nw <= routerSeqThreshold {
+		gatherWords(dst, src, data, m.mask, 0, m.nw)
+		return
+	}
+	m.forAllWords(func(w int) {
+		gatherWords(dst, src, data, m.mask, w, w+1)
+	})
+}
+
+func gatherWords(dst []uint64, src []int32, data, mask []uint64, lo, hi int) {
+	for w := lo; w < hi; w++ {
+		e := mask[w]
+		base := w << 6
+		var o uint64
+		if e == ^uint64(0) {
+			s0 := src[base]
+			run := true
+			for b := 1; b < 64; b++ {
+				if src[base+b] != s0+int32(b) {
+					run = false
+					break
+				}
+			}
+			if run {
+				// 64 consecutive sources: one (possibly straddling)
+				// word fetch. s0+63 is in bounds because src entries
+				// are, so the straddle word exists whenever off != 0.
+				w0 := int(s0) >> 6
+				off := uint(s0) & 63
+				o = data[w0] >> off
+				if off != 0 {
+					o |= data[w0+1] << (64 - off)
+				}
+				dst[w] = o
+				continue
+			}
+			// Full word, scattered sources: unroll without the
+			// bit-iteration loop.
+			for b := 0; b < 64; b++ {
+				s := src[base+b]
+				o |= (data[s>>6] >> (uint(s) & 63) & 1) << uint(b)
+			}
+		} else {
+			for bset := e; bset != 0; bset &= bset - 1 {
+				b := bits.TrailingZeros64(bset)
+				s := src[base+b]
+				o |= (data[s>>6] >> (uint(s) & 63) & 1) << uint(b)
+			}
+		}
+		dst[w] = o
+	}
+}
+
+// RouterCopyV is the router permutation whose lane mapping is the
+// identity on a mirror plural variable: every active lane receives its
+// own lane of data, inactive lanes get 0. In the packed
+// structure-of-arrays layout the PARSEC (c,r)↔(r,c) transpose lives in
+// *which vector* is passed as data, so the per-lane communication the
+// scalar backend routed through RouterFetch becomes one masked word
+// copy — the "masked portion" of the router op, word-parallel. Charged
+// exactly like RouterFetch: it is the same router pass on the modeled
+// machine.
+func (m *Machine) RouterCopyV(dst, data []uint64) {
+	m.chargeRouter()
+	for w, e := range m.mask {
+		dst[w] = data[w] & e
+	}
+}
+
+// RouterTransposeV is the router permutation the PARSEC mirror
+// exchange uses: with the PE array viewed as an s×s grid (pe = i·s+j,
+// v = s²), every active lane (i,j) receives data's lane (j,i);
+// inactive lanes get 0. The scalar backend ran this as a per-lane
+// RouterFetch along transposeSrc; here it is word-parallel: the packed
+// vector is cut into 64×64 bit tiles, each tile is transposed with the
+// classic in-register bit-matrix transpose, and tiles land at their
+// mirrored position. Funnel shifts handle rows that straddle word
+// boundaries (s need not be a multiple of 64). dst must not alias
+// data. Charged exactly like RouterFetch — same router pass on the
+// modeled machine.
+func (m *Machine) RouterTransposeV(dst, data []uint64, s int) {
+	if s*s != m.v {
+		panic(fmt.Sprintf("maspar: RouterTransposeV grid %d×%d does not cover v=%d", s, s, m.v))
+	}
+	m.chargeRouter()
+	for w := range dst {
+		dst[w] = 0
+	}
+	var tile [64]uint64
+	for ti := 0; ti < s; ti += 64 {
+		limI := s - ti // columns of the source tile (bits per row)
+		if limI > 64 {
+			limI = 64
+		}
+		var colMask uint64 = ^uint64(0)
+		if limI < 64 {
+			colMask = (uint64(1) << uint(limI)) - 1
+		}
+		for tj := 0; tj < s; tj += 64 {
+			limJ := s - tj // rows of the source tile
+			if limJ > 64 {
+				limJ = 64
+			}
+			// Extract source rows j = tj..tj+limJ-1, columns ti..ti+63.
+			for a := 0; a < limJ; a++ {
+				base := (tj+a)*s + ti
+				w0 := base >> 6
+				off := uint(base) & 63
+				x := data[w0] >> off
+				if off != 0 && w0+1 < len(data) {
+					x |= data[w0+1] << (64 - off)
+				}
+				tile[a] = x & colMask
+			}
+			for a := limJ; a < 64; a++ {
+				tile[a] = 0
+			}
+			transpose64(&tile)
+			// Deposit transposed rows i = ti..ti+limI-1 at columns tj…
+			var rowMask uint64 = ^uint64(0)
+			if limJ < 64 {
+				rowMask = (uint64(1) << uint(limJ)) - 1
+			}
+			for b := 0; b < limI; b++ {
+				val := tile[b] & rowMask
+				base := (ti+b)*s + tj
+				w0 := base >> 6
+				off := uint(base) & 63
+				dst[w0] |= val << off
+				if off != 0 && w0+1 < len(dst) {
+					dst[w0+1] |= val >> (64 - off)
+				}
+			}
+		}
+	}
+	for w, e := range m.mask {
+		dst[w] &= e
+	}
+}
+
+// transpose64 transposes a 64×64 bit matrix in place (row r = a[r],
+// column c = bit c) by recursive block swapping — Hacker's Delight
+// figure 7-3 scaled up to 64 bits.
+func transpose64(a *[64]uint64) {
+	j := 32
+	mask := uint64(0x00000000FFFFFFFF)
+	for j != 0 {
+		for k := 0; k < 64; k = (k + j + 1) &^ j {
+			t := ((a[k] >> uint(j)) ^ a[k+j]) & mask
+			a[k] ^= t << uint(j)
+			a[k+j] ^= t
+		}
+		j >>= 1
+		mask ^= mask << uint(j)
+	}
+}
+
+// WordsFor returns the packed vector length covering n PEs.
+func WordsFor(n int) int { return (n + 63) / 64 }
+
+// PackBits packs a []Bit plural vector (any nonzero byte = 1) into dst
+// (WordsFor(len(src)) words). dst is fully overwritten.
+func PackBits(dst []uint64, src []Bit) {
+	for w := range dst {
+		base := w << 6
+		lim := len(src) - base
+		if lim > 64 {
+			lim = 64
+		}
+		var x uint64
+		for b := 0; b < lim; b++ {
+			if src[base+b] != 0 {
+				x |= uint64(1) << uint(b)
+			}
+		}
+		dst[w] = x
+	}
+}
+
+// PackBools packs a []bool plural vector into dst, like PackBits.
+func PackBools(dst []uint64, src []bool) {
+	for w := range dst {
+		base := w << 6
+		lim := len(src) - base
+		if lim > 64 {
+			lim = 64
+		}
+		var x uint64
+		for b := 0; b < lim; b++ {
+			if src[base+b] {
+				x |= uint64(1) << uint(b)
+			}
+		}
+		dst[w] = x
+	}
+}
+
+// UnpackBits expands a packed vector into dst (one byte per PE, 0/1).
+func UnpackBits(dst []Bit, src []uint64) {
+	for i := range dst {
+		dst[i] = Bit(src[i>>6] >> (uint(i) & 63) & 1)
+	}
+}

@@ -1,0 +1,334 @@
+package maspar
+
+import (
+	"fmt"
+	"testing"
+)
+
+// splitmix64 — a tiny deterministic generator so every case in the
+// packed-vs-reference property sweep is reproducible from the printed
+// case label alone.
+type rng struct{ s uint64 }
+
+func (r *rng) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (r *rng) intn(n int) int { return int(r.next() % uint64(n)) }
+
+func isqrt(n int) int {
+	s := 0
+	for (s+1)*(s+1) <= n {
+		s++
+	}
+	return s
+}
+
+func (r *rng) coin(pctTrue int) bool { return r.intn(100) < pctTrue }
+
+var maskStyles = []string{"full", "empty", "half", "sparse", "single", "altwords"}
+
+func buildMask(style string, v int, r *rng) []bool {
+	mask := make([]bool, v)
+	switch style {
+	case "full":
+		for i := range mask {
+			mask[i] = true
+		}
+	case "empty":
+	case "half":
+		for i := range mask {
+			mask[i] = r.coin(50)
+		}
+	case "sparse":
+		for i := range mask {
+			mask[i] = r.coin(10)
+		}
+	case "single":
+		mask[r.intn(v)] = true
+	case "altwords":
+		// whole 64-PE words on/off, exercising full-word fast paths
+		for i := range mask {
+			mask[i] = (i>>6)&1 == 0
+		}
+	}
+	return mask
+}
+
+var headStyles = []string{"none", "all", "random", "rare"}
+
+func buildHeads(style string, v int, r *rng) []bool {
+	heads := make([]bool, v)
+	switch style {
+	case "none":
+	case "all": // every active PE is a single-PE segment
+		for i := range heads {
+			heads[i] = true
+		}
+	case "random":
+		for i := range heads {
+			heads[i] = r.coin(25)
+		}
+	case "rare":
+		for i := range heads {
+			heads[i] = r.coin(3)
+		}
+	}
+	return heads
+}
+
+// TestPackedMatchesReferenceKernels is the refscan↔packed property
+// sweep: for every size/mask/segment shape (including all-inactive
+// masks and single-PE segments) each packed kernel must match the
+// scalar reference bit-for-bit AND charge the same cycles, scan ops,
+// router ops, and elemental instructions.
+func TestPackedMatchesReferenceKernels(t *testing.T) {
+	sizes := []int{1, 4, 63, 64, 65, 121, 128, 129, 256, 300, 517, 1024}
+	for _, v := range sizes {
+		for _, ms := range maskStyles {
+			for _, hs := range headStyles {
+				t.Run(fmt.Sprintf("v=%d/mask=%s/heads=%s", v, ms, hs), func(t *testing.T) {
+					runPackedVsRef(t, v, ms, hs)
+				})
+			}
+		}
+	}
+}
+
+func runPackedVsRef(t *testing.T, v int, maskStyle, headStyle string) {
+	t.Helper()
+	r := &rng{s: uint64(v)*1000003 + uint64(len(maskStyle))*31 + uint64(len(headStyle))}
+	ref, err := New(64, DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pk, err := New(64, DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref.Setup(v); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pk.Setup(v); err != nil {
+		t.Fatal(err)
+	}
+
+	mask := buildMask(maskStyle, v, r)
+	heads := buildHeads(headStyle, v, r)
+	data := make([]Bit, v)
+	for i := range data {
+		if r.coin(50) {
+			data[i] = 1
+		}
+	}
+	src := make([]int32, v)
+	for i := range src {
+		src[i] = int32(r.intn(v))
+	}
+
+	pred := func(pe int) bool { return mask[pe] }
+	ref.SetMask(pred)
+	pk.SetMask(pred)
+
+	dataV := pk.GetVec()
+	headV := pk.GetVec()
+	srcDataV := pk.GetVec()
+	out := pk.GetVec()
+	got := make([]Bit, v)
+	PackBits(dataV, data)
+	PackBools(headV, heads)
+
+	check := func(name string, want []Bit) {
+		t.Helper()
+		UnpackBits(got, out)
+		for pe := 0; pe < v; pe++ {
+			if got[pe] != want[pe] {
+				t.Fatalf("%s: PE %d: packed=%d ref=%d (v=%d mask=%s heads=%s)",
+					name, pe, got[pe], want[pe], v, maskStyle, headStyle)
+			}
+		}
+	}
+
+	pk.SegScanOrV(out, dataV, headV)
+	check("SegScanOr", ref.SegScanOr(data, heads))
+
+	pk.SegScanAndV(out, dataV, headV)
+	check("SegScanAnd", ref.SegScanAnd(data, heads))
+
+	pk.CopySegHeadV(out, dataV, headV)
+	check("CopySegHead", ref.CopySegHead(data, heads))
+
+	pk.SegReduceOrToHeadV(out, dataV, headV)
+	check("SegReduceOrToHead", ref.SegReduceOrToHead(data, heads))
+
+	pk.SegReduceAndToHeadV(out, dataV, headV)
+	check("SegReduceAndToHead", ref.SegReduceAndToHead(data, heads))
+
+	if gotB, wantB := pk.ReduceOrV(dataV), ref.ReduceOr(data); gotB != wantB {
+		t.Fatalf("ReduceOr: packed=%d ref=%d", gotB, wantB)
+	}
+	if gotB, wantB := pk.ReduceAndV(dataV), ref.ReduceAnd(data); gotB != wantB {
+		t.Fatalf("ReduceAnd: packed=%d ref=%d", gotB, wantB)
+	}
+
+	PackBits(srcDataV, data)
+	pk.RouterFetchV(out, src, srcDataV)
+	check("RouterFetch", ref.RouterFetch(src, data))
+
+	// Rotation src: maximal stride-1 runs, exercising the aligned
+	// funnel-shift fast path (with one scattered word at the wrap).
+	rot := make([]int32, v)
+	k := r.intn(v)
+	for i := range rot {
+		rot[i] = int32((i + k) % v)
+	}
+	pk.RouterFetchV(out, rot, srcDataV)
+	check("RouterFetchAligned", ref.RouterFetch(rot, data))
+
+	// RouterCopyV is RouterFetch with the identity lane map.
+	ident := make([]int32, v)
+	for i := range ident {
+		ident[i] = int32(i)
+	}
+	pk.RouterCopyV(out, srcDataV)
+	check("RouterCopy", ref.RouterFetch(ident, data))
+
+	// RouterTransposeV must match the per-lane gather along the s×s
+	// transpose permutation whenever the array is a perfect grid.
+	if s := isqrt(v); s*s == v {
+		tsrc := make([]int32, v)
+		for i := 0; i < s; i++ {
+			for j := 0; j < s; j++ {
+				tsrc[i*s+j] = int32(j*s + i)
+			}
+		}
+		pk.RouterTransposeV(out, srcDataV, s)
+		check("RouterTranspose", ref.RouterFetch(tsrc, data))
+	}
+
+	if ref.Cycles != pk.Cycles || ref.ScanOps != pk.ScanOps ||
+		ref.RouterOps != pk.RouterOps || ref.Instr != pk.Instr {
+		t.Fatalf("counter drift: ref{cycles=%d scans=%d routers=%d instr=%d} packed{cycles=%d scans=%d routers=%d instr=%d}",
+			ref.Cycles, ref.ScanOps, ref.RouterOps, ref.Instr,
+			pk.Cycles, pk.ScanOps, pk.RouterOps, pk.Instr)
+	}
+}
+
+// TestPackedKernelsAtScale repeats the sweep at a realistic size with
+// randomized shapes each round — a cheap fuzz of the carry chains
+// across many word boundaries.
+func TestPackedKernelsAtScale(t *testing.T) {
+	r := &rng{s: 42}
+	for round := 0; round < 8; round++ {
+		v := 2000 + r.intn(3000)
+		runPackedVsRef(t, v, maskStyles[r.intn(len(maskStyles))], headStyles[r.intn(len(headStyles))])
+	}
+	// Perfect grids at paper scale, including an s that is not a
+	// multiple of 64, so the transpose tiling's edge handling is hit.
+	runPackedVsRef(t, 16384, "full", "random") // s = 128
+	runPackedVsRef(t, 16641, "half", "rare")   // s = 129
+	runPackedVsRef(t, 10609, "sparse", "none") // s = 103
+}
+
+// TestSteadyStateScansDoNotAllocate is the allocation regression test
+// from the issue: with vectors drawn from the arena once, the packed
+// scan kernels and the recycled byte API must not allocate per call.
+func TestSteadyStateScansDoNotAllocate(t *testing.T) {
+	m, err := New(PhysicalPEs, DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Setup(PhysicalPEs); err != nil {
+		t.Fatal(err)
+	}
+	v := m.V()
+	data := m.GetVec()
+	head := m.GetVec()
+	dst := m.GetVec()
+	for w := range data {
+		data[w] = 0xaaaa5555aaaa5555
+		head[w] = 0x0000100000001000
+	}
+
+	if avg := testing.AllocsPerRun(20, func() {
+		m.SegScanOrV(dst, data, head)
+		m.SegScanAndV(dst, data, head)
+		m.CopySegHeadV(dst, data, head)
+		m.SegReduceOrToHeadV(dst, data, head)
+		m.SegReduceAndToHeadV(dst, data, head)
+		m.ReduceOrV(data)
+		m.ReduceAndV(data)
+	}); avg != 0 {
+		t.Errorf("packed scan kernels allocate %v allocs/op in steady state, want 0", avg)
+	}
+
+	// The byte API draws results from the arena; recycling them makes
+	// it allocation-free too.
+	bdata := make([]Bit, v)
+	bhead := make([]bool, v)
+	m.PutBits(m.SegScanOr(bdata, bhead)) // warm the free-list
+	if avg := testing.AllocsPerRun(20, func() {
+		m.PutBits(m.SegScanOr(bdata, bhead))
+		m.PutBits(m.SegReduceOrToHead(bdata, bhead))
+		m.PutBits(m.CopySegHead(bdata, bhead))
+	}); avg != 0 {
+		t.Errorf("recycled byte-API scans allocate %v allocs/op in steady state, want 0", avg)
+	}
+
+	// The packed router gather is allocation-free on its sequential
+	// path (small vectors); the parallel path costs a handful of
+	// goroutine handoffs, which is the documented trade.
+	sm, err := New(1024, DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sm.Setup(1024); err != nil {
+		t.Fatal(err)
+	}
+	sdata := sm.GetVec()
+	sdst := sm.GetVec()
+	ssrc := make([]int32, 1024)
+	for i := range ssrc {
+		ssrc[i] = int32((i * 7) % 1024)
+	}
+	if avg := testing.AllocsPerRun(20, func() {
+		sm.RouterFetchV(sdst, ssrc, sdata)
+	}); avg != 0 {
+		t.Errorf("sequential packed RouterFetchV allocates %v allocs/op, want 0", avg)
+	}
+}
+
+// TestArenaReuseAcrossSetup pins the invalidation contract: buffers
+// from before a Setup must not be handed out again after it.
+func TestArenaReuseAcrossSetup(t *testing.T) {
+	m, err := New(64, DefaultCosts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Setup(128); err != nil {
+		t.Fatal(err)
+	}
+	old := m.GetVec()
+	if _, err := m.Setup(256); err != nil {
+		t.Fatal(err)
+	}
+	m.PutVec(old) // stale size: must be dropped, not recycled
+	if got := m.GetVec(); len(got) != m.WordLen() {
+		t.Fatalf("arena handed out stale buffer of %d words, want %d", len(got), m.WordLen())
+	}
+	b := m.GetBits()
+	for i := range b {
+		b[i] = 7
+	}
+	m.PutBits(b)
+	b2 := m.GetBits()
+	for i, x := range b2 {
+		if x != 0 {
+			t.Fatalf("GetBits returned dirty buffer at %d (=%d)", i, x)
+		}
+	}
+}

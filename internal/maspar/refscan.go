@@ -1,15 +1,23 @@
 package maspar
 
-// Router primitives: segmented scans (scanOr/scanAnd, MasPar System
-// Overview 1990), the copy-scan broadcast idiom, global reductions, and
-// router gathers. All operate over the *active* PE set — disabled PEs
-// neither contribute nor receive, exactly like Figure 12's "PE disabled
-// only during the scanAnd".
+// Reference scalar kernels ("refscan"): segmented scans (scanOr /
+// scanAnd, MasPar System Overview 1990), the copy-scan broadcast idiom,
+// global reductions, and router gathers — one PE per host iteration
+// over byte-per-PE plural vectors. All operate over the *active* PE set
+// — disabled PEs neither contribute nor receive, exactly like Figure
+// 12's "PE disabled only during the scanAnd".
 //
 // Segments are defined over the sequence of active PEs: a new segment
 // begins at every active PE whose segHead bit is set, and the first
 // active PE always begins one. Each primitive costs one router pass,
 // O(log P) cycle-depth, regardless of segment structure.
+//
+// These scalar loops are the executable specification for the packed
+// word-parallel kernels in packed.go; the property tests in
+// packed_test.go assert both agree bit-for-bit (outputs, cycle counts,
+// scan-op counts) on random masks and segment structures. Result
+// buffers come from the Machine's arena — recycle them with PutBits to
+// make this API allocation-free in steady state.
 
 // Bit is the plural bit type flowing through the scan network.
 type Bit = uint8
@@ -19,11 +27,11 @@ type Bit = uint8
 // Inactive PEs keep a zero result.
 func (m *Machine) SegScanOr(data []Bit, segHead []bool) []Bit {
 	m.chargeScan()
-	out := make([]Bit, m.v)
+	out := m.buf.getBytes()
 	var acc Bit
 	open := false
 	for pe := 0; pe < m.v; pe++ {
-		if !m.enabled[pe] {
+		if !m.Enabled(pe) {
 			continue
 		}
 		if segHead[pe] || !open {
@@ -39,11 +47,11 @@ func (m *Machine) SegScanOr(data []Bit, segHead []bool) []Bit {
 // SegScanAnd is the AND counterpart of SegScanOr.
 func (m *Machine) SegScanAnd(data []Bit, segHead []bool) []Bit {
 	m.chargeScan()
-	out := make([]Bit, m.v)
+	out := m.buf.getBytes()
 	acc := Bit(1)
 	open := false
 	for pe := 0; pe < m.v; pe++ {
-		if !m.enabled[pe] {
+		if !m.Enabled(pe) {
 			continue
 		}
 		if segHead[pe] || !open {
@@ -61,7 +69,7 @@ func (m *Machine) SegScanAnd(data []Bit, segHead []bool) []Bit {
 // backward scanOr read off at the boundary PEs; it costs one scan.
 func (m *Machine) SegReduceOrToHead(data []Bit, segHead []bool) []Bit {
 	m.chargeScan()
-	out := make([]Bit, m.v)
+	out := m.buf.getBytes()
 	head := -1
 	var acc Bit
 	flush := func() {
@@ -70,7 +78,7 @@ func (m *Machine) SegReduceOrToHead(data []Bit, segHead []bool) []Bit {
 		}
 	}
 	for pe := 0; pe < m.v; pe++ {
-		if !m.enabled[pe] {
+		if !m.Enabled(pe) {
 			continue
 		}
 		if segHead[pe] || head < 0 {
@@ -88,7 +96,7 @@ func (m *Machine) SegReduceOrToHead(data []Bit, segHead []bool) []Bit {
 // including inactive heads' positions).
 func (m *Machine) SegReduceAndToHead(data []Bit, segHead []bool) []Bit {
 	m.chargeScan()
-	out := make([]Bit, m.v)
+	out := m.buf.getBytes()
 	head := -1
 	acc := Bit(1)
 	flush := func() {
@@ -97,7 +105,7 @@ func (m *Machine) SegReduceAndToHead(data []Bit, segHead []bool) []Bit {
 		}
 	}
 	for pe := 0; pe < m.v; pe++ {
-		if !m.enabled[pe] {
+		if !m.Enabled(pe) {
 			continue
 		}
 		if segHead[pe] || head < 0 {
@@ -116,11 +124,11 @@ func (m *Machine) SegReduceAndToHead(data []Bit, segHead []bool) []Bit {
 // verdicts back across a column block).
 func (m *Machine) CopySegHead(data []Bit, segHead []bool) []Bit {
 	m.chargeScan()
-	out := make([]Bit, m.v)
+	out := m.buf.getBytes()
 	var cur Bit
 	open := false
 	for pe := 0; pe < m.v; pe++ {
-		if !m.enabled[pe] {
+		if !m.Enabled(pe) {
 			continue
 		}
 		if segHead[pe] || !open {
@@ -138,7 +146,7 @@ func (m *Machine) ReduceOr(data []Bit) Bit {
 	m.chargeScan()
 	var acc Bit
 	for pe := 0; pe < m.v; pe++ {
-		if m.enabled[pe] {
+		if m.Enabled(pe) {
 			acc |= data[pe]
 		}
 	}
@@ -151,7 +159,7 @@ func (m *Machine) ReduceAnd(data []Bit) Bit {
 	m.chargeScan()
 	acc := Bit(1)
 	for pe := 0; pe < m.v; pe++ {
-		if m.enabled[pe] {
+		if m.Enabled(pe) {
 			acc &= data[pe]
 		}
 	}
@@ -164,9 +172,9 @@ func (m *Machine) ReduceAnd(data []Bit) Bit {
 // One router pass.
 func (m *Machine) RouterFetch(src []int32, data []Bit) []Bit {
 	m.chargeRouter()
-	out := make([]Bit, m.v)
+	out := m.buf.getBytes()
 	m.forAll(func(pe int) {
-		if m.enabled[pe] {
+		if m.Enabled(pe) {
 			out[pe] = data[src[pe]]
 		}
 	})

@@ -122,7 +122,7 @@ func (g *Grid) Shift(data []Bit, dir Direction) []Bit {
 	dr, dc := dir.delta()
 	out := make([]Bit, m.v)
 	m.forAll(func(pe int) {
-		if !m.enabled[pe] {
+		if !m.Enabled(pe) {
 			return
 		}
 		r, c := pe/g.cols, pe%g.cols
@@ -140,7 +140,7 @@ func (g *Grid) ShiftInt32(data []int32, dir Direction) []int32 {
 	dr, dc := dir.delta()
 	out := make([]int32, m.v)
 	m.forAll(func(pe int) {
-		if !m.enabled[pe] {
+		if !m.Enabled(pe) {
 			return
 		}
 		r, c := pe/g.cols, pe%g.cols
@@ -176,7 +176,7 @@ func (g *Grid) shiftByCols(data []Bit, step int) []Bit {
 	m.Cycles += xnetCost * uint64(m.layer)
 	out := make([]Bit, m.v)
 	m.forAll(func(pe int) {
-		if !m.enabled[pe] {
+		if !m.Enabled(pe) {
 			return
 		}
 		r, c := pe/g.cols, pe%g.cols
@@ -194,7 +194,7 @@ func (m *Machine) SegScanAdd(data []int32, segHead []bool) []int32 {
 	var acc int32
 	open := false
 	for pe := 0; pe < m.v; pe++ {
-		if !m.enabled[pe] {
+		if !m.Enabled(pe) {
 			continue
 		}
 		if segHead[pe] || !open {
@@ -214,7 +214,7 @@ func (m *Machine) SegScanMax(data []int32, segHead []bool) []int32 {
 	acc := int32(-1 << 31)
 	open := false
 	for pe := 0; pe < m.v; pe++ {
-		if !m.enabled[pe] {
+		if !m.Enabled(pe) {
 			continue
 		}
 		if segHead[pe] || !open {
@@ -234,7 +234,7 @@ func (m *Machine) ReduceAdd(data []int32) int64 {
 	m.chargeScan()
 	var acc int64
 	for pe := 0; pe < m.v; pe++ {
-		if m.enabled[pe] {
+		if m.Enabled(pe) {
 			acc += int64(data[pe])
 		}
 	}
@@ -248,7 +248,7 @@ func (m *Machine) Enumerate() []int32 {
 	out := make([]int32, m.v)
 	var rank int32
 	for pe := 0; pe < m.v; pe++ {
-		if m.enabled[pe] {
+		if m.Enabled(pe) {
 			out[pe] = rank
 			rank++
 		}

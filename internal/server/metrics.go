@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/metrics"
 )
 
@@ -118,6 +119,10 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cache *Cache) {
 	hits, misses := cache.Stats()
 	counter("parsecd_grammar_cache_hits_total", "grammar cache hits", hits)
 	counter("parsecd_grammar_cache_misses_total", "grammar cache misses (compiles)", misses)
+
+	lhits, lmisses := core.LayoutCacheStats()
+	counter("parsecd_layout_cache_hits_total", "PE-map plan cache hits (layouts reused)", lhits)
+	counter("parsecd_layout_cache_misses_total", "PE-map plan cache misses (layouts built)", lmisses)
 
 	// The machine-work accounting every engine shares (internal/metrics),
 	// summed over all parses served.
