@@ -34,16 +34,16 @@ serve:
 load:
 	$(GO) run ./cmd/parsecload -c 16 -n 400
 
-# bench runs the simulator and network benchmarks with allocation
-# accounting and writes the machine-readable report the perf work
-# tracks (ns/op, B/op, allocs/op, simulated cycles/op).
+# bench runs the simulator, network, and serving-path benchmarks with
+# allocation accounting and writes the machine-readable report the perf
+# work tracks (ns/op, B/op, allocs/op, simulated cycles/op, sents/s).
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem ./internal/maspar/ ./internal/cn/ | $(GO) run ./cmd/benchjson -o BENCH_scan.json
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/maspar/ ./internal/cn/ ./internal/server/ | $(GO) run ./cmd/benchjson -o BENCH_scan.json
 	@echo wrote BENCH_scan.json
 
 # bench-smoke is the CI-sized variant: one short iteration per
 # benchmark, just enough to prove the harness and the JSON pipeline
 # stay healthy.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./internal/maspar/ ./internal/cn/ | $(GO) run ./cmd/benchjson -o BENCH_scan.json
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./internal/maspar/ ./internal/cn/ ./internal/server/ | $(GO) run ./cmd/benchjson -o BENCH_scan.json
 	@echo wrote BENCH_scan.json

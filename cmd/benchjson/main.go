@@ -1,7 +1,8 @@
 // Command benchjson converts `go test -bench` text output read on
 // stdin into a JSON benchmark report on stdout (or -o file). It keeps
 // the metrics the scan/router optimization work tracks: ns/op, B/op,
-// allocs/op, and the simulator's custom cycles/op metric.
+// allocs/op, the simulator's custom cycles/op metric, and the serving
+// path's sents/s throughput metric.
 //
 // Usage:
 //
@@ -30,6 +31,7 @@ type Result struct {
 	AllocsLine bool    `json:"-"`
 	AllocsPer  float64 `json:"allocs_per_op"`
 	CyclesPer  float64 `json:"cycles_per_op,omitempty"`
+	SentsPer   float64 `json:"sents_per_sec,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -128,6 +130,8 @@ func parseLine(line string) (Result, bool) {
 			res.AllocsPer = v
 		case "cycles/op":
 			res.CyclesPer = v
+		case "sents/s":
+			res.SentsPer = v
 		}
 	}
 	return res, true

@@ -12,6 +12,7 @@ cpu: whatever
 BenchmarkSegScanOr/v=16384-8         	 2751582	       433.5 ns/op	     17153 cycles/op	       0 B/op	       0 allocs/op
 BenchmarkRouterFetch/v=65536-8       	  106156	     11245 ns/op	    393223 cycles/op	       0 B/op	       0 allocs/op
 BenchmarkAll-8                       	    9086	    131509 ns/op	         1.000 cycles/op	       0 B/op	       0 allocs/op
+BenchmarkGangThroughput/batch=32-8   	       8	 290593770 ns/op	       110.1 sents/s	19645530 B/op	   48995 allocs/op
 PASS
 ok  	repro/internal/maspar	9.499s
 `
@@ -24,8 +25,8 @@ func TestParseBenchOutput(t *testing.T) {
 	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "repro/internal/maspar" {
 		t.Errorf("header mismatch: %+v", rep)
 	}
-	if len(rep.Results) != 3 {
-		t.Fatalf("got %d results, want 3", len(rep.Results))
+	if len(rep.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(rep.Results))
 	}
 	r := rep.Results[0]
 	if r.Name != "BenchmarkSegScanOr/v=16384" {
@@ -36,6 +37,9 @@ func TestParseBenchOutput(t *testing.T) {
 	}
 	if rep.Results[2].Name != "BenchmarkAll" {
 		t.Errorf("plain name mishandled: %q", rep.Results[2].Name)
+	}
+	if g := rep.Results[3]; g.SentsPer != 110.1 || g.CyclesPer != 0 {
+		t.Errorf("sents/s metric mishandled: %+v", g)
 	}
 }
 

@@ -47,6 +47,8 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 		maxBatch    = fs.Int("max-batch", 16, "max requests coalesced into one run")
 		timeout     = fs.Duration("timeout", 30*time.Second, "default per-request deadline")
 		drain       = fs.Duration("drain", 30*time.Second, "max time to drain in-flight requests on shutdown")
+		cacheSize   = fs.Int("cache-entries", 4096, "result cache capacity in entries (-1 disables the result cache)")
+		cacheTTL    = fs.Duration("cache-ttl", time.Minute, "result cache entry time-to-live")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -60,6 +62,9 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 		BatchWindow:    *batchWindow,
 		MaxBatch:       *maxBatch,
 		DefaultTimeout: *timeout,
+
+		ResultCacheEntries: *cacheSize,
+		ResultCacheTTL:     *cacheTTL,
 	})
 	bound, err := s.Start()
 	if err != nil {

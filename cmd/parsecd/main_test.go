@@ -21,7 +21,10 @@ func TestDaemonServesAndDrainsOnSIGTERM(t *testing.T) {
 	ready := make(chan string, 1)
 	runErr := make(chan error, 1)
 	go func() {
-		runErr <- run([]string{"-addr", "127.0.0.1:0", "-batch-window", "150ms", "-max-batch", "64"}, &logbuf, ready)
+		// -cache-entries -1: the identical in-flight requests below must
+		// each reach the pool; the result cache would singleflight them
+		// into one parse and the drain accounting below counts all 4.
+		runErr <- run([]string{"-addr", "127.0.0.1:0", "-batch-window", "150ms", "-max-batch", "64", "-cache-entries", "-1"}, &logbuf, ready)
 	}()
 	var base string
 	select {

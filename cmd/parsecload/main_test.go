@@ -18,8 +18,11 @@ func TestSmokeLoadAgainstInProcessServer(t *testing.T) {
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
+	// -no-cache so every request really parses: the assertion below
+	// counts pool executions, which the result cache would elide for
+	// duplicate sentences in the mix.
 	var out bytes.Buffer
-	if err := run([]string{"-url", ts.URL, "-smoke", "-backend", "serial", "-hist"}, &out); err != nil {
+	if err := run([]string{"-url", ts.URL, "-smoke", "-backend", "serial", "-hist", "-no-cache"}, &out); err != nil {
 		t.Fatal(err)
 	}
 	report := out.String()
@@ -57,5 +60,113 @@ func TestLoadReportsNon200s(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "status 404: 8") {
 		t.Errorf("expected 8 404s:\n%s", out.String())
+	}
+}
+
+// TestZipfModeHitsResultCache: skewed reuse over a small sentence pool
+// must produce a majority of result-cache hits, and the report must
+// surface the scraped hit rate.
+func TestZipfModeHitsResultCache(t *testing.T) {
+	s := server.New(server.Config{Workers: 4, BatchWindow: time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{"-url", ts.URL, "-backend", "serial",
+		"-n", "120", "-c", "8", "-zipf", "1.4", "-zipf-pool", "8"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"request mix: zipf s=1.4 over 8 distinct sentences",
+		"status 200: 120",
+		"server result cache: hits=",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	st := s.Stats()
+	lookups := st.ResultCacheHits + st.ResultCacheMisses + st.ResultCacheCoalesced
+	if lookups == 0 {
+		t.Fatal("no result-cache lookups recorded")
+	}
+	reused := st.ResultCacheHits + st.ResultCacheCoalesced
+	if rate := float64(reused) / float64(lookups); rate <= 0.5 {
+		t.Errorf("cache reuse rate %.2f (hits=%d coalesced=%d misses=%d), want > 0.5 under zipf skew",
+			rate, st.ResultCacheHits, st.ResultCacheCoalesced, st.ResultCacheMisses)
+	}
+	// At most one parse per distinct pool sentence (plus leader-failure
+	// retries, which a healthy server doesn't produce).
+	if st.Parses > 8 {
+		t.Errorf("server executed %d parses for an 8-sentence pool", st.Parses)
+	}
+}
+
+// TestZipfValidation: a skew ≤ 1 is rejected (rand.NewZipf's domain).
+func TestZipfValidation(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-zipf", "0.9"}, &out); err == nil {
+		t.Error("zipf 0.9 accepted; want error")
+	}
+	if err := run([]string{"-zipf", "1.2", "-zipf-pool", "0"}, &out); err == nil {
+		t.Error("zipf-pool 0 accepted; want error")
+	}
+}
+
+// TestRampModeStepsAndReports drives the closed-loop mode against an
+// in-process server with a generous latency budget: every step should
+// pass until the step cap, and the report must carry the per-step lines
+// and the final verdict.
+func TestRampModeStepsAndReports(t *testing.T) {
+	s := server.New(server.Config{Workers: 4, BatchWindow: time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{"-url", ts.URL, "-backend", "serial",
+		"-n", "16", "-c", "2", "-ramp", "-ramp-steps", "3", "-ramp-target", "30s"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"ramp: target p50=30s, 16 requests/step, up to 3 steps",
+		"step 1: c=2",
+		"step 2: c=4",
+		"step 3: c=8",
+		"[ok]",
+		"ramp result: max sustainable c=8",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if st := s.Stats(); st.Parses == 0 {
+		t.Error("ramp sent no traffic")
+	}
+}
+
+// TestRampModeOverBudget: an impossible latency budget fails on step 1
+// and reports that no step was sustainable.
+func TestRampModeOverBudget(t *testing.T) {
+	s := server.New(server.Config{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{"-url", ts.URL, "-backend", "serial",
+		"-n", "8", "-c", "2", "-ramp", "-ramp-steps", "4", "-ramp-target", "1ns"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	if !strings.Contains(report, "[over budget]") ||
+		!strings.Contains(report, "ramp result: no step met the p50 budget") {
+		t.Errorf("over-budget run not reported:\n%s", report)
+	}
+	if strings.Contains(report, "step 2:") {
+		t.Errorf("ramp continued past a failed step:\n%s", report)
 	}
 }

@@ -1,0 +1,49 @@
+package locksafe
+
+import "sync"
+
+// singleflight mirrors the server result cache's layout: the memo map
+// and the in-flight table share one mutex, so both live in mu's
+// contiguous guarded block. Touching either without the lock is the
+// exact race the cache's singleflight protocol exists to prevent.
+type singleflight struct {
+	mu      sync.Mutex
+	entries map[string]int
+	flights map[string]chan struct{}
+}
+
+func (s *singleflight) badPeek(key string) bool {
+	_, ok := s.flights[key] // want "s.flights is guarded by mu"
+	return ok
+}
+
+func (s *singleflight) badRegister(key string) {
+	s.flights[key] = make(chan struct{}) // want "s.flights is guarded by mu"
+}
+
+func (s *singleflight) badDouble(key string) int {
+	if _, ok := s.flights[key]; ok { // want "s.flights is guarded by mu"
+		return 0
+	}
+	return s.entries[key] // want "s.entries is guarded by mu"
+}
+
+func (s *singleflight) goodLookup(key string) (chan struct{}, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	f, ok := s.flights[key]
+	return f, ok
+}
+
+func (s *singleflight) goodHandoff(key string) chan struct{} {
+	s.mu.Lock()
+	f, ok := s.flights[key]
+	if !ok {
+		f = make(chan struct{})
+		s.flights[key] = f
+	}
+	s.mu.Unlock()
+	// Waiting on the channel outside the lock is the point of the
+	// protocol: only the map lookups need mu.
+	return f
+}

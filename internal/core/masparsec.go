@@ -26,11 +26,36 @@ package core
 // formulation (PlanMasPar depends on that); only the host-side
 // execution of each lockstep instruction is word-parallel. See
 // DESIGN.md "Packed plural state".
+//
+// Gang execution. A run executes B ≥ 1 same-length sentences of one
+// grammar as ONE plural program: sentence b occupies gang segment b of
+// the machine (lanes [b·stride, b·stride+V), stride word-aligned — see
+// maspar.SetupGang), every activity/head mask is the layout's mask
+// replicated per segment, and one ACU instruction stream drives all
+// segments through propagation and consistency rounds together. The
+// solo path is simply a gang of one, so every solo test pins the gang
+// code. Segment isolation holds because each segment's first active
+// lane is local lane n (column block 0's rows 0..n−1 are the disabled
+// self-arc block), which carries both an arcSegHead bit (n ≡ 0 mod n)
+// and the blockFirstActive bit — so each of the three segmented scan
+// shapes of the consistency round starts a fresh carry chain at every
+// segment boundary and nothing flows between sentences.
+//
+// Per-sentence cost attribution: the machine charges per SEGMENT
+// (maspar.SetupGang), so its counters always read "what one member
+// cost so far". A sentence is settled — its counters snapshotted and
+// its round count fixed — after the first round in which its segment
+// reports no change; the rounds the gang keeps running for slower
+// members are fixpoint no-ops for it and are not charged to it. The
+// snapshot therefore equals a solo run's counters bit-for-bit
+// (asserted by TestGangMatchesSolo).
 
 import (
 	"context"
 	"fmt"
 	"math/bits"
+	"strconv"
+	"strings"
 
 	"repro/internal/cdg"
 	"repro/internal/cn"
@@ -38,12 +63,18 @@ import (
 	"repro/internal/metrics"
 )
 
-// masparRun holds the plural state of one parse.
+// masparRun holds the plural state of one gang run (B ≥ 1 sentences).
 type masparRun struct {
-	ly   *Layout
-	m    *maspar.Machine
-	sp   *cdg.Space
-	sent *cdg.Sentence
+	ly *Layout
+	m  *maspar.Machine
+	gr *cdg.Grammar
+
+	// sps[b] / sents[b] is gang member b; all share gr and the layout.
+	sps   []*cdg.Space
+	sents []*cdg.Sentence
+
+	segWords int // packed words per gang segment
+	stride   int // lane stride between segments (64·segWords)
 
 	// bitsV[lc·l+lr] is the packed plural vector of arc-element (lc,lr)
 	// across all PEs — the mirrored arc-element store, l×l bits per PE.
@@ -57,11 +88,80 @@ type masparRun struct {
 	// ls of role legal for a word of category cat.
 	allowed [][][]bool
 
-	rounds int
+	// Gang-width images of the layout's packed masks: one copy per
+	// segment (a gang of one aliases the layout's own vectors).
+	baseMaskW         []uint64
+	arcSegHeadW       []uint64
+	blockFirstActiveW []uint64
+	scanAndMaskW      []uint64
+
+	// classRep[b] is the lowest-indexed member whose sentence is
+	// identical (words and categories) to member b's; hasDups is true
+	// when any member is a duplicate. Identical sentences produce
+	// identical per-lane constraint verdicts, so the host evaluates the
+	// propagation checks once per class and copies the representative's
+	// packed words into its duplicates — the machine still charges every
+	// segment as if it ran them (a real SIMD array would), so counters
+	// are unaffected.
+	classRep []int
+	hasDups  bool
+
+	// roundsRun counts the consistency rounds the shared instruction
+	// stream has executed; rounds[b] is the prefix charged to sentence
+	// b, fixed when it settles. segChanged is the per-segment result of
+	// the round-ending SegmentOrV.
+	roundsRun  int
+	rounds     []int
+	done       []bool
+	snaps      []metrics.Counters
+	segChanged []maspar.Bit
+}
+
+// sentenceKey is the identity duplicate detection groups by: the words
+// and resolved categories, which are everything a check verdict can
+// read through Env.Sent.
+func sentenceKey(s *cdg.Sentence) string {
+	var sb strings.Builder
+	for p := 1; p <= s.Len(); p++ {
+		c, _ := s.Cat(p)
+		sb.WriteString(s.Word(p))
+		sb.WriteByte(0x1f)
+		sb.WriteString(strconv.Itoa(int(c)))
+		sb.WriteByte(0x1e)
+	}
+	return sb.String()
+}
+
+// dupSeg reports whether segment seg is a duplicate whose check work
+// the class representative carries.
+func (run *masparRun) dupSeg(seg int) bool {
+	return run.hasDups && run.classRep[seg] != seg
+}
+
+// copyDupSegs copies the packed words a check pass computed for each
+// class representative into that class's duplicate segments. Segments
+// are word-aligned with identical replicated masks, so the word images
+// are equal by construction.
+func (run *masparRun) copyDupSegs(groups ...[][]uint64) {
+	if !run.hasDups {
+		return
+	}
+	for b, rep := range run.classRep {
+		if rep == b {
+			continue
+		}
+		db, rb := b*run.segWords, rep*run.segWords
+		for _, vecs := range groups {
+			for _, v := range vecs {
+				copy(v[db:db+run.segWords], v[rb:rb+run.segWords])
+			}
+		}
+	}
 }
 
 // Accessors for the packed plural state (tests and readBack use these;
-// the hot loops below work on whole words).
+// the hot loops below work on whole words). pe indexes the gang-wide
+// lane space.
 
 func (run *masparRun) bitAt(pe, lc, lr int) maspar.Bit {
 	return maspar.Bit(run.bitsV[lc*run.ly.l+lr][pe>>6] >> (uint(pe) & 63) & 1)
@@ -81,30 +181,93 @@ func clearVec(v []uint64) {
 	}
 }
 
-// runMasPar executes the full algorithm and returns the run plus the
-// final network read back from the PE array. The context is checked
-// between ACU constraint broadcasts and between consistency rounds — a
-// cancelled parse stops mid-algorithm and the partial PE state is
-// discarded.
-func runMasPar(ctx context.Context, sp *cdg.Space, m *maspar.Machine, consistencyPerConstraint bool, filter bool, maxIters int) (*masparRun, *cn.Network, error) {
-	if sp.NumRoles() < 2 {
-		return nil, nil, fmt.Errorf("core: the MasPar layout needs at least two roles in the network (got %d)", sp.NumRoles())
+// gangMaskW replicates one segment's packed mask across the gang's
+// word space. A gang of one returns the source unchanged (the solo
+// path allocates nothing here).
+func gangMaskW(src []uint64, segWords, segs int) []uint64 {
+	if segs == 1 {
+		return src
 	}
-	ly := layoutFor(sp)
-	if _, err := m.Setup(ly.V()); err != nil {
+	out := make([]uint64, segWords*segs)
+	for b := 0; b < segs; b++ {
+		copy(out[b*segWords:(b+1)*segWords], src)
+	}
+	return out
+}
+
+// runMasPar executes the algorithm for one sentence — a gang of one —
+// and returns the run plus the final network read back from the PE
+// array. The context is checked between ACU constraint broadcasts and
+// between consistency rounds — a cancelled parse stops mid-algorithm
+// and the partial PE state is discarded.
+func runMasPar(ctx context.Context, sp *cdg.Space, m *maspar.Machine, consistencyPerConstraint bool, filter bool, maxIters int) (*masparRun, *cn.Network, error) {
+	run, nws, err := runMasParGang(ctx, []*cdg.Space{sp}, m, consistencyPerConstraint, filter, maxIters)
+	if err != nil {
 		return nil, nil, err
 	}
-	g := sp.Grammar()
-	l := ly.L()
-	run := &masparRun{
-		ly:        ly,
-		m:         m,
-		sp:        sp,
-		sent:      sp.Sentence(),
-		bitsV:     make([][]uint64, l*l),
-		aliveColV: make([][]uint64, l),
-		aliveRowV: make([][]uint64, l),
+	return run, nws[0], nil
+}
+
+// runMasParGang executes the full algorithm for a gang of same-length
+// sentences sharing one grammar and returns the run plus each
+// member's final network. See the package comment: one instruction
+// stream serves every sentence, and counters are attributed per
+// sentence exactly as a solo run would charge them.
+func runMasParGang(ctx context.Context, sps []*cdg.Space, m *maspar.Machine, consistencyPerConstraint bool, filter bool, maxIters int) (*masparRun, []*cn.Network, error) {
+	if len(sps) == 0 {
+		return nil, nil, fmt.Errorf("core: a gang needs at least one sentence")
 	}
+	g := sps[0].Grammar()
+	n := sps[0].N()
+	for _, sp := range sps[1:] {
+		if sp.Grammar() != g || sp.N() != n {
+			return nil, nil, fmt.Errorf("core: gang members must share one grammar and sentence length (got n=%d vs n=%d)", sp.N(), n)
+		}
+	}
+	if sps[0].NumRoles() < 2 {
+		return nil, nil, fmt.Errorf("core: the MasPar layout needs at least two roles in the network (got %d)", sps[0].NumRoles())
+	}
+	ly := layoutFor(sps[0])
+	if _, err := m.SetupGang(ly.V(), len(sps)); err != nil {
+		return nil, nil, err
+	}
+	l := ly.L()
+	B := len(sps)
+	run := &masparRun{
+		ly:         ly,
+		m:          m,
+		gr:         g,
+		sps:        sps,
+		sents:      make([]*cdg.Sentence, B),
+		segWords:   m.SegWords(),
+		stride:     m.SegStride(),
+		bitsV:      make([][]uint64, l*l),
+		aliveColV:  make([][]uint64, l),
+		aliveRowV:  make([][]uint64, l),
+		rounds:     make([]int, B),
+		done:       make([]bool, B),
+		snaps:      make([]metrics.Counters, B),
+		segChanged: make([]maspar.Bit, B),
+	}
+	for b, sp := range sps {
+		run.sents[b] = sp.Sentence()
+	}
+	run.classRep = make([]int, B)
+	seen := make(map[string]int, B)
+	for b, sent := range run.sents {
+		k := sentenceKey(sent)
+		if rep, ok := seen[k]; ok {
+			run.classRep[b] = rep
+			run.hasDups = true
+		} else {
+			seen[k] = b
+			run.classRep[b] = b
+		}
+	}
+	run.baseMaskW = gangMaskW(ly.baseMaskW, run.segWords, B)
+	run.arcSegHeadW = gangMaskW(ly.arcSegHeadW, run.segWords, B)
+	run.blockFirstActiveW = gangMaskW(ly.blockFirstActiveW, run.segWords, B)
+	run.scanAndMaskW = gangMaskW(ly.scanAndMaskW, run.segWords, B)
 	for i := range run.bitsV {
 		run.bitsV[i] = m.GetVec()
 		clearVec(run.bitsV[i])
@@ -137,7 +300,7 @@ func runMasPar(ctx context.Context, sp *cdg.Space, m *maspar.Machine, consistenc
 	m.BroadcastData()
 
 	// Disable the role-to-itself blocks for the whole parse.
-	m.SetMaskWords(ly.baseMaskW)
+	m.SetMaskWords(run.baseMaskW)
 
 	run.initAlive()
 	run.initBits()
@@ -163,16 +326,20 @@ func runMasPar(ctx context.Context, sp *cdg.Space, m *maspar.Machine, consistenc
 		}
 	}
 
-	// Consistency maintenance + filtering.
+	// Consistency maintenance + filtering. Each sentence settles after
+	// its first no-change round; the stream keeps running while any
+	// member still changes (or until the shared iteration bound).
 	if filter {
 		for {
 			if err := ctx.Err(); err != nil {
 				return nil, nil, err
 			}
-			if maxIters > 0 && run.rounds >= maxIters {
+			if maxIters > 0 && run.roundsRun >= maxIters {
 				break
 			}
-			if !run.consistencyRound() {
+			any := run.consistencyRound()
+			run.settleConverged()
+			if !any {
 				break
 			}
 		}
@@ -182,20 +349,26 @@ func runMasPar(ctx context.Context, sp *cdg.Space, m *maspar.Machine, consistenc
 		// maintenance after propagation).
 		run.consistencyRound()
 	}
+	run.finish()
 
-	return run, run.readBack(), nil
+	nws := make([]*cn.Network, B)
+	for b := range nws {
+		nws[b] = run.readBack(b)
+	}
+	return run, nws, nil
 }
 
-// aliveInit computes the initial liveness of (group g, label slot ls):
-// the slot must be a real label of the role, and table T (with the
-// per-category restriction) must admit it for the word's category.
-func (run *masparRun) aliveInit(g, ls int) maspar.Bit {
+// aliveInit computes the initial liveness of (group g, label slot ls)
+// for one gang member's sentence: the slot must be a real label of the
+// role, and table T (with the per-category restriction) must admit it
+// for the word's category.
+func (run *masparRun) aliveInit(sent *cdg.Sentence, g, ls int) maspar.Bit {
 	pos, role, _ := run.ly.Group(g)
-	labels := run.sp.Grammar().RoleLabels(role)
+	labels := run.gr.RoleLabels(role)
 	if ls >= len(labels) {
 		return 0
 	}
-	cat, ok := run.sent.Cat(pos)
+	cat, ok := sent.Cat(pos)
 	if !ok {
 		return 0
 	}
@@ -208,24 +381,34 @@ func (run *masparRun) aliveInit(g, ls int) maspar.Bit {
 // initAlive fills aliveColV and aliveRowV. Each PE computes both sides
 // locally from its id — no communication (design decision #2). One
 // elemental instruction; word granularity keeps every packed word
-// written by a single worker.
+// written by a single worker, and each word belongs to exactly one
+// gang segment (segments are word-aligned), so the segment's sentence
+// is resolved once per word.
 func (run *masparRun) initAlive() {
 	ly := run.ly
 	run.m.AllWords(func(w int, active uint64) {
+		seg := w / run.segWords
+		if run.dupSeg(seg) {
+			return // copied from the class representative below
+		}
+		base := seg * run.stride
+		sent := run.sents[seg]
 		for bset := active; bset != 0; bset &= bset - 1 {
 			pe := w<<6 + bits.TrailingZeros64(bset)
 			bit := uint64(1) << (uint(pe) & 63)
-			col, row := ly.ColGroup(pe), ly.RowGroup(pe)
+			lane := pe - base
+			col, row := ly.ColGroup(lane), ly.RowGroup(lane)
 			for ls := 0; ls < ly.l; ls++ {
-				if run.aliveInit(col, ls) == 1 {
+				if run.aliveInit(sent, col, ls) == 1 {
 					run.aliveColV[ls][w] |= bit
 				}
-				if run.aliveInit(row, ls) == 1 {
+				if run.aliveInit(sent, row, ls) == 1 {
 					run.aliveRowV[ls][w] |= bit
 				}
 			}
 		}
 	})
+	run.copyDupSegs(run.aliveColV, run.aliveRowV)
 }
 
 // initBits sets every arc element to aliveCol ∧ aliveRow — "initially,
@@ -249,16 +432,23 @@ func (run *masparRun) initBits() {
 // and arc elements of violators. Pure elemental work; PEs in the same
 // column block reach identical verdicts redundantly, which is exactly
 // how a SIMD machine avoids communication here. The constraint checks
-// are per-lane (they evaluate grammar predicates); the arc-element
-// masking that follows is word-parallel.
+// are per-lane (they evaluate grammar predicates against the lane's
+// segment's sentence); the arc-element masking that follows is
+// word-parallel.
 func (run *masparRun) applyUnary(c *cdg.Constraint) {
 	ly := run.ly
 	run.m.AllChecksWords(2*ly.l, func(w int, active uint64) {
+		seg := w / run.segWords
+		if run.dupSeg(seg) {
+			return // copied from the class representative below
+		}
+		base := seg * run.stride
+		env := cdg.Env{Sent: run.sents[seg]}
 		for bset := active; bset != 0; bset &= bset - 1 {
 			pe := w<<6 + bits.TrailingZeros64(bset)
 			bit := uint64(1) << (uint(pe) & 63)
-			col, row := ly.ColGroup(pe), ly.RowGroup(pe)
-			env := cdg.Env{Sent: run.sent}
+			lane := pe - base
+			col, row := ly.ColGroup(lane), ly.RowGroup(lane)
 			for ls := 0; ls < ly.l; ls++ {
 				if run.aliveColV[ls][w]&bit != 0 {
 					if ref, ok := ly.RVRef(col, ls); ok {
@@ -285,6 +475,7 @@ func (run *masparRun) applyUnary(c *cdg.Constraint) {
 			}
 		}
 	})
+	run.copyDupSegs(run.aliveColV, run.aliveRowV, run.bitsV)
 }
 
 // applyBinary propagates one binary constraint: every PE tests its l×l
@@ -294,11 +485,17 @@ func (run *masparRun) applyUnary(c *cdg.Constraint) {
 func (run *masparRun) applyBinary(c *cdg.Constraint) {
 	ly := run.ly
 	run.m.AllChecksWords(2*ly.l*ly.l, func(w int, active uint64) {
+		seg := w / run.segWords
+		if run.dupSeg(seg) {
+			return // copied from the class representative below
+		}
+		base := seg * run.stride
+		env := cdg.Env{Sent: run.sents[seg]}
 		for bset := active; bset != 0; bset &= bset - 1 {
 			pe := w<<6 + bits.TrailingZeros64(bset)
 			bit := uint64(1) << (uint(pe) & 63)
-			col, row := ly.ColGroup(pe), ly.RowGroup(pe)
-			env := cdg.Env{Sent: run.sent}
+			lane := pe - base
+			col, row := ly.ColGroup(lane), ly.RowGroup(lane)
 			for lc := 0; lc < ly.l; lc++ {
 				refC, okC := ly.RVRef(col, lc)
 				if !okC {
@@ -326,6 +523,7 @@ func (run *masparRun) applyBinary(c *cdg.Constraint) {
 			}
 		}
 	})
+	run.copyDupSegs(run.bitsV)
 }
 
 // consistencyRound is Figure 12: for every role value, OR its arc
@@ -333,7 +531,8 @@ func (run *masparRun) applyBinary(c *cdg.Constraint) {
 // AND the per-arc results (segmented scanAnd over the boundary PEs),
 // copy-scan the verdict back across the block, mirror it to the row
 // side through the router, and zero the arc elements of the dead. It
-// reports whether any role value died.
+// fills segChanged with each segment's "did any role value die" bit
+// and reports their OR.
 //
 // The instruction schedule is the cycle-accounting contract (PlanMasPar
 // counts 6l+1 elementals, 3l+1 scans, and l routers per round): every
@@ -342,7 +541,7 @@ func (run *masparRun) applyBinary(c *cdg.Constraint) {
 // a round allocates nothing in steady state.
 func (run *masparRun) consistencyRound() bool {
 	ly, m := run.ly, run.m
-	run.rounds++
+	run.roundsRun++
 	changed := m.GetVec()
 	tmp := m.GetVec()
 	perArc := m.GetVec()
@@ -367,15 +566,15 @@ func (run *masparRun) consistencyRound() bool {
 			tmp[w] = t & active
 		})
 		// OR along each arc segment, result at the arc's first PE.
-		m.SegReduceOrToHeadV(perArc, tmp, ly.arcSegHeadW)
+		m.SegReduceOrToHeadV(perArc, tmp, run.arcSegHeadW)
 		// AND the per-arc results across the column block: only the
 		// boundary PEs participate (Figure 12's "PE disabled only
 		// during the scanAnd").
-		m.SetMaskWords(ly.scanAndMaskW)
-		m.SegReduceAndToHeadV(blockSup, perArc, ly.blockFirstActiveW)
+		m.SetMaskWords(run.scanAndMaskW)
+		m.SegReduceAndToHeadV(blockSup, perArc, run.blockFirstActiveW)
 		// Re-enable the block and distribute the verdict.
-		m.SetMaskWords(ly.baseMaskW)
-		m.CopySegHeadV(dist, blockSup, ly.blockFirstActiveW)
+		m.SetMaskWords(run.baseMaskW)
+		m.CopySegHeadV(dist, blockSup, run.blockFirstActiveW)
 		// A value stays alive only if it was alive and is supported.
 		ac := run.aliveColV[lc]
 		m.AllWords(func(w int, active uint64) {
@@ -387,7 +586,8 @@ func (run *masparRun) consistencyRound() bool {
 	}
 
 	// Mirror column liveness to the row side through the global router
-	// (one transpose permutation per label slot, word-parallel).
+	// (one transpose permutation per label slot, word-parallel and
+	// segment-local).
 	for ls := 0; ls < ly.l; ls++ {
 		acv, arv := run.aliveColV[ls], run.aliveRowV[ls]
 		m.AllWords(func(w int, active uint64) { tmp[w] = acv[w] & active })
@@ -408,14 +608,65 @@ func (run *masparRun) consistencyRound() bool {
 		}
 	})
 
-	return m.ReduceOrV(changed) == 1
+	// One segmented reduce tells the ACU which members still changed —
+	// the gang image of the solo round's global ReduceOr, charged
+	// identically (one scan).
+	m.SegmentOrV(changed, run.segChanged)
+	any := false
+	for _, ch := range run.segChanged {
+		if ch == 1 {
+			any = true
+			break
+		}
+	}
+	return any
 }
 
-// readBack materializes the PE state as a cn.Network (domains read at
-// each column block's first active PE; matrix bits read from the PE
-// owning each (column, row) group pair).
-func (run *masparRun) readBack() *cn.Network {
-	ly, sp := run.ly, run.sp
+// settleConverged settles every sentence whose segment reported no
+// change this round: its counters become the stream's charges so far —
+// exactly a solo run's final counters, since the prefix of the shared
+// stream IS the solo program (asserted by TestGangMatchesSolo) — and
+// later rounds, fixpoint no-ops for it, are not charged to it.
+func (run *masparRun) settleConverged() {
+	for b := range run.done {
+		if !run.done[b] && run.segChanged[b] == 0 {
+			run.settle(b)
+		}
+	}
+}
+
+// finish settles every member still outstanding (iteration bound hit,
+// filtering off, or per-constraint mode).
+func (run *masparRun) finish() {
+	for b := range run.done {
+		if !run.done[b] {
+			run.settle(b)
+		}
+	}
+}
+
+func (run *masparRun) settle(b int) {
+	run.done[b] = true
+	run.rounds[b] = run.roundsRun
+	run.snaps[b] = metrics.Counters{
+		Cycles:           run.m.Cycles,
+		ScanOps:          run.m.ScanOps,
+		RouterOps:        run.m.RouterOps,
+		Broadcasts:       run.m.Broadcasts,
+		ConstraintChecks: run.m.ConstraintChecks,
+		Processors:       uint64(run.ly.V()),
+		VirtualLayers:    uint64(run.m.Layers()),
+		FilterIterations: uint64(run.roundsRun),
+	}
+}
+
+// readBack materializes gang member b's PE state as a cn.Network
+// (domains read at each column block's first active PE; matrix bits
+// read from the PE owning each (column, row) group pair — all offset
+// into segment b's lanes).
+func (run *masparRun) readBack(b int) *cn.Network {
+	ly, sp := run.ly, run.sps[b]
+	base := b * run.stride
 	nw := cn.NewShell(sp)
 	n := sp.N()
 
@@ -425,11 +676,10 @@ func (run *masparRun) readBack() *cn.Network {
 		gr := sp.GlobalRole(pos, role)
 		// The block's first active PE carries the authoritative
 		// liveness for the column group.
-		base := g * ly.s
 		first := -1
-		for v := base; v < base+ly.s; v++ {
+		for v := g * ly.s; v < g*ly.s+ly.s; v++ {
 			if ly.baseMask[v] {
-				first = v
+				first = base + v
 				break
 			}
 		}
@@ -460,7 +710,7 @@ func (run *masparRun) readBack() *cn.Network {
 					continue
 				}
 				rowG := ly.GroupOf(posB, rb, modB)
-				pe := colG*ly.s + rowG
+				pe := base + colG*ly.s + rowG
 				for lsA := range labsA {
 					for lsB := range labsB {
 						if run.bitAt(pe, lsA, lsB) == 1 {
@@ -474,16 +724,9 @@ func (run *masparRun) readBack() *cn.Network {
 	return nw
 }
 
-// countersFrom extracts the metrics view of a finished run.
-func (run *masparRun) countersFrom() *metrics.Counters {
-	return &metrics.Counters{
-		Cycles:           run.m.Cycles,
-		ScanOps:          run.m.ScanOps,
-		RouterOps:        run.m.RouterOps,
-		Broadcasts:       run.m.Broadcasts,
-		ConstraintChecks: run.m.ConstraintChecks,
-		Processors:       uint64(run.ly.V()),
-		VirtualLayers:    uint64(run.m.Layers()),
-		FilterIterations: uint64(run.rounds),
-	}
+// countersFor returns gang member b's attributed work accounting: the
+// snapshot taken when it settled.
+func (run *masparRun) countersFor(b int) *metrics.Counters {
+	c := run.snaps[b]
+	return &c
 }

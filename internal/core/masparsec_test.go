@@ -110,9 +110,9 @@ func TestAliveColUniformWithinBlock(t *testing.T) {
 // as FilterIterations.
 func TestRoundsMatchCounters(t *testing.T) {
 	run := runDemo(t, []string{"the", "program", "runs"})
-	c := run.countersFrom()
-	if c.FilterIterations != uint64(run.rounds) {
-		t.Errorf("FilterIterations = %d, rounds = %d", c.FilterIterations, run.rounds)
+	c := run.countersFor(0)
+	if c.FilterIterations != uint64(run.rounds[0]) {
+		t.Errorf("FilterIterations = %d, rounds = %d", c.FilterIterations, run.rounds[0])
 	}
 	if c.Processors != uint64(run.ly.V()) {
 		t.Error("Processors mismatch")

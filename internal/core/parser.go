@@ -208,6 +208,62 @@ func (p *Parser) ParseSentenceContext(ctx context.Context, sent *cdg.Sentence) (
 	return res, nil
 }
 
+// ParseGangContext parses a batch of same-length sentences. On the
+// MasPar backend they run as ONE gang program: every sentence occupies
+// its own segment of a single virtual PE array and one ACU instruction
+// stream drives the whole gang, so instruction dispatch, goroutine
+// fan-out, and arena traffic are paid once per batch instead of once
+// per sentence. Each result's counters and ModelTime are attributed
+// per sentence and are bit-identical to a solo run of that sentence
+// (see runMasParGang); HostTime is the batch's wall clock split evenly
+// across members. Other backends fall back to sequential solo parses.
+//
+// All sentences must have the same word count; mixed lengths are an
+// error on the MasPar backend (the coalescer groups by length before
+// calling this).
+func (p *Parser) ParseGangContext(ctx context.Context, sents []*cdg.Sentence) ([]*Result, error) {
+	if len(sents) == 0 {
+		return nil, nil
+	}
+	if p.cfg.backend != MasPar {
+		out := make([]*Result, len(sents))
+		for i, s := range sents {
+			res, err := p.ParseSentenceContext(ctx, s)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = res
+		}
+		return out, nil
+	}
+	start := time.Now()
+	m, err := maspar.New(p.cfg.phys, p.cfg.costs)
+	if err != nil {
+		return nil, err
+	}
+	sps := make([]*cdg.Space, len(sents))
+	for i, s := range sents {
+		sps[i] = cdg.NewSpace(p.g, s)
+	}
+	run, nws, err := runMasParGang(ctx, sps, m, p.cfg.consistencyPerConstraint, p.cfg.filter, p.cfg.maxFilterIters)
+	if err != nil {
+		return nil, err
+	}
+	per := time.Since(start) / time.Duration(len(sents))
+	out := make([]*Result, len(sents))
+	for b := range sents {
+		c := run.countersFor(b)
+		out[b] = &Result{
+			Backend:   MasPar,
+			Network:   nws[b],
+			Counters:  c,
+			ModelTime: maspar.CyclesToModelTime(c.Cycles),
+			HostTime:  per,
+		}
+	}
+	return out, nil
+}
+
 func (p *Parser) parseSentence(ctx context.Context, sent *cdg.Sentence) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -272,7 +328,7 @@ func (p *Parser) parseSentence(ctx context.Context, sent *cdg.Sentence) (*Result
 		return &Result{
 			Backend:   MasPar,
 			Network:   nw,
-			Counters:  run.countersFrom(),
+			Counters:  run.countersFor(0),
 			ModelTime: m.ModelTime(),
 		}, nil
 	}

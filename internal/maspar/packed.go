@@ -261,21 +261,36 @@ func (m *Machine) RouterCopyV(dst, data []uint64) {
 }
 
 // RouterTransposeV is the router permutation the PARSEC mirror
-// exchange uses: with the PE array viewed as an s×s grid (pe = i·s+j,
-// v = s²), every active lane (i,j) receives data's lane (j,i);
-// inactive lanes get 0. The scalar backend ran this as a per-lane
-// RouterFetch along transposeSrc; here it is word-parallel: the packed
-// vector is cut into 64×64 bit tiles, each tile is transposed with the
-// classic in-register bit-matrix transpose, and tiles land at their
-// mirrored position. Funnel shifts handle rows that straddle word
-// boundaries (s need not be a multiple of 64). dst must not alias
-// data. Charged exactly like RouterFetch — same router pass on the
-// modeled machine.
+// exchange uses: with each gang segment's PE block viewed as an s×s
+// grid (lane = i·s+j within the segment, vSeg = s²), every active lane
+// (i,j) receives data's lane (j,i) of the same segment; inactive lanes
+// get 0. On a solo program (gang of one) this is the plain whole-array
+// transpose. The scalar backend ran this as a per-lane RouterFetch
+// along transposeSrc; here it is word-parallel: the packed vector is
+// cut into 64×64 bit tiles, each tile is transposed with the classic
+// in-register bit-matrix transpose, and tiles land at their mirrored
+// position. Funnel shifts handle rows that straddle word boundaries (s
+// need not be a multiple of 64). dst must not alias data. Charged
+// exactly like RouterFetch — one router pass on the modeled machine
+// serves every segment at once (the permutation is segment-local, so
+// the router routes all segments in the same pass).
 func (m *Machine) RouterTransposeV(dst, data []uint64, s int) {
-	if s*s != m.v {
-		panic(fmt.Sprintf("maspar: RouterTransposeV grid %d×%d does not cover v=%d", s, s, m.v))
+	if s*s != m.vSeg {
+		panic(fmt.Sprintf("maspar: RouterTransposeV grid %d×%d does not cover vSeg=%d", s, s, m.vSeg))
 	}
 	m.chargeRouter()
+	for seg := 0; seg < m.segs; seg++ {
+		lo, hi := seg*m.segWords, (seg+1)*m.segWords
+		transposeGrid(dst[lo:hi], data[lo:hi], s)
+	}
+	for w, e := range m.mask {
+		dst[w] &= e
+	}
+}
+
+// transposeGrid transposes one s×s bit grid stored packed in data into
+// dst (both WordsFor(s·s) words); dst is fully overwritten, mask-blind.
+func transposeGrid(dst, data []uint64, s int) {
 	for w := range dst {
 		dst[w] = 0
 	}
@@ -326,8 +341,29 @@ func (m *Machine) RouterTransposeV(dst, data []uint64, s int) {
 			}
 		}
 	}
-	for w, e := range m.mask {
-		dst[w] &= e
+}
+
+// SegmentOrV reduces the active lanes of each gang segment to one bit:
+// out[seg] = OR over segment seg's active lanes of data. On the
+// modeled machine this is one segmented reduce through the router —
+// the same price as the global ReduceOrV it generalizes (a solo
+// program's SegmentOrV(data, out) sets out[0] = ReduceOrV(data)) — so
+// it is charged as one scan.
+func (m *Machine) SegmentOrV(data []uint64, out []Bit) {
+	if len(out) < m.segs {
+		panic(fmt.Sprintf("maspar: SegmentOrV needs %d output lanes, got %d", m.segs, len(out)))
+	}
+	m.chargeScan()
+	for seg := 0; seg < m.segs; seg++ {
+		var acc uint64
+		for w := seg * m.segWords; w < (seg+1)*m.segWords; w++ {
+			acc |= data[w] & m.mask[w]
+		}
+		if acc != 0 {
+			out[seg] = 1
+		} else {
+			out[seg] = 0
+		}
 	}
 }
 

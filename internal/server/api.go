@@ -46,6 +46,9 @@ type ParseRequest struct {
 	MaxFilterIters int  `json:"max_filter_iters,omitempty"`
 	// PEs overrides the simulated physical PE count (maspar backend).
 	PEs int `json:"pes,omitempty"`
+	// NoCache bypasses the server's result cache for this request: the
+	// parse always executes, and its result is not stored.
+	NoCache bool `json:"no_cache,omitempty"`
 }
 
 // Words returns the tokenized sentence, preferring Sentence over Text.
@@ -80,6 +83,9 @@ type ParseResult struct {
 	// size of the coalesced batch it ran in. Absent in CLI output.
 	QueueTimeUS int64 `json:"queue_time_us,omitempty"`
 	BatchSize   int   `json:"batch_size,omitempty"`
+	// Cached marks a result served from the server's result cache
+	// (its timing/batching extras are zeroed: no parse ran).
+	Cached bool `json:"cached,omitempty"`
 	// TimedOut marks a deadline-exceeded request; Error carries any
 	// failure message. HTTP maps these to 504 and 500.
 	TimedOut bool   `json:"timed_out,omitempty"`

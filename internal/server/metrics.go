@@ -29,6 +29,8 @@ type serverMetrics struct {
 	rejected  atomic.Uint64 // queue-full rejections
 	panics    atomic.Uint64 // panics recovered from parse workers
 	coalesced atomic.Uint64 // jobs that shared a batch with at least one other
+	gangRuns  atomic.Uint64 // ganged simulator runs (≥2 sentences on one PE array)
+	gangJobs  atomic.Uint64 // jobs served by a ganged run
 
 	queueWait    *Histogram // seconds
 	parseLatency *Histogram // seconds
@@ -69,13 +71,22 @@ type Stats struct {
 	Rejected      uint64
 	Panics        uint64
 	Coalesced     uint64
+	GangRuns      uint64
+	GangJobs      uint64
 	MeanBatchSize float64
 	CacheHits     uint64
 	CacheMisses   uint64
+	// Result-cache counters (zero when the cache is disabled).
+	ResultCacheHits        uint64
+	ResultCacheMisses      uint64
+	ResultCacheEvictions   uint64
+	ResultCacheExpirations uint64
+	ResultCacheCoalesced   uint64
 }
 
-func (m *serverMetrics) snapshot(cache *Cache) Stats {
+func (m *serverMetrics) snapshot(cache *Cache, rc *resultCache) Stats {
 	hits, misses := cache.Stats()
+	rs := rc.stats()
 	return Stats{
 		Batches:       m.batches.Load(),
 		Parses:        m.parses.Load(),
@@ -83,15 +94,23 @@ func (m *serverMetrics) snapshot(cache *Cache) Stats {
 		Rejected:      m.rejected.Load(),
 		Panics:        m.panics.Load(),
 		Coalesced:     m.coalesced.Load(),
+		GangRuns:      m.gangRuns.Load(),
+		GangJobs:      m.gangJobs.Load(),
 		MeanBatchSize: m.batchSize.Mean(),
 		CacheHits:     hits,
 		CacheMisses:   misses,
+
+		ResultCacheHits:        rs.Hits,
+		ResultCacheMisses:      rs.Misses,
+		ResultCacheEvictions:   rs.Evictions,
+		ResultCacheExpirations: rs.Expirations,
+		ResultCacheCoalesced:   rs.Coalesced,
 	}
 }
 
 // writePrometheus renders every metric in Prometheus text exposition
 // format (version 0.0.4).
-func (m *serverMetrics) writePrometheus(w io.Writer, cache *Cache) {
+func (m *serverMetrics) writePrometheus(w io.Writer, cache *Cache, rc *resultCache) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -112,6 +131,8 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cache *Cache) {
 	counter("parsecd_parses_total", "parses executed by the worker pool", m.parses.Load())
 	counter("parsecd_batches_total", "coalesced batches executed", m.batches.Load())
 	counter("parsecd_coalesced_jobs_total", "jobs that shared a batch with another request", m.coalesced.Load())
+	counter("parsecd_gang_runs_total", "ganged simulator runs (several sentences on one PE array)", m.gangRuns.Load())
+	counter("parsecd_gang_jobs_total", "jobs served by a ganged simulator run", m.gangJobs.Load())
 	counter("parsecd_timeouts_total", "requests that exceeded their deadline", m.timeouts.Load())
 	counter("parsecd_queue_rejections_total", "requests rejected because a backend queue was full", m.rejected.Load())
 	counter("parsecd_panics_total", "panics recovered during parsing", m.panics.Load())
@@ -119,6 +140,13 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cache *Cache) {
 	hits, misses := cache.Stats()
 	counter("parsecd_grammar_cache_hits_total", "grammar cache hits", hits)
 	counter("parsecd_grammar_cache_misses_total", "grammar cache misses (compiles)", misses)
+
+	rs := rc.stats()
+	counter("parsecd_result_cache_hits_total", "memoized parse results served without re-parsing", rs.Hits)
+	counter("parsecd_result_cache_misses_total", "parse requests that executed (not served from the result cache)", rs.Misses)
+	counter("parsecd_result_cache_evictions_total", "result-cache entries evicted at capacity", rs.Evictions)
+	counter("parsecd_result_cache_expirations_total", "result-cache entries dropped past their TTL", rs.Expirations)
+	counter("parsecd_result_cache_coalesced_inflight_total", "requests served by another request's in-flight parse", rs.Coalesced)
 
 	lhits, lmisses := core.LayoutCacheStats()
 	counter("parsecd_layout_cache_hits_total", "PE-map plan cache hits (layouts reused)", lhits)

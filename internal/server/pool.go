@@ -198,7 +198,10 @@ func (p *Pool) dispatch(q *backendQueue) {
 }
 
 // worker executes released batches: one compiled parser per batch (the
-// coalesced "one simulator run"), jobs in arrival order.
+// coalesced "one simulator run"), jobs in arrival order. On the MasPar
+// backend, live same-length jobs of a batch run as ONE gang program —
+// a single instruction stream over one packed PE array — instead of
+// sequential solo simulations.
 func (p *Pool) worker(q *backendQueue) {
 	defer p.wg.Done()
 	for b := range q.batches {
@@ -208,11 +211,171 @@ func (p *Pool) worker(q *backendQueue) {
 			p.m.coalesced.Add(uint64(len(b.jobs)))
 		}
 		parser := core.NewParser(b.jobs[0].g, b.jobs[0].opts...)
+		q.queued.Add(int64(-len(b.jobs)))
+		if b.jobs[0].backend != core.MasPar {
+			for _, j := range b.jobs {
+				p.runJob(parser, j, len(b.jobs))
+			}
+			continue
+		}
+		// Partition: jobs whose deadline already expired in the queue
+		// answer 504 without occupying the simulator; the rest gang up
+		// by sentence length (a gang shares one PE layout).
+		var groups [][]*job
+		index := make(map[int]int)
 		for _, j := range b.jobs {
-			q.queued.Add(-1)
-			p.runJob(parser, j, len(b.jobs))
+			if j.ctx.Err() != nil {
+				p.deliverQueueExpired(j, len(b.jobs))
+				continue
+			}
+			n := len(j.words)
+			gi, ok := index[n]
+			if !ok {
+				gi = len(groups)
+				index[n] = gi
+				groups = append(groups, nil)
+			}
+			groups[gi] = append(groups[gi], j)
+		}
+		for _, g := range groups {
+			if len(g) == 1 {
+				p.runJob(parser, g[0], len(b.jobs))
+				continue
+			}
+			p.runGang(parser, g, len(b.jobs))
 		}
 	}
+}
+
+// deliverQueueExpired answers a job whose deadline passed while it sat
+// in the queue (the handler has already returned 504; the buffered
+// result channel absorbs the late delivery).
+func (p *Pool) deliverQueueExpired(j *job, batchSize int) {
+	wait := time.Since(j.enq)
+	p.m.queueWait.Observe(wait.Seconds())
+	jr := jobResult{
+		status: http.StatusGatewayTimeout,
+		resp: ParseResult{
+			Sentence: j.words, Grammar: j.gkey, Backend: j.backend.String(),
+			TimedOut: true, Error: "deadline exceeded while queued",
+		},
+	}
+	jr.resp.QueueTimeUS = durationUS(wait)
+	jr.resp.BatchSize = batchSize
+	j.result <- jr
+}
+
+// gangContext derives the context a ganged run executes under: it is
+// cancelled only when EVERY member's context is done, so one request
+// hitting its deadline mid-gang cannot poison the simulation the
+// others are still waiting on (its own result is dropped at delivery
+// instead). The returned stop func releases the watcher goroutines.
+func gangContext(jobs []*job) (context.Context, func()) {
+	gctx, cancel := context.WithCancel(context.Background())
+	stop := make(chan struct{})
+	var remaining atomic.Int64
+	remaining.Store(int64(len(jobs)))
+	for _, j := range jobs {
+		go func(done <-chan struct{}) {
+			select {
+			case <-done:
+				if remaining.Add(-1) == 0 {
+					cancel()
+				}
+			case <-stop:
+			}
+		}(j.ctx.Done())
+	}
+	return gctx, func() {
+		close(stop)
+		cancel()
+	}
+}
+
+// runGang executes ≥2 same-length jobs as one gang program with panic
+// isolation. A panic or a whole-gang error falls back to solo runs per
+// job (which classify their own errors); on success each member is
+// delivered individually, and a member whose deadline expired while
+// the gang was running gets a 504 without disturbing the rest.
+func (p *Pool) runGang(parser *core.Parser, jobs []*job, batchSize int) {
+	waits := make([]time.Duration, len(jobs))
+	for i, j := range jobs {
+		waits[i] = time.Since(j.enq)
+		p.m.queueWait.Observe(waits[i].Seconds())
+	}
+	sents := make([]*cdg.Sentence, len(jobs))
+	for i, j := range jobs {
+		sents[i] = j.sent
+	}
+	gctx, stop := gangContext(jobs)
+	results, err := func() (res []*core.Result, err error) {
+		defer stop()
+		defer func() {
+			if r := recover(); r != nil {
+				p.m.panics.Add(1)
+				err = fmt.Errorf("panic during ganged parse: %v", r)
+			}
+		}()
+		start := time.Now()
+		res, err = parser.ParseGangContext(gctx, sents)
+		if err == nil {
+			per := time.Since(start) / time.Duration(len(jobs))
+			for range jobs {
+				p.m.parses.Add(1)
+				p.m.parseLatency.Observe(per.Seconds())
+			}
+		}
+		return res, err
+	}()
+	if err != nil {
+		// Whole-gang failure (every deadline expired, or a panic): each
+		// job runs solo, classifying its own outcome — a live member
+		// still gets its parse rather than inheriting the gang's error.
+		for i, j := range jobs {
+			jr := p.executeOrExpired(parser, j)
+			jr.resp.QueueTimeUS = durationUS(waits[i])
+			jr.resp.BatchSize = batchSize
+			j.result <- jr
+		}
+		return
+	}
+	p.m.gangRuns.Add(1)
+	p.m.gangJobs.Add(uint64(len(jobs)))
+	for i, j := range jobs {
+		var jr jobResult
+		if cerr := j.ctx.Err(); cerr != nil {
+			// Expired while the gang ran: the handler already answered
+			// 504; drop this member's result, keep the others'.
+			jr = jobResult{
+				status: http.StatusGatewayTimeout,
+				resp: ParseResult{
+					Sentence: j.words, Grammar: j.gkey, Backend: j.backend.String(),
+					TimedOut: true, Error: "deadline exceeded during batched parse",
+				},
+			}
+		} else {
+			p.m.addWork(results[i].Counters)
+			jr = jobResult{status: http.StatusOK, resp: NewResult(j.words, j.gkey, j.backend.String(), results[i], j.maxParses)}
+		}
+		jr.resp.QueueTimeUS = durationUS(waits[i])
+		jr.resp.BatchSize = batchSize
+		j.result <- jr
+	}
+}
+
+// executeOrExpired is the solo fallback of a failed gang: an expired
+// job maps to 504 without parsing, a live one runs normally.
+func (p *Pool) executeOrExpired(parser *core.Parser, j *job) jobResult {
+	if j.ctx.Err() != nil {
+		return jobResult{
+			status: http.StatusGatewayTimeout,
+			resp: ParseResult{
+				Sentence: j.words, Grammar: j.gkey, Backend: j.backend.String(),
+				TimedOut: true, Error: "deadline exceeded during batched parse",
+			},
+		}
+	}
+	return p.execute(parser, j)
 }
 
 // runJob executes one job with panic isolation and delivers its result.

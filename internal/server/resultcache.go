@@ -1,0 +1,225 @@
+package server
+
+import (
+	"container/list"
+	"context"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// resultCache memoizes successful ParseResults in front of the worker
+// pool: an LRU bounded by entry count, a TTL bounding staleness, and
+// singleflight deduplication so N concurrent identical requests cost
+// one parse. The key is the full request identity — the pool's cfgKey
+// (grammar key, backend, filter/iters/PEs) plus the sentence and the
+// response-shaping maxParses — so two requests share an entry only
+// when their responses must be byte-identical.
+//
+// Only 200s are stored, and stored values are sanitized: the volatile
+// observability fields (HostTimeUS, QueueTimeUS, BatchSize) are zeroed
+// and Cached is set, so a hit is byte-identical to the deterministic
+// part of an uncached response (TestCachedResultByteIdentical).
+type resultCache struct {
+	mu sync.Mutex
+	// Guarded by mu (contiguous block): the LRU index and order list,
+	// the in-flight table, and the clock/limits the eviction and expiry
+	// decisions read.
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+	flights map[string]*flight
+	cap     int
+	ttl     time.Duration
+	now     func() time.Time // injectable for TTL tests
+
+	hits        atomic.Uint64
+	misses      atomic.Uint64
+	evictions   atomic.Uint64
+	expirations atomic.Uint64
+	coalesced   atomic.Uint64 // waiters served by another request's in-flight parse
+}
+
+// rcEntry is one memoized response.
+type rcEntry struct {
+	key     string
+	resp    ParseResult
+	status  int
+	expires time.Time
+}
+
+// flight is one in-progress parse other identical requests wait on.
+// done is closed exactly once, after resp/status/panicked are final.
+type flight struct {
+	done     chan struct{}
+	resp     ParseResult
+	status   int
+	panicked any
+}
+
+// rcOutcome classifies how resultCache.do answered.
+type rcOutcome int
+
+const (
+	// rcMiss: the caller's fn executed (leader or uncacheable outcome).
+	rcMiss rcOutcome = iota
+	// rcHit: served from the memo, no parse ran.
+	rcHit
+	// rcCoalesced: served by another request's in-flight parse.
+	rcCoalesced
+	// rcExpiredWait: the caller's context ended while waiting on an
+	// in-flight parse; the returned result is a placeholder the caller
+	// must replace with its own timeout response.
+	rcExpiredWait
+)
+
+// newResultCache builds a cache holding up to capacity entries for up
+// to ttl each. capacity must be positive (the server disables the
+// cache by not constructing one).
+func newResultCache(capacity int, ttl time.Duration) *resultCache {
+	return &resultCache{
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+		flights: make(map[string]*flight),
+		cap:     capacity,
+		ttl:     ttl,
+		now:     time.Now,
+	}
+}
+
+// do answers key from the memo, from an in-flight identical parse, or
+// by running fn as the flight leader. A leader's panic is recorded,
+// re-raised in the leader, and re-raised in every waiter — identical
+// requests see identical outcomes, and nothing wedges on the flight.
+func (rc *resultCache) do(ctx context.Context, key string, fn func() (ParseResult, int)) (ParseResult, int, rcOutcome) {
+	rc.mu.Lock()
+	if el, ok := rc.entries[key]; ok {
+		e := el.Value.(*rcEntry)
+		if rc.now().Before(e.expires) {
+			rc.order.MoveToFront(el)
+			resp, status := e.resp, e.status
+			rc.mu.Unlock()
+			rc.hits.Add(1)
+			return resp, status, rcHit
+		}
+		rc.order.Remove(el)
+		delete(rc.entries, key)
+		rc.expirations.Add(1)
+	}
+	if f, ok := rc.flights[key]; ok {
+		rc.mu.Unlock()
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return ParseResult{}, http.StatusGatewayTimeout, rcExpiredWait
+		}
+		if f.panicked != nil {
+			panic(f.panicked)
+		}
+		if f.status == http.StatusOK {
+			rc.coalesced.Add(1)
+			return f.resp, f.status, rcCoalesced
+		}
+		// The leader failed (its deadline, a 500): its outcome may be
+		// specific to that request, so run our own parse instead of
+		// inheriting it.
+		rc.misses.Add(1)
+		resp, status := fn()
+		if status == http.StatusOK {
+			rc.mu.Lock()
+			rc.insertLocked(key, sanitizeCached(resp), status)
+			rc.mu.Unlock()
+		}
+		return resp, status, rcMiss
+	}
+	f := &flight{done: make(chan struct{})}
+	rc.flights[key] = f
+	rc.mu.Unlock()
+	rc.misses.Add(1)
+
+	defer func() {
+		if r := recover(); r != nil {
+			rc.mu.Lock()
+			delete(rc.flights, key)
+			rc.mu.Unlock()
+			f.panicked = r
+			close(f.done)
+			panic(r)
+		}
+	}()
+	resp, status := fn()
+
+	stored := resp
+	if status == http.StatusOK {
+		stored = sanitizeCached(stored)
+	}
+	rc.mu.Lock()
+	delete(rc.flights, key)
+	if status == http.StatusOK {
+		rc.insertLocked(key, stored, status)
+	}
+	rc.mu.Unlock()
+	f.resp, f.status = stored, status
+	close(f.done)
+	return resp, status, rcMiss
+}
+
+// insertLocked stores one sanitized response, evicting from the LRU
+// tail to stay within capacity. Caller holds mu.
+func (rc *resultCache) insertLocked(key string, resp ParseResult, status int) {
+	if el, ok := rc.entries[key]; ok {
+		// A racing leader (possible after an expiry removed the entry
+		// both saw) already stored; refresh it.
+		e := el.Value.(*rcEntry)
+		e.resp, e.status, e.expires = resp, status, rc.now().Add(rc.ttl)
+		rc.order.MoveToFront(el)
+		return
+	}
+	for rc.order.Len() >= rc.cap {
+		tail := rc.order.Back()
+		if tail == nil {
+			break
+		}
+		rc.order.Remove(tail)
+		delete(rc.entries, tail.Value.(*rcEntry).key)
+		rc.evictions.Add(1)
+	}
+	rc.entries[key] = rc.order.PushFront(&rcEntry{
+		key: key, resp: resp, status: status, expires: rc.now().Add(rc.ttl),
+	})
+}
+
+// sanitizeCached zeroes the per-execution observability fields so every
+// hit of an entry serves one stable byte sequence, and marks it cached.
+func sanitizeCached(r ParseResult) ParseResult {
+	r.HostTimeUS = 0
+	r.QueueTimeUS = 0
+	r.BatchSize = 0
+	r.Cached = true
+	return r
+}
+
+// Len reports the current entry count (tests).
+func (rc *resultCache) Len() int {
+	rc.mu.Lock()
+	defer rc.mu.Unlock()
+	return rc.order.Len()
+}
+
+// rcStats is the counter snapshot threaded into /metrics and Stats.
+type rcStats struct {
+	Hits, Misses, Evictions, Expirations, Coalesced uint64
+}
+
+func (rc *resultCache) stats() rcStats {
+	if rc == nil {
+		return rcStats{}
+	}
+	return rcStats{
+		Hits:        rc.hits.Load(),
+		Misses:      rc.misses.Load(),
+		Evictions:   rc.evictions.Load(),
+		Expirations: rc.expirations.Load(),
+		Coalesced:   rc.coalesced.Load(),
+	}
+}

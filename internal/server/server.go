@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -34,6 +35,12 @@ type Config struct {
 	// DefaultTimeout is the per-request deadline when the request sets
 	// none (default 30s).
 	DefaultTimeout time.Duration
+	// ResultCacheEntries caps the memoized ParseResults served without
+	// re-parsing (default 4096; negative disables the result cache).
+	ResultCacheEntries int
+	// ResultCacheTTL bounds how long a memoized result may be served
+	// (default 60s).
+	ResultCacheTTL time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -55,17 +62,24 @@ func (c Config) withDefaults() Config {
 	if c.DefaultTimeout <= 0 {
 		c.DefaultTimeout = 30 * time.Second
 	}
+	if c.ResultCacheEntries == 0 {
+		c.ResultCacheEntries = 4096
+	}
+	if c.ResultCacheTTL <= 0 {
+		c.ResultCacheTTL = 60 * time.Second
+	}
 	return c
 }
 
 // Server is the parse service: HTTP handlers over the grammar cache and
 // the batching worker pool.
 type Server struct {
-	cfg   Config
-	cache *Cache
-	pool  *Pool
-	m     *serverMetrics
-	mux   *http.ServeMux
+	cfg    Config
+	cache  *Cache
+	rcache *resultCache // nil when ResultCacheEntries < 0
+	pool   *Pool
+	m      *serverMetrics
+	mux    *http.ServeMux
 
 	mu sync.Mutex
 	hs *http.Server
@@ -81,6 +95,9 @@ func New(cfg Config) *Server {
 		cache: NewCache(),
 		m:     newServerMetrics(),
 		mux:   http.NewServeMux(),
+	}
+	if cfg.ResultCacheEntries > 0 {
+		s.rcache = newResultCache(cfg.ResultCacheEntries, cfg.ResultCacheTTL)
 	}
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, s.m)
 	s.mux.HandleFunc("/v1/parse", s.handleParse)
@@ -132,7 +149,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // Stats snapshots the service counters.
-func (s *Server) Stats() Stats { return s.m.snapshot(s.cache) }
+func (s *Server) Stats() Stats { return s.m.snapshot(s.cache, s.rcache) }
 
 type statusRecorder struct {
 	http.ResponseWriter
@@ -212,42 +229,66 @@ func (s *Server) do(ctx context.Context, req ParseRequest) (ParseResult, int) {
 	if req.PEs > 0 {
 		opts = append(opts, core.WithPEs(req.PEs))
 	}
-	j := &job{
-		words:   words,
-		sent:    sent,
-		g:       g,
-		gkey:    key,
-		backend: backend,
-		cfgKey: fmt.Sprintf("%s|%s|filter=%v|iters=%d|pes=%d",
-			key, backend, !req.NoFilter, req.MaxFilterIters, req.PEs),
-		opts:      opts,
-		maxParses: req.MaxParses,
-		ctx:       jctx,
-		enq:       time.Now(),
-		result:    make(chan jobResult, 1),
-	}
-	if err := s.pool.Submit(j); err != nil {
-		res := errResult(req, err.Error(), false)
-		res.Grammar = key
-		if errors.Is(err, errQueueFull) {
-			return res, http.StatusTooManyRequests
+	cfgKey := fmt.Sprintf("%s|%s|filter=%v|iters=%d|pes=%d",
+		key, backend, !req.NoFilter, req.MaxFilterIters, req.PEs)
+	exec := func() (ParseResult, int) {
+		j := &job{
+			words:     words,
+			sent:      sent,
+			g:         g,
+			gkey:      key,
+			backend:   backend,
+			cfgKey:    cfgKey,
+			opts:      opts,
+			maxParses: req.MaxParses,
+			ctx:       jctx,
+			enq:       time.Now(),
+			result:    make(chan jobResult, 1),
 		}
-		return res, http.StatusServiceUnavailable
-	}
-	select {
-	case jr := <-j.result:
-		if jr.status == http.StatusGatewayTimeout {
+		if err := s.pool.Submit(j); err != nil {
+			res := errResult(req, err.Error(), false)
+			res.Grammar = key
+			if errors.Is(err, errQueueFull) {
+				return res, http.StatusTooManyRequests
+			}
+			return res, http.StatusServiceUnavailable
+		}
+		select {
+		case jr := <-j.result:
+			if jr.status == http.StatusGatewayTimeout {
+				s.m.timeouts.Add(1)
+			}
+			return jr.resp, jr.status
+		case <-jctx.Done():
+			// Answer now; the worker will notice the dead context and
+			// skip the parse (its late delivery lands in the buffered
+			// channel).
 			s.m.timeouts.Add(1)
+			res := errResult(req, jctx.Err().Error(), true)
+			res.Grammar = key
+			return res, http.StatusGatewayTimeout
 		}
-		return jr.resp, jr.status
-	case <-jctx.Done():
-		// Answer now; the worker will notice the dead context and skip
-		// the parse (its late delivery lands in the buffered channel).
+	}
+	if s.rcache == nil || req.NoCache {
+		return exec()
+	}
+	// The cache key extends the pool's coalescing key with everything
+	// else the response bytes depend on: the sentence itself and the
+	// parse-rendering bound.
+	maxParses := req.MaxParses
+	if maxParses == 0 {
+		maxParses = DefaultMaxParses
+	}
+	rcKey := fmt.Sprintf("%s|maxparses=%d|%s", cfgKey, maxParses, strings.Join(words, "\x1f"))
+	resp, status, outcome := s.rcache.do(jctx, rcKey, exec)
+	if outcome == rcExpiredWait {
+		// Our deadline ended while an identical parse was in flight.
 		s.m.timeouts.Add(1)
 		res := errResult(req, jctx.Err().Error(), true)
 		res.Grammar = key
 		return res, http.StatusGatewayTimeout
 	}
+	return resp, status
 }
 
 func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
@@ -346,5 +387,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.m.writePrometheus(w, s.cache)
+	s.m.writePrometheus(w, s.cache, s.rcache)
 }

@@ -204,6 +204,9 @@ func TestQueueFullReturns429(t *testing.T) {
 		QueueDepth:  1,
 		BatchWindow: 300 * time.Millisecond,
 		MaxBatch:    100,
+		// Identical requests must each hit the queue for this test;
+		// the result cache would coalesce them.
+		ResultCacheEntries: -1,
 	})
 	done := make(chan int, 1)
 	go func() {
@@ -240,7 +243,9 @@ func mustBackend(t *testing.T, name string) (b core.Backend) {
 }
 
 func TestBatchEndpointCoalesces(t *testing.T) {
-	s, ts := newTestServer(t, Config{BatchWindow: 300 * time.Millisecond, MaxBatch: 16})
+	// Disable the result cache: this test asserts the pool coalesces
+	// identical jobs, which requires each request to submit one.
+	s, ts := newTestServer(t, Config{BatchWindow: 300 * time.Millisecond, MaxBatch: 16, ResultCacheEntries: -1})
 	breq := BatchRequest{}
 	for i := 0; i < 6; i++ {
 		breq.Requests = append(breq.Requests, ParseRequest{Text: "the program runs"})
@@ -267,7 +272,7 @@ func TestBatchEndpointCoalesces(t *testing.T) {
 }
 
 func TestShutdownDrainsInFlightRequests(t *testing.T) {
-	s, ts := newTestServer(t, Config{BatchWindow: 400 * time.Millisecond, MaxBatch: 100})
+	s, ts := newTestServer(t, Config{BatchWindow: 400 * time.Millisecond, MaxBatch: 100, ResultCacheEntries: -1})
 	const n = 5
 	statuses := make(chan int, n)
 	for i := 0; i < n; i++ {
@@ -317,6 +322,8 @@ func TestMetricsEndpoint(t *testing.T) {
 		"parsecd_queue_wait_seconds_count 1",
 		"parsecd_batch_size_sum 1",
 		"parsecd_grammar_cache_misses_total 1",
+		"parsecd_result_cache_hits_total 0",
+		"parsecd_result_cache_misses_total 1",
 		"parsecd_uptime_seconds",
 	} {
 		if !strings.Contains(body, want) {
