@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint ci serve load bench bench-smoke
+.PHONY: build test race vet lint ci serve load bench bench-smoke fuzz-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -22,9 +22,27 @@ lint:
 race:
 	$(GO) test -race ./...
 
-# ci is the gate: static checks plus the full suite under the race
-# detector (the server/coalescer tests are written to be hammered).
-ci: vet lint race
+# ci is the gate: static checks, the full suite under the race
+# detector (the server/coalescer/router tests are written to be
+# hammered), and a bounded fuzz pass over the request-decoding and
+# cache-key canonicalization surfaces.
+ci: vet lint race fuzz-smoke
+
+# fuzz-smoke runs each native fuzz target for FUZZTIME on top of its
+# checked-in seed corpus (testdata/fuzz/). 30s per target is the CI
+# budget; set FUZZTIME=5s for a quick local pass or point -fuzztime
+# at something much larger for a real soak.
+FUZZTIME ?= 30s
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParseRequestDecode$$' -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run '^$$' -fuzz '^FuzzCacheKey$$' -fuzztime $(FUZZTIME) ./internal/server/
+
+# cluster-smoke boots a 3-shard in-process cluster (real server.New
+# instances behind the router, no child processes) and drives a mixed
+# parse/batch/metrics workload through it — the quickest end-to-end
+# check that the sharded serving path still holds together.
+cluster-smoke:
+	$(GO) test -run TestClusterSmoke -count=1 -v ./internal/router/clustertest/
 
 # serve runs the parse service on the default port.
 serve:

@@ -49,6 +49,7 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 		drain       = fs.Duration("drain", 30*time.Second, "max time to drain in-flight requests on shutdown")
 		cacheSize   = fs.Int("cache-entries", 4096, "result cache capacity in entries (-1 disables the result cache)")
 		cacheTTL    = fs.Duration("cache-ttl", time.Minute, "result cache entry time-to-live")
+		shardName   = fs.String("shard-name", "", "name echoed as the X-Parsec-Shard response header (for fleets behind parsecrouter)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -65,6 +66,7 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 
 		ResultCacheEntries: *cacheSize,
 		ResultCacheTTL:     *cacheTTL,
+		ShardName:          *shardName,
 	})
 	bound, err := s.Start()
 	if err != nil {

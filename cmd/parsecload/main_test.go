@@ -47,6 +47,31 @@ func TestSmokeLoadAgainstInProcessServer(t *testing.T) {
 	}
 }
 
+// TestHistReportsShardAttribution: when the serving side names itself
+// via X-Parsec-Shard (a sharded router, or a parsecd with -shard-name),
+// the report attributes every request to its shard and -hist exposes
+// the counts as a Prometheus counter family.
+func TestHistReportsShardAttribution(t *testing.T) {
+	s := server.New(server.Config{Workers: 2, ShardName: "s0"})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	if err := run([]string{"-url", ts.URL, "-backend", "serial", "-n", "12", "-c", "3", "-hist"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"  shard s0: 12",
+		"# TYPE parsecload_shard_requests_total counter",
+		`parsecload_shard_requests_total{shard="s0"} 12`,
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+}
+
 // TestLoadReportsNon200s pins the error-accounting path: a grammar mix
 // the server doesn't know must show up as 404s, not silent drops.
 func TestLoadReportsNon200s(t *testing.T) {

@@ -35,7 +35,7 @@ var LockSafe = &Analyzer{
 	Name: "locksafe",
 	Doc: "mutex-adjacent struct fields must be accessed with the mutex " +
 		"held; no locks passed or received by value",
-	Match: pkgPathIn("server", "metrics", "maspar"),
+	Match: pkgPathIn("server", "metrics", "maspar", "router"),
 	Run:   runLockSafe,
 }
 

@@ -1,0 +1,115 @@
+package router
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// /metrics aggregation: the router scrapes every eligible shard's
+// Prometheus exposition and re-emits the parsecd_* families with every
+// sample summed across shards — counters and histogram
+// buckets/sums/counts add cleanly, so the fleet's exposition reads
+// exactly like one big parsecd. Gauge families (uptime) are skipped:
+// summing point-in-time values across nodes is meaningless.
+
+// promFamily is one metric family accumulated across scrapes.
+type promFamily struct {
+	name    string
+	help    string
+	typ     string
+	samples map[string]float64 // full series id (name + label set) → summed value
+}
+
+// parsePromText folds one exposition into families. Lines it cannot
+// parse are ignored (the scrape is a best-effort aggregation, not a
+// validator).
+func parsePromText(r io.Reader, families map[string]*promFamily) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	family := func(name string) *promFamily {
+		f, ok := families[name]
+		if !ok {
+			f = &promFamily{name: name, samples: make(map[string]float64)}
+			families[name] = f
+		}
+		return f
+	}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			if name, help, ok := strings.Cut(rest, " "); ok {
+				if f := family(name); f.help == "" {
+					f.help = help
+				}
+			}
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			if name, typ, ok := strings.Cut(rest, " "); ok {
+				if f := family(name); f.typ == "" {
+					f.typ = typ
+				}
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// A sample: "<name>{labels} <value>" or "<name> <value>". The
+		// value is the text after the last space (label values never
+		// contain unescaped spaces in our expositions).
+		idx := strings.LastIndexByte(line, ' ')
+		if idx <= 0 {
+			continue
+		}
+		series, valText := line[:idx], line[idx+1:]
+		v, err := strconv.ParseFloat(valText, 64)
+		if err != nil {
+			continue
+		}
+		name := series
+		if i := strings.IndexByte(series, '{'); i >= 0 {
+			name = series[:i]
+		}
+		family(name).samples[series] += v
+	}
+	return sc.Err()
+}
+
+// writeFamilies emits the accumulated families in sorted order,
+// skipping gauges (not summable across nodes).
+func writeFamilies(w io.Writer, families map[string]*promFamily) {
+	names := make([]string, 0, len(families))
+	for n := range families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	for _, n := range names {
+		f := families[n]
+		if f.typ == "gauge" || len(f.samples) == 0 {
+			continue
+		}
+		if f.help != "" {
+			bw.WriteString("# HELP " + f.name + " " + f.help + "\n")
+		}
+		if f.typ != "" {
+			bw.WriteString("# TYPE " + f.name + " " + f.typ + "\n")
+		}
+		series := make([]string, 0, len(f.samples))
+		for s := range f.samples {
+			series = append(series, s)
+		}
+		sort.Strings(series)
+		for _, s := range series {
+			bw.WriteString(s + " " + strconv.FormatFloat(f.samples[s], 'g', -1, 64) + "\n")
+		}
+	}
+}

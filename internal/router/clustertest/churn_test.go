@@ -1,0 +1,136 @@
+package clustertest
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/router"
+	"repro/internal/server"
+	"repro/internal/workload"
+)
+
+// TestMembershipChurnLosesNoRequests hammers the router while shards
+// are killed, ejected, revived, and re-admitted in a loop. Run under
+// -race by `make ci`. The invariants: every request gets exactly one
+// terminal response; with at most one shard down at a time and a
+// retry budget covering the fleet, every response is a 200 (zero lost
+// requests after retry); and the router never panics on the churning
+// membership.
+func TestMembershipChurnLosesNoRequests(t *testing.T) {
+	const (
+		workers     = 6
+		perWorker   = 25
+		churnRounds = 8
+	)
+	c := New(t, 3, server.Config{}, router.Config{EjectAfter: 1, ReadmitAfter: 1, Retries: 2})
+	sents := sentences(12)
+
+	var (
+		responses atomic.Int64
+		byStatus  sync.Map // status -> *atomic.Int64
+	)
+	count := func(status int) {
+		responses.Add(1)
+		v, _ := byStatus.LoadOrStore(status, new(atomic.Int64))
+		v.(*atomic.Int64).Add(1)
+	}
+
+	var loaders sync.WaitGroup
+	stopChurn := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		loaders.Add(1)
+		go func(w int) {
+			defer loaders.Done()
+			for i := 0; i < perWorker; i++ {
+				status, _, _ := c.Parse(t, serialReq(sents[(w+i)%len(sents)]))
+				count(status)
+			}
+		}(w)
+	}
+
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for round := 0; ; round++ {
+			select {
+			case <-stopChurn:
+				return
+			default:
+			}
+			victim := c.Shards[round%len(c.Shards)]
+			victim.Kill()
+			c.AdvanceProbes(1) // EjectAfter=1: ejected immediately
+			victim.Revive()
+			c.AdvanceProbes(2) // probation, then live again
+			if round >= churnRounds {
+				// Keep churning until the load finishes so late requests
+				// still race membership changes, but bound the minimum.
+				select {
+				case <-stopChurn:
+					return
+				default:
+				}
+			}
+		}
+	}()
+
+	loaders.Wait()
+	close(stopChurn)
+	churn.Wait()
+	// Leave the fleet fully live for any later assertions.
+	for _, sh := range c.Shards {
+		sh.Revive()
+	}
+	c.AdvanceProbes(2)
+
+	total := int64(workers * perWorker)
+	if got := responses.Load(); got != total {
+		t.Fatalf("%d requests sent, %d terminal responses observed", total, got)
+	}
+	byStatus.Range(func(k, v any) bool {
+		status, n := k.(int), v.(*atomic.Int64).Load()
+		if status != http.StatusOK {
+			t.Errorf("%d requests ended with status %d, want all 200 (one shard down at a time, retries cover the fleet)", n, status)
+		}
+		return true
+	})
+	if st := c.Router.Stats(); st.Probes == 0 {
+		t.Error("churn loop never probed")
+	}
+}
+
+// TestChurnWithConcurrentProbesAndMetrics exercises the remaining
+// read paths (healthz, metrics aggregation) racing membership changes
+// — this is purely a -race soak; correctness is "no panic, always an
+// answer".
+func TestChurnWithConcurrentProbesAndMetrics(t *testing.T) {
+	c := New(t, 3, server.Config{}, router.Config{EjectAfter: 1, ReadmitAfter: 1})
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			sh := c.Shards[i%len(c.Shards)]
+			sh.Kill()
+			c.AdvanceProbes(1)
+			sh.Revive()
+			c.AdvanceProbes(2)
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		Get(t, c.URL+"/healthz")
+		Get(t, c.URL+"/metrics")
+		c.Parse(t, server.ParseRequest{Backend: "serial", Sentence: workload.DemoSentence(1 + i%5)})
+	}
+	close(stop)
+	wg.Wait()
+}

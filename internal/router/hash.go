@@ -1,0 +1,59 @@
+package router
+
+import (
+	"hash/fnv"
+	"sort"
+
+	"repro/internal/server"
+)
+
+// Rendezvous (highest-random-weight) hashing ranks every shard for
+// every key: score(shard, key) = FNV-1a64(shard ‖ 0x00 ‖ key), shards
+// ordered by descending score. The top-ranked shard owns the key; the
+// rest of the order is the failover sequence. Rendezvous beats a hash
+// ring at this fleet size: no virtual-node tuning, perfectly even key
+// movement on membership change (only the ejected shard's keys move,
+// each to its second-ranked shard), and the full failover order falls
+// out of one sort instead of ring walks.
+
+// AffinityKey is the router-side routing key of one parse request. It
+// is, by construction, exactly the server's result-cache identity
+// (server.CacheKey) — the invariant cache affinity depends on, pinned
+// byte-for-byte by FuzzCacheKey in internal/server.
+func AffinityKey(req server.ParseRequest) (string, error) {
+	return server.CacheKey(req)
+}
+
+// hrwScore is the rendezvous weight of key on shard.
+func hrwScore(shard, key string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(shard))
+	h.Write([]byte{0})
+	h.Write([]byte(key))
+	return h.Sum64()
+}
+
+// rankShards orders shard IDs by descending rendezvous score for key,
+// breaking score ties by ID so the order is total and deterministic.
+// The input slice is not modified.
+func rankShards(shards []string, key string) []string {
+	type scored struct {
+		id    string
+		score uint64
+	}
+	ranked := make([]scored, len(shards))
+	for i, s := range shards {
+		ranked[i] = scored{id: s, score: hrwScore(s, key)}
+	}
+	sort.Slice(ranked, func(i, j int) bool {
+		if ranked[i].score != ranked[j].score {
+			return ranked[i].score > ranked[j].score
+		}
+		return ranked[i].id < ranked[j].id
+	})
+	out := make([]string, len(ranked))
+	for i, s := range ranked {
+		out[i] = s.id
+	}
+	return out
+}

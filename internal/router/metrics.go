@@ -1,0 +1,186 @@
+package router
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// shardCounters is one shard's routing accounting.
+type shardCounters struct {
+	requests    uint64 // requests this shard answered (terminal responses)
+	errors      uint64 // transport errors + retryable 5xx observed from it
+	ejections   uint64
+	probations  uint64
+	readmission uint64
+}
+
+// routerMetrics is the router's own observability state, emitted as
+// parsecrouter_* series alongside the aggregated parsecd_* families.
+type routerMetrics struct {
+	started time.Time
+
+	mu sync.Mutex
+	// Guarded by mu: the per-shard counter table and the fleet-wide
+	// scalar counters below it.
+	perShard      map[string]*shardCounters
+	failovers     uint64 // requests moved to a lower-ranked shard
+	emptyFleet    uint64 // requests refused because no shard was eligible
+	probes        uint64
+	probeFailures uint64
+	scrapeErrors  uint64 // /metrics scrapes of a shard that failed
+}
+
+func newRouterMetrics() *routerMetrics {
+	return &routerMetrics{started: time.Now(), perShard: make(map[string]*shardCounters)}
+}
+
+// forShard returns url's counter record, creating it on first use.
+// Caller holds mu.
+func (m *routerMetrics) forShard(url string) *shardCounters {
+	sc, ok := m.perShard[url]
+	if !ok {
+		sc = &shardCounters{}
+		m.perShard[url] = sc
+	}
+	return sc
+}
+
+func (m *routerMetrics) countServed(url string) {
+	m.mu.Lock()
+	m.forShard(url).requests++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) countError(url string) {
+	m.mu.Lock()
+	m.forShard(url).errors++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) countFailover() {
+	m.mu.Lock()
+	m.failovers++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) countEmptyFleet() {
+	m.mu.Lock()
+	m.emptyFleet++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) countEjection(url string) {
+	m.mu.Lock()
+	m.forShard(url).ejections++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) countProbation(url string) {
+	m.mu.Lock()
+	m.forShard(url).probations++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) countReadmission(url string) {
+	m.mu.Lock()
+	m.forShard(url).readmission++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) countProbe(ok bool) {
+	m.mu.Lock()
+	m.probes++
+	if !ok {
+		m.probeFailures++
+	}
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) countScrapeError() {
+	m.mu.Lock()
+	m.scrapeErrors++
+	m.mu.Unlock()
+}
+
+// Stats is a point-in-time snapshot of the router counters (tests,
+// parsecrouter's drain log).
+type Stats struct {
+	Requests  map[string]uint64 // per shard
+	Errors    map[string]uint64
+	Ejections map[string]uint64
+
+	Failovers     uint64
+	EmptyFleet    uint64
+	Probes        uint64
+	ProbeFailures uint64
+}
+
+func (m *routerMetrics) stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := Stats{
+		Requests:  make(map[string]uint64),
+		Errors:    make(map[string]uint64),
+		Ejections: make(map[string]uint64),
+
+		Failovers:     m.failovers,
+		EmptyFleet:    m.emptyFleet,
+		Probes:        m.probes,
+		ProbeFailures: m.probeFailures,
+	}
+	for url, sc := range m.perShard {
+		st.Requests[url] = sc.requests
+		st.Errors[url] = sc.errors
+		st.Ejections[url] = sc.ejections
+	}
+	return st
+}
+
+// writePrometheus emits the parsecrouter_* series in deterministic
+// (sorted) order. statuses is the fleet snapshot for the liveness
+// gauge.
+func (m *routerMetrics) writePrometheus(w io.Writer, statuses []ShardStatus) {
+	m.mu.Lock()
+	urls := make([]string, 0, len(m.perShard))
+	for u := range m.perShard {
+		urls = append(urls, u)
+	}
+	sort.Strings(urls)
+
+	perShard := func(name, help string, get func(*shardCounters) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, u := range urls {
+			fmt.Fprintf(w, "%s{shard=%q} %d\n", name, u, get(m.perShard[u]))
+		}
+	}
+	perShard("parsecrouter_shard_requests_total", "requests answered by each shard", func(sc *shardCounters) uint64 { return sc.requests })
+	perShard("parsecrouter_shard_errors_total", "transport errors and retryable 5xx responses per shard", func(sc *shardCounters) uint64 { return sc.errors })
+	perShard("parsecrouter_shard_ejections_total", "times each shard was ejected from the fleet", func(sc *shardCounters) uint64 { return sc.ejections })
+	perShard("parsecrouter_shard_probations_total", "times each shard entered probation after ejection", func(sc *shardCounters) uint64 { return sc.probations })
+	perShard("parsecrouter_shard_readmissions_total", "times each shard was promoted from probation back to live", func(sc *shardCounters) uint64 { return sc.readmission })
+
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("parsecrouter_failovers_total", "requests retried on a lower-ranked shard", m.failovers)
+	counter("parsecrouter_empty_fleet_total", "requests refused because no shard was eligible", m.emptyFleet)
+	counter("parsecrouter_probes_total", "health probes sent", m.probes)
+	counter("parsecrouter_probe_failures_total", "health probes that failed", m.probeFailures)
+	counter("parsecrouter_scrape_errors_total", "per-shard /metrics scrapes that failed during aggregation", m.scrapeErrors)
+	started := m.started
+	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP parsecrouter_shard_eligible whether each shard currently receives traffic (live or probation)\n# TYPE parsecrouter_shard_eligible gauge\n")
+	for _, st := range statuses {
+		v := 0
+		if st.State != StateEjected {
+			v = 1
+		}
+		fmt.Fprintf(w, "parsecrouter_shard_eligible{shard=%q,state=%q} %d\n", st.URL, st.StateName, v)
+	}
+	fmt.Fprintf(w, "# HELP parsecrouter_uptime_seconds seconds since the router started\n# TYPE parsecrouter_uptime_seconds gauge\nparsecrouter_uptime_seconds %.3f\n",
+		time.Since(started).Seconds())
+}

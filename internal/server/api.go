@@ -107,6 +107,13 @@ type BatchResult struct {
 // leaves MaxParses zero.
 const DefaultMaxParses = 10
 
+// ShardHeader is the response header naming the parsecd node that
+// produced a response. A server with Config.ShardName set emits it on
+// every response; the sharding router forwards it (filling in the
+// shard URL when the backend is anonymous) so load generators can
+// attribute per-shard traffic.
+const ShardHeader = "X-Parsec-Shard"
+
 // NewResult renders a finished parse into the shared wire schema.
 // maxParses follows the ParseRequest convention (0: default, -1: all).
 func NewResult(words []string, grammarKey, backend string, res *core.Result, maxParses int) ParseResult {

@@ -1,0 +1,60 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// This file is the single source of truth for request canonicalization:
+// the grammar key, the pool's coalescing key (cfgKey), and the
+// result-cache key are all derived here, and both the server's request
+// path (do) and the sharding router (internal/router) call these
+// functions. The router rendezvous-hashes CacheKey to pick a shard, so
+// any drift between the router's notion of a request's identity and the
+// server's would silently destroy cache affinity — FuzzCacheKey pins
+// the two together byte-for-byte.
+
+// GrammarKey resolves the grammar cache key of a request without
+// compiling anything: inline sources hash to their SourceKey, names
+// pass through, and an empty request defaults to "demo" — exactly the
+// key Cache.Get returns for the same request.
+func GrammarKey(req ParseRequest) string {
+	if req.GrammarSource != "" {
+		return SourceKey(req.GrammarSource)
+	}
+	if req.Grammar == "" {
+		return "demo"
+	}
+	return req.Grammar
+}
+
+// cfgKeyOf is the pool's coalescing key: the grammar key plus every
+// option that changes what the simulator computes.
+func cfgKeyOf(grammarKey string, backend core.Backend, req ParseRequest) string {
+	return fmt.Sprintf("%s|%s|filter=%v|iters=%d|pes=%d",
+		grammarKey, backend, !req.NoFilter, req.MaxFilterIters, req.PEs)
+}
+
+// cacheKeyOf extends a cfgKey with everything else the response bytes
+// depend on: the sentence itself and the parse-rendering bound.
+func cacheKeyOf(cfgKey string, maxParses int, words []string) string {
+	if maxParses == 0 {
+		maxParses = DefaultMaxParses
+	}
+	return fmt.Sprintf("%s|maxparses=%d|%s", cfgKey, maxParses, strings.Join(words, "\x1f"))
+}
+
+// CacheKey returns the canonical result-cache identity of a request —
+// the exact key the server's do path memoizes under. The error mirrors
+// request validation: an unknown backend name (the only field CacheKey
+// must canonicalize through a lookup) is rejected just as the server
+// would reject it with a 400.
+func CacheKey(req ParseRequest) (string, error) {
+	backend, err := ParseBackend(req.Backend)
+	if err != nil {
+		return "", err
+	}
+	return cacheKeyOf(cfgKeyOf(GrammarKey(req), backend, req), req.MaxParses, req.Words()), nil
+}

@@ -4,10 +4,8 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
-	"fmt"
 	"net"
 	"net/http"
-	"strings"
 	"sync"
 	"time"
 
@@ -41,6 +39,11 @@ type Config struct {
 	// ResultCacheTTL bounds how long a memoized result may be served
 	// (default 60s).
 	ResultCacheTTL time.Duration
+	// ShardName, when non-empty, is echoed as the X-Parsec-Shard
+	// response header on every response, so clients behind a sharding
+	// router (cmd/parsecrouter) can attribute responses to the node
+	// that produced them.
+	ShardName string
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +115,9 @@ func New(cfg Config) *Server {
 // Start serves and what tests mount on httptest.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.cfg.ShardName != "" {
+			w.Header().Set(ShardHeader, s.cfg.ShardName)
+		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		s.mux.ServeHTTP(rec, r)
 		s.m.countRequest(rec.status)
@@ -229,8 +235,7 @@ func (s *Server) do(ctx context.Context, req ParseRequest) (ParseResult, int) {
 	if req.PEs > 0 {
 		opts = append(opts, core.WithPEs(req.PEs))
 	}
-	cfgKey := fmt.Sprintf("%s|%s|filter=%v|iters=%d|pes=%d",
-		key, backend, !req.NoFilter, req.MaxFilterIters, req.PEs)
+	cfgKey := cfgKeyOf(key, backend, req)
 	exec := func() (ParseResult, int) {
 		j := &job{
 			words:     words,
@@ -274,12 +279,9 @@ func (s *Server) do(ctx context.Context, req ParseRequest) (ParseResult, int) {
 	}
 	// The cache key extends the pool's coalescing key with everything
 	// else the response bytes depend on: the sentence itself and the
-	// parse-rendering bound.
-	maxParses := req.MaxParses
-	if maxParses == 0 {
-		maxParses = DefaultMaxParses
-	}
-	rcKey := fmt.Sprintf("%s|maxparses=%d|%s", cfgKey, maxParses, strings.Join(words, "\x1f"))
+	// parse-rendering bound (see key.go — CacheKey derives the same
+	// string for the router).
+	rcKey := cacheKeyOf(cfgKey, req.MaxParses, words)
 	resp, status, outcome := s.rcache.do(jctx, rcKey, exec)
 	if outcome == rcExpiredWait {
 		// Our deadline ended while an identical parse was in flight.
