@@ -36,6 +36,7 @@ FUZZTIME ?= 30s
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseRequestDecode$$' -fuzztime $(FUZZTIME) ./internal/server/
 	$(GO) test -run '^$$' -fuzz '^FuzzCacheKey$$' -fuzztime $(FUZZTIME) ./internal/server/
+	$(GO) test -run '^$$' -fuzz '^FuzzLatticeRequestDecode$$' -fuzztime $(FUZZTIME) ./internal/server/
 
 # cluster-smoke boots a 3-shard in-process cluster (real server.New
 # instances behind the router, no child processes) and drives a mixed
@@ -56,12 +57,12 @@ load:
 # allocation accounting and writes the machine-readable report the perf
 # work tracks (ns/op, B/op, allocs/op, simulated cycles/op, sents/s).
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem ./internal/maspar/ ./internal/cn/ ./internal/server/ | $(GO) run ./cmd/benchjson -o BENCH_scan.json
+	$(GO) test -run '^$$' -bench . -benchmem ./internal/maspar/ ./internal/cn/ ./internal/latticeserve/ ./internal/server/ | $(GO) run ./cmd/benchjson -o BENCH_scan.json
 	@echo wrote BENCH_scan.json
 
 # bench-smoke is the CI-sized variant: one short iteration per
 # benchmark, just enough to prove the harness and the JSON pipeline
 # stay healthy.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./internal/maspar/ ./internal/cn/ ./internal/server/ | $(GO) run ./cmd/benchjson -o BENCH_scan.json
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./internal/maspar/ ./internal/cn/ ./internal/latticeserve/ ./internal/server/ | $(GO) run ./cmd/benchjson -o BENCH_scan.json
 	@echo wrote BENCH_scan.json

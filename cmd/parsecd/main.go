@@ -50,6 +50,8 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 		cacheSize   = fs.Int("cache-entries", 4096, "result cache capacity in entries (-1 disables the result cache)")
 		cacheTTL    = fs.Duration("cache-ttl", time.Minute, "result cache entry time-to-live")
 		shardName   = fs.String("shard-name", "", "name echoed as the X-Parsec-Shard response header (for fleets behind parsecrouter)")
+		latticeMax  = fs.Int("lattice-max-paths", 0, "max candidate paths expanded per lattice decode (0: server default)")
+		latticePfx  = fs.Int("lattice-prefix-entries", 0, "prefix-snapshot cache capacity in entries (0: server default, -1 disables prefix reuse)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -67,6 +69,9 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 		ResultCacheEntries: *cacheSize,
 		ResultCacheTTL:     *cacheTTL,
 		ShardName:          *shardName,
+
+		LatticeMaxPaths:      *latticeMax,
+		LatticePrefixEntries: *latticePfx,
 	})
 	bound, err := s.Start()
 	if err != nil {

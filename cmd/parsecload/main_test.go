@@ -195,3 +195,38 @@ func TestRampModeOverBudget(t *testing.T) {
 		t.Errorf("ramp continued past a failed step:\n%s", report)
 	}
 }
+
+// TestLatticeLoadSmoke drives the -lattice workload against an
+// in-process server: every request must decode cleanly and the server's
+// prefix-snapshot cache must show hits (utterances repeat across the
+// run), which the report surfaces from /metrics.
+func TestLatticeLoadSmoke(t *testing.T) {
+	s := server.New(server.Config{Workers: 4})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	var out bytes.Buffer
+	err := run([]string{"-url", ts.URL, "-lattice", "-n", "24", "-c", "4",
+		"-lattice-slots", "5", "-lattice-alts", "3", "-lattice-utterances", "6"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	report := out.String()
+	for _, want := range []string{
+		"lattice mode (english, 5 slots x 3 alts, 6 utterances)",
+		"status 200: 24",
+		"server lattice: requests=24",
+		"server prefix cache: hits=",
+	} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	st := s.Stats()
+	if st.LatticeRequests != 24 {
+		t.Errorf("server served %d lattice requests, want 24", st.LatticeRequests)
+	}
+	if st.LatticePrefixHits == 0 {
+		t.Errorf("no prefix-cache hits across %d repeated utterances:\n%s", 24, report)
+	}
+}

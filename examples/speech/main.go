@@ -28,11 +28,13 @@ func main() {
 	fmt.Printf("lattice: %d slots, %d hypotheses\n\n", l.Slots(), l.Paths())
 
 	g := parsec.English()
-	hyps, err := l.Decode(g, 0)
+	res, err := l.Decode(g, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("syntax accepted %d of %d hypotheses:\n", len(hyps), l.Paths())
+	hyps := res.Hypotheses
+	fmt.Printf("syntax accepted %d of %d expanded paths (truncated=%v):\n",
+		len(hyps), res.Expanded, res.Truncated)
 	for _, h := range hyps {
 		flag := ""
 		if h.Ambiguous {

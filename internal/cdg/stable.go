@@ -1,0 +1,72 @@
+package cdg
+
+// Extension stability: whether a constraint's verdict on a fixed role
+// value (or pair) can change when the sentence grows by appended words.
+//
+// The incremental lattice engine (internal/latticeserve) reuses the
+// propagated constraint network of a sentence prefix when the prefix is
+// extended by one slot. That is sound only if every constraint verdict
+// already computed stays valid in the longer sentence. Walking the
+// predicate language shows there is exactly one way a verdict can
+// depend on sentence length: a (word p) access with a *constant*
+// position p. For p beyond the current length the access yields the
+// invalid value (and any comparison against it is false); once the
+// sentence grows past p it yields a real word — so the verdict can
+// flip. Every other accessor — (lab x), (mod x), (role x), (pos x),
+// and (word p) where p is derived from x or y — reads state carried by
+// the role values themselves, which appended words never change.
+//
+// A grammar whose constraints are all extension-stable may therefore be
+// served incrementally; otherwise callers must fall back to parsing
+// each hypothesis from scratch.
+
+func exprExtensionStable(e expr) bool {
+	switch t := e.(type) {
+	case *constExpr, *accessExpr:
+		return true
+	case *wordExpr:
+		// (word p) with p independent of both variables is a constant
+		// position: its validity depends on the sentence length.
+		if t.arg.vars() == 0 {
+			return false
+		}
+		return exprExtensionStable(t.arg)
+	case *catExpr:
+		return exprExtensionStable(t.arg)
+	case *logicExpr:
+		for _, a := range t.args {
+			if !exprExtensionStable(a) {
+				return false
+			}
+		}
+		return true
+	case *cmpExpr:
+		return exprExtensionStable(t.a) && exprExtensionStable(t.b)
+	}
+	return false
+}
+
+// ExtensionStable reports whether the constraint's verdict on a fixed
+// role value (or pair of role values) is unchanged when words are
+// appended to the sentence.
+func (c *Constraint) ExtensionStable() bool {
+	return exprExtensionStable(c.ante) && exprExtensionStable(c.cons)
+}
+
+// ExtensionStable reports whether every constraint of the grammar is
+// extension-stable, i.e. whether a propagated constraint network over a
+// sentence prefix remains valid (on its own role values) when the
+// sentence is extended word by word.
+func (g *Grammar) ExtensionStable() bool {
+	for _, c := range g.unary {
+		if !c.ExtensionStable() {
+			return false
+		}
+	}
+	for _, c := range g.binary {
+		if !c.ExtensionStable() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,59 @@
+package cdg_test
+
+import (
+	"testing"
+
+	"repro/internal/cdg"
+	"repro/internal/grammars"
+)
+
+func buildStable(t *testing.T, src string) *cdg.Grammar {
+	t.Helper()
+	g, err := cdg.NewBuilder().
+		Labels("A", "B").
+		Categories("w").
+		Role("r", "A", "B").
+		Word("w", "w").
+		Constraint("c", src).
+		Build()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return g
+}
+
+func TestExtensionStableDetectsConstantWordAccess(t *testing.T) {
+	cases := []struct {
+		name, src string
+		stable    bool
+	}{
+		// Accessors that read only role-value state are stable.
+		{"positions", `(if (eq (lab x) A) (gt (pos x) 1))`, true},
+		{"word-of-x", `(if (eq (cat (word (pos x))) w) (eq (lab x) A))`, true},
+		{"word-of-mod", `(if (not (eq (mod x) nil)) (eq (word (mod x)) (word (pos x))))`, true},
+		// A constant word position flips from invalid to a real word
+		// when the sentence grows past it.
+		{"constant-in-cons", `(if (eq (lab x) A) (eq (word 3) (word (pos x))))`, false},
+		{"constant-in-ante", `(if (eq (cat (word 2)) w) (eq (lab x) A))`, false},
+	}
+	for _, tc := range cases {
+		g := buildStable(t, tc.src)
+		if got := g.ExtensionStable(); got != tc.stable {
+			t.Errorf("%s: ExtensionStable() = %v, want %v (src %s)", tc.name, got, tc.stable, tc.src)
+		}
+	}
+}
+
+// Every shipped grammar must be extension-stable: the incremental
+// lattice engine serves them all without the from-scratch fallback.
+func TestBuiltinGrammarsExtensionStable(t *testing.T) {
+	for _, name := range grammars.Names() {
+		g, err := grammars.ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if !g.ExtensionStable() {
+			t.Errorf("grammar %q is not extension-stable", name)
+		}
+	}
+}

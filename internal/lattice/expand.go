@@ -1,0 +1,119 @@
+package lattice
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// DefaultMaxPaths is the candidate budget used when a caller passes
+// maxPaths <= 0. A 20-slot × 4-alternative lattice has ~10¹² raw
+// paths; nothing downstream can parse that, so expansion is always
+// budgeted.
+const DefaultMaxPaths = 1024
+
+// Path is one candidate word sequence through the lattice with its
+// combined acoustic score.
+type Path struct {
+	Words []string
+	Score float64
+}
+
+// rankedSlot is one slot with its alternatives sorted best-first
+// (score descending, word ascending) and per-slot duplicate words
+// removed: a duplicate word at a lower score can never produce a new
+// word sequence, only a worse-scored copy of one.
+type rankedSlot []Alt
+
+func rankSlots(slots [][]Alt) []rankedSlot {
+	out := make([]rankedSlot, len(slots))
+	for i, s := range slots {
+		alts := append([]Alt(nil), s...)
+		sort.SliceStable(alts, func(a, b int) bool {
+			if alts[a].Score != alts[b].Score {
+				return alts[a].Score > alts[b].Score
+			}
+			return alts[a].Word < alts[b].Word
+		})
+		uniq := alts[:0]
+		seen := make(map[string]bool, len(alts))
+		for _, a := range alts {
+			if seen[a.Word] {
+				continue
+			}
+			seen[a.Word] = true
+			uniq = append(uniq, a)
+		}
+		out[i] = rankedSlot(uniq)
+	}
+	return out
+}
+
+// expandNode is a frontier entry of the best-first search: a rank
+// vector (ranks[i] indexes slot i's sorted alternatives), its score,
+// and the last slot whose rank was incremented. Successors only
+// increment slots at or after last, which generates every rank vector
+// exactly once (increment slot 0 to its final rank, then slot 1, …).
+type expandNode struct {
+	ranks []int
+	score float64
+	words []string
+	last  int
+}
+
+type expandHeap []*expandNode
+
+func (h expandHeap) Len() int { return len(h) }
+func (h expandHeap) Less(i, j int) bool {
+	if h[i].score != h[j].score {
+		return h[i].score > h[j].score
+	}
+	return less(h[i].words, h[j].words)
+}
+func (h expandHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *expandHeap) Push(x any)   { *h = append(*h, x.(*expandNode)) }
+func (h *expandHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return x
+}
+
+func newNode(slots []rankedSlot, ranks []int, last int) *expandNode {
+	n := &expandNode{ranks: ranks, last: last, words: make([]string, len(slots))}
+	for i, r := range ranks {
+		n.words[i] = slots[i][r].Word
+		n.score += slots[i][r].Score
+	}
+	return n
+}
+
+// Expand enumerates up to maxPaths candidate paths in best-first order:
+// highest combined score first, ties broken by the word sequence so
+// the order is fully deterministic. truncated reports that the budget
+// cut enumeration short of the full cartesian product. maxPaths <= 0
+// uses DefaultMaxPaths.
+func (l *Lattice) Expand(maxPaths int) (paths []Path, truncated bool) {
+	if len(l.slots) == 0 {
+		return nil, false
+	}
+	if maxPaths <= 0 {
+		maxPaths = DefaultMaxPaths
+	}
+	slots := rankSlots(l.slots)
+	h := &expandHeap{newNode(slots, make([]int, len(slots)), 0)}
+	for h.Len() > 0 && len(paths) < maxPaths {
+		n := heap.Pop(h).(*expandNode)
+		paths = append(paths, Path{Words: n.words, Score: n.score})
+		for i := n.last; i < len(slots); i++ {
+			if n.ranks[i]+1 >= len(slots[i]) {
+				continue
+			}
+			ranks := append([]int(nil), n.ranks...)
+			ranks[i]++
+			heap.Push(h, newNode(slots, ranks, i))
+		}
+	}
+	return paths, h.Len() > 0
+}

@@ -1,0 +1,118 @@
+package lattice
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/grammars"
+)
+
+func TestExpandBestFirstOrder(t *testing.T) {
+	l := New()
+	mustSlot(t, l.AddSlot(Alt{"a", 0.9}, Alt{"b", 0.1}))
+	mustSlot(t, l.AddSlot(Alt{"c", 0.5}, Alt{"d", 0.4}))
+	paths, truncated := l.Expand(0)
+	if truncated {
+		t.Fatal("no truncation expected")
+	}
+	var got []string
+	var last float64
+	for i, p := range paths {
+		got = append(got, strings.Join(p.Words, " "))
+		if i > 0 && p.Score > last {
+			t.Errorf("path %d (%.2f) outscores its predecessor (%.2f)", i, p.Score, last)
+		}
+		last = p.Score
+	}
+	want := []string{"a c", "a d", "b c", "b d"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+}
+
+// Equal scores order by the word sequence, so expansion (and therefore
+// /v1/lattice responses) is byte-stable run to run.
+func TestExpandDeterministicUnderEqualScores(t *testing.T) {
+	l := New()
+	mustSlot(t, l.AddSlot(Alt{"b", 0.5}, Alt{"a", 0.5}))
+	mustSlot(t, l.AddSlot(Alt{"d", 0.5}, Alt{"c", 0.5}))
+	paths, _ := l.Expand(0)
+	var got []string
+	for _, p := range paths {
+		got = append(got, strings.Join(p.Words, " "))
+	}
+	want := []string{"a c", "a d", "b c", "b d"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+}
+
+func TestExpandBudgetTruncates(t *testing.T) {
+	l := New()
+	for i := 0; i < 20; i++ {
+		mustSlot(t, l.AddSlot(Alt{"w", 0.9}, Alt{"x", 0.5}, Alt{"y", 0.3}, Alt{"z", 0.1}))
+	}
+	paths, truncated := l.Expand(100)
+	if len(paths) != 100 || !truncated {
+		t.Fatalf("got %d paths truncated=%v, want the 100-path budget enforced", len(paths), truncated)
+	}
+	// The best path (all top-ranked alternatives) must come first.
+	if strings.Join(paths[0].Words, " ") != strings.TrimSpace(strings.Repeat("w ", 20)) {
+		t.Errorf("best path = %v", paths[0].Words)
+	}
+}
+
+// Duplicate words within one slot collapse to the best-scored copy:
+// they cannot produce new word sequences, only worse-scored repeats.
+func TestExpandDedupesSlotWords(t *testing.T) {
+	l := New()
+	mustSlot(t, l.AddSlot(Alt{"a", 0.9}, Alt{"a", 0.2}, Alt{"b", 0.5}))
+	paths, truncated := l.Expand(0)
+	if truncated || len(paths) != 2 {
+		t.Fatalf("paths=%d truncated=%v, want 2 deduped paths", len(paths), truncated)
+	}
+	if paths[0].Score != 0.9 {
+		t.Errorf("dedupe kept score %.2f, want the best-scored copy", paths[0].Score)
+	}
+}
+
+// Decode must enforce the budget end to end: a lattice whose raw path
+// count is astronomical answers within the budget and flags truncation.
+func TestDecodeBudgetTruncates(t *testing.T) {
+	g := grammars.English()
+	l := New()
+	mustSlot(t, l.Words("the"))
+	for i := 0; i < 11; i++ {
+		mustSlot(t, l.AddSlot(Alt{"dog", 0.9}, Alt{"man", 0.5}))
+	}
+	res, err := l.DecodeBudget(g, 0, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Expanded != 16 || !res.Truncated {
+		t.Errorf("expanded=%d truncated=%v, want budget of 16 enforced", res.Expanded, res.Truncated)
+	}
+}
+
+// Pinned deterministic hypothesis ordering under equal scores: the tie
+// breaks on the full word sequence.
+func TestDecodeTieBreakIsWordSequence(t *testing.T) {
+	g := grammars.English()
+	l := New()
+	mustSlot(t, l.Words("the"))
+	mustSlot(t, l.AddSlot(Alt{"man", 0.5}, Alt{"dog", 0.5}))
+	mustSlot(t, l.AddSlot(Alt{"walked", 0.5}, Alt{"slept", 0.5}))
+	res, err := l.Decode(g, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, h := range res.Hypotheses {
+		got = append(got, strings.Join(h.Words, " "))
+	}
+	want := []string{"the dog slept", "the dog walked", "the man slept", "the man walked"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("order = %v, want %v", got, want)
+	}
+}

@@ -78,79 +78,82 @@ type Hypothesis struct {
 	Ambiguous bool
 }
 
-// Decode parses every hypothesis with g and returns the syntactically
-// accepted ones, best score first (ties: fewer parses first, then
-// lexicographic). maxParses bounds parse enumeration per hypothesis
+// DecodeResult is the outcome of decoding a lattice: the accepted
+// hypotheses plus the expansion accounting, so callers can tell a
+// genuinely empty answer from one cut short by the path budget.
+type DecodeResult struct {
+	// Hypotheses are the syntactically accepted paths, best score
+	// first; equal scores are ordered by the full word sequence, so
+	// the listing is fully deterministic.
+	Hypotheses []Hypothesis
+	// Expanded is the number of candidate paths actually parsed.
+	Expanded int
+	// Truncated reports that the path budget stopped expansion before
+	// the full cartesian product was enumerated.
+	Truncated bool
+}
+
+// Decode parses the best-scoring candidate paths (up to
+// DefaultMaxPaths of them) with g and returns the syntactically
+// accepted ones, best score first (ties: lexicographic on the word
+// sequence). maxParses bounds parse enumeration per hypothesis
 // (<= 0: enumerate all).
-func (l *Lattice) Decode(g *cdg.Grammar, maxParses int) ([]Hypothesis, error) {
+func (l *Lattice) Decode(g *cdg.Grammar, maxParses int) (*DecodeResult, error) {
+	return l.DecodeBudget(g, maxParses, 0)
+}
+
+// DecodeBudget is Decode with an explicit candidate-path budget
+// (maxPaths <= 0: DefaultMaxPaths). Candidates are generated
+// best-first by combined score, so when the budget truncates
+// enumeration it is the lowest-scoring tail that is dropped.
+func (l *Lattice) DecodeBudget(g *cdg.Grammar, maxParses, maxPaths int) (*DecodeResult, error) {
 	if len(l.slots) == 0 {
 		return nil, fmt.Errorf("lattice: empty")
 	}
-	var out []Hypothesis
-	words := make([]string, len(l.slots))
-	score := 0.0
-
-	var rec func(i int) error
-	rec = func(i int) error {
-		if i == len(l.slots) {
-			// A hypothesis with out-of-lexicon words is simply not a
-			// sentence of the grammar — rejected, not an error.
-			sent, err := cdg.Resolve(g, words, nil)
-			if err != nil {
-				return nil
-			}
-			res, err := serial.Parse(g, sent, serial.DefaultOptions())
-			if err != nil {
-				return err
-			}
-			parses := res.Network.ExtractParses(maxParses)
-			if len(parses) == 0 {
-				return nil
-			}
-			out = append(out, Hypothesis{
-				Words:     append([]string(nil), words...),
-				Score:     score,
-				Parses:    len(parses),
-				Ambiguous: res.Ambiguous(),
-			})
-			return nil
+	paths, truncated := l.Expand(maxPaths)
+	res := &DecodeResult{Expanded: len(paths), Truncated: truncated}
+	for _, p := range paths {
+		// A hypothesis with out-of-lexicon words is simply not a
+		// sentence of the grammar — rejected, not an error.
+		sent, err := cdg.Resolve(g, p.Words, nil)
+		if err != nil {
+			continue
 		}
-		for _, alt := range l.slots[i] {
-			words[i] = alt.Word
-			score += alt.Score
-			if err := rec(i + 1); err != nil {
-				return err
-			}
-			score -= alt.Score
+		pres, err := serial.Parse(g, sent, serial.DefaultOptions())
+		if err != nil {
+			return nil, err
 		}
-		return nil
+		parses := pres.Network.ExtractParses(maxParses)
+		if len(parses) == 0 {
+			continue
+		}
+		res.Hypotheses = append(res.Hypotheses, Hypothesis{
+			Words:     p.Words,
+			Score:     p.Score,
+			Parses:    len(parses),
+			Ambiguous: pres.Ambiguous(),
+		})
 	}
-	if err := rec(0); err != nil {
-		return nil, err
-	}
-	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+	sort.SliceStable(res.Hypotheses, func(i, j int) bool {
+		if res.Hypotheses[i].Score != res.Hypotheses[j].Score {
+			return res.Hypotheses[i].Score > res.Hypotheses[j].Score
 		}
-		if out[i].Parses != out[j].Parses {
-			return out[i].Parses < out[j].Parses
-		}
-		return less(out[i].Words, out[j].Words)
+		return less(res.Hypotheses[i].Words, res.Hypotheses[j].Words)
 	})
-	return out, nil
+	return res, nil
 }
 
 // Best returns the top-scoring accepted hypothesis, or ok=false when
-// syntax rejects every path.
+// syntax rejects every path (within the default budget).
 func (l *Lattice) Best(g *cdg.Grammar) (Hypothesis, bool, error) {
-	hyps, err := l.Decode(g, 1)
+	res, err := l.Decode(g, 1)
 	if err != nil {
 		return Hypothesis{}, false, err
 	}
-	if len(hyps) == 0 {
+	if len(res.Hypotheses) == 0 {
 		return Hypothesis{}, false, nil
 	}
-	return hyps[0], true, nil
+	return res.Hypotheses[0], true, nil
 }
 
 func less(a, b []string) bool {

@@ -19,9 +19,13 @@ func TestDecodePrunesUngrammatical(t *testing.T) {
 	if l.Slots() != 5 || l.Paths() != 8 {
 		t.Fatalf("slots=%d paths=%d", l.Slots(), l.Paths())
 	}
-	hyps, err := l.Decode(g, 0)
+	res, err := l.Decode(g, 0)
 	if err != nil {
 		t.Fatal(err)
+	}
+	hyps := res.Hypotheses
+	if res.Truncated || res.Expanded != 8 {
+		t.Errorf("expanded=%d truncated=%v, want full 8-path expansion", res.Expanded, res.Truncated)
 	}
 	// "X chased" final slot is ungrammatical ("the dog saw the chased");
 	// transitive readings survive only with "man". "the dog walked the
@@ -86,12 +90,12 @@ func TestUnknownWordsAreRejectedNotErrors(t *testing.T) {
 	mustSlot(t, l.AddSlot(Alt{"the", 0}, Alt{"zzzunknown", 1}))
 	mustSlot(t, l.Words("dog"))
 	mustSlot(t, l.Words("walked"))
-	hyps, err := l.Decode(g, 0)
+	res, err := l.Decode(g, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(hyps) != 1 || hyps[0].Words[0] != "the" {
-		t.Errorf("hyps = %v", hyps)
+	if len(res.Hypotheses) != 1 || res.Hypotheses[0].Words[0] != "the" {
+		t.Errorf("hyps = %v", res.Hypotheses)
 	}
 }
 
@@ -114,10 +118,11 @@ func TestAmbiguityReported(t *testing.T) {
 	for _, w := range []string{"the", "dog", "saw", "the", "man", "with", "the", "telescope"} {
 		mustSlot(t, l.Words(w))
 	}
-	hyps, err := l.Decode(g, 0)
+	res, err := l.Decode(g, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
+	hyps := res.Hypotheses
 	if len(hyps) != 1 {
 		t.Fatalf("hyps = %d", len(hyps))
 	}

@@ -1,0 +1,72 @@
+package latticeserve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// prefixCache is a mutex LRU over prefix snapshots, keyed by
+// grammar key + the joined prefix words (see prefixKey). A snapshot is
+// a pure function of (grammar, prefix words) — it is the propagated,
+// unfiltered network — so entries never expire and a racing duplicate
+// computation is harmless: both racers produce identical state and the
+// second insert just refreshes the entry.
+//
+// Snapshots are immutable once published (finishing a path clones
+// before filtering), so get returns the shared pointer without copying.
+type prefixCache struct {
+	mu      sync.Mutex
+	max     int
+	entries map[string]*list.Element
+	order   *list.List // front = most recently used
+
+	evictions atomic.Uint64
+}
+
+type prefixEntry struct {
+	key  string
+	snap *snapshot
+}
+
+func newPrefixCache(max int) *prefixCache {
+	return &prefixCache{
+		max:     max,
+		entries: make(map[string]*list.Element),
+		order:   list.New(),
+	}
+}
+
+func (c *prefixCache) get(key string) (*snapshot, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		return nil, false
+	}
+	c.order.MoveToFront(el)
+	return el.Value.(*prefixEntry).snap, true
+}
+
+func (c *prefixCache) put(key string, snap *snapshot) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*prefixEntry).snap = snap
+		c.order.MoveToFront(el)
+		return
+	}
+	c.entries[key] = c.order.PushFront(&prefixEntry{key: key, snap: snap})
+	for c.order.Len() > c.max {
+		tail := c.order.Back()
+		c.order.Remove(tail)
+		delete(c.entries, tail.Value.(*prefixEntry).key)
+		c.evictions.Add(1)
+	}
+}
+
+func (c *prefixCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

@@ -33,8 +33,9 @@ type Shard struct {
 	ts        *httptest.Server
 	down      atomic.Bool
 	force     atomic.Int64 // when non-zero, /v1/* responds with this status
-	parseHits atomic.Int64
-	batchHits atomic.Int64
+	parseHits   atomic.Int64
+	batchHits   atomic.Int64
+	latticeHits atomic.Int64
 }
 
 // Kill makes the shard drop every connection at the socket — to the
@@ -56,6 +57,10 @@ func (s *Shard) ParseHits() int64 { return s.parseHits.Load() }
 
 // BatchHits reports how many /v1/batch requests reached the backend.
 func (s *Shard) BatchHits() int64 { return s.batchHits.Load() }
+
+// LatticeHits reports how many lattice requests (batch and streaming)
+// reached the backend.
+func (s *Shard) LatticeHits() int64 { return s.latticeHits.Load() }
 
 func (s *Shard) handler(inner http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
@@ -82,6 +87,8 @@ func (s *Shard) handler(inner http.Handler) http.Handler {
 			s.parseHits.Add(1)
 		case "/v1/batch":
 			s.batchHits.Add(1)
+		case "/v1/lattice", "/v1/lattice/stream":
+			s.latticeHits.Add(1)
 		}
 		inner.ServeHTTP(w, r)
 	})

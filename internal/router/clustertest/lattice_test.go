@@ -1,0 +1,242 @@
+package clustertest
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"testing"
+
+	"repro/internal/router"
+	"repro/internal/server"
+)
+
+func latticeReq(uid string) server.LatticeRequest {
+	return server.LatticeRequest{
+		Grammar:     "english",
+		UtteranceID: uid,
+		Slots: [][]server.LatticeAlt{
+			{{Word: "the", Score: 0.9}},
+			{{Word: "dog", Score: 0.9}, {Word: "ball", Score: 0.4}},
+			{{Word: "saw", Score: 0.7}, {Word: "walked", Score: 0.6}},
+			{{Word: "the", Score: 0.9}},
+			{{Word: "man", Score: 0.8}, {Word: "chased", Score: 0.3}},
+		},
+	}
+}
+
+// postLattice posts one lattice request through the router.
+func postLattice(t testing.TB, url string, req server.LatticeRequest) (int, server.LatticeResult, string) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/lattice", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("lattice via router: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var res server.LatticeResult
+	if err := json.Unmarshal(data, &res); err != nil {
+		t.Fatalf("decode %s: %v", data, err)
+	}
+	return resp.StatusCode, res, resp.Header.Get(server.ShardHeader)
+}
+
+// TestLatticeUtteranceAffinity is the routing contract of the
+// subsystem: every request carrying one utterance id lands on one
+// shard, so that shard's prefix snapshots serve the whole utterance —
+// and the second decode of the same utterance actually reuses them.
+func TestLatticeUtteranceAffinity(t *testing.T) {
+	c := New(t, 3, server.Config{}, router.Config{})
+
+	// Distinct utterances spread across the fleet.
+	used := make(map[string]bool)
+	for i := 0; i < 12; i++ {
+		uid := fmt.Sprintf("utt-%d", i)
+		status, _, shard := postLattice(t, c.URL, latticeReq(uid))
+		if status != http.StatusOK {
+			t.Fatalf("utterance %s: status %d", uid, status)
+		}
+		// Same utterance id returns to the same shard every time.
+		for j := 0; j < 2; j++ {
+			_, res, again := postLattice(t, c.URL, latticeReq(uid))
+			if again != shard {
+				t.Errorf("utterance %s moved: %s then %s", uid, shard, again)
+			}
+			// The repeat decode is served from the shard's warm prefix
+			// snapshots: every path reuses all but nothing — hits must
+			// dominate misses on a fully warmed utterance.
+			if res.PrefixHits == 0 || res.PrefixMisses != 0 {
+				t.Errorf("utterance %s repeat %d: hits=%d misses=%d, want warm decode",
+					uid, j, res.PrefixHits, res.PrefixMisses)
+			}
+		}
+		used[shard] = true
+	}
+	if len(used) < 2 {
+		t.Errorf("12 utterances all landed on one shard: %v", used)
+	}
+
+	// The routing skipped shards entirely: per-shard hit counters agree.
+	var total int64
+	for _, sh := range c.Shards {
+		total += sh.LatticeHits()
+	}
+	if total != 36 {
+		t.Errorf("lattice hits across fleet = %d, want 36", total)
+	}
+}
+
+// TestLatticeFailoverRebuildsPrefixes kills an utterance's home shard
+// and checks the router fails the utterance over to a live shard, which
+// serves it correctly (rebuilding snapshots from scratch — cold decode,
+// then warm on the repeat).
+func TestLatticeFailoverRebuildsPrefixes(t *testing.T) {
+	c := New(t, 3, server.Config{}, router.Config{})
+	req := latticeReq("failover-utt")
+	status, _, home := postLattice(t, c.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	var homeShard *Shard
+	for _, sh := range c.Shards {
+		if sh.Name == home {
+			homeShard = sh
+		}
+	}
+	if homeShard == nil {
+		t.Fatalf("unknown home shard %q", home)
+	}
+	homeShard.Kill()
+	status, res, next := postLattice(t, c.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("failover decode: status %d: %+v", status, res)
+	}
+	if next == home || next == "" {
+		t.Fatalf("failover stayed on dead shard %q", next)
+	}
+	// The stand-in shard had no snapshots for this utterance beyond
+	// intra-lattice sharing: its decode must still be correct.
+	if res.Accepted != 4 || res.Expanded != 8 {
+		t.Errorf("failover decode wrong: accepted=%d expanded=%d", res.Accepted, res.Expanded)
+	}
+	// Repeat on the stand-in is warm now.
+	_, res2, again := postLattice(t, c.URL, req)
+	if again != next {
+		t.Errorf("follow-up moved from %s to %s", next, again)
+	}
+	if res2.PrefixHits == 0 || res2.PrefixMisses != 0 {
+		t.Errorf("stand-in repeat not warm: hits=%d misses=%d", res2.PrefixHits, res2.PrefixMisses)
+	}
+	// The home shard rejoins and the utterance returns to it.
+	homeShard.Revive()
+	_, _, back := postLattice(t, c.URL, req)
+	if back != home {
+		t.Errorf("after revival utterance on %s, want %s", back, home)
+	}
+}
+
+// TestLatticeTerminalStatuses pins the failover policy for lattice
+// traffic: 4xx and 504 surface unchanged from the first shard (no
+// retry), 500 fails over.
+func TestLatticeTerminalStatuses(t *testing.T) {
+	c := New(t, 2, server.Config{}, router.Config{})
+	req := latticeReq("terminal-utt")
+	_, _, home := postLattice(t, c.URL, req)
+	var homeShard, other *Shard
+	for _, sh := range c.Shards {
+		if sh.Name == home {
+			homeShard = sh
+		} else {
+			other = sh
+		}
+	}
+	before := other.LatticeHits()
+
+	homeShard.ForceStatus(http.StatusBadRequest)
+	status, _, shard := postLattice(t, c.URL, req)
+	if status != http.StatusBadRequest || shard != home {
+		t.Errorf("400 must be terminal: status %d from %s", status, shard)
+	}
+	homeShard.ForceStatus(http.StatusGatewayTimeout)
+	status, _, shard = postLattice(t, c.URL, req)
+	if status != http.StatusGatewayTimeout || shard != home {
+		t.Errorf("504 must be terminal: status %d from %s", status, shard)
+	}
+	if got := other.LatticeHits(); got != before {
+		t.Errorf("terminal statuses leaked to the other shard: %d hits, was %d", got, before)
+	}
+	homeShard.ForceStatus(http.StatusInternalServerError)
+	status, _, shard = postLattice(t, c.URL, req)
+	if status != http.StatusOK || shard == home {
+		t.Errorf("500 must fail over: status %d from %s", status, shard)
+	}
+	homeShard.ForceStatus(0)
+}
+
+// TestLatticeStreamThroughRouter drives the NDJSON stream through the
+// router and checks updates arrive per slot with shard attribution.
+func TestLatticeStreamThroughRouter(t *testing.T) {
+	c := New(t, 3, server.Config{}, router.Config{})
+	header := server.LatticeRequest{Grammar: "english", UtteranceID: "stream-utt"}
+	slots := latticeReq("").Slots
+
+	var payload bytes.Buffer
+	enc := json.NewEncoder(&payload)
+	if err := enc.Encode(header); err != nil {
+		t.Fatal(err)
+	}
+	for _, slot := range slots {
+		if err := enc.Encode(server.LatticeStreamSlot{Alts: slot}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A pre-buffered body exercises the proxy path without needing
+	// full-duplex interleaving from the client side.
+	resp, err := http.Post(c.URL+"/v1/lattice/stream", "application/x-ndjson", &payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("stream status %d: %s", resp.StatusCode, body)
+	}
+	if resp.Header.Get(server.ShardHeader) == "" {
+		t.Error("stream response missing shard attribution")
+	}
+	dec := json.NewDecoder(resp.Body)
+	var updates []server.LatticeStreamUpdate
+	for {
+		var u server.LatticeStreamUpdate
+		if err := dec.Decode(&u); err == io.EOF {
+			break
+		} else if err != nil {
+			t.Fatal(err)
+		}
+		if u.Error != "" {
+			t.Fatalf("update error: %s", u.Error)
+		}
+		updates = append(updates, u)
+	}
+	if len(updates) != len(slots)+1 {
+		t.Fatalf("got %d updates, want %d", len(updates), len(slots)+1)
+	}
+	final := updates[len(updates)-1]
+	if !final.Final || final.Result == nil || final.Result.Accepted != 4 {
+		t.Errorf("final update: %+v", final)
+	}
+	// The streamed utterance's snapshots now live on its affinity
+	// shard: a batch decode of the same utterance id is fully warm.
+	_, res, _ := postLattice(t, c.URL, latticeReq("stream-utt"))
+	if res.PrefixHits == 0 || res.PrefixMisses != 0 {
+		t.Errorf("batch after stream not warm: hits=%d misses=%d", res.PrefixHits, res.PrefixMisses)
+	}
+}

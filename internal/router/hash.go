@@ -24,13 +24,30 @@ func AffinityKey(req server.ParseRequest) (string, error) {
 	return server.CacheKey(req)
 }
 
-// hrwScore is the rendezvous weight of key on shard.
+// hrwScore is the rendezvous weight of key on shard. The raw FNV-1a
+// sum is pushed through a 64-bit avalanche finalizer (splitmix64's):
+// FNV alone mixes a trailing byte through only one multiply, so keys
+// differing in their last bytes (…|uid|utt-1 vs …|uid|utt-2) produce
+// score deltas that are nearly identical across shards and whole runs
+// of consecutive keys rank the fleet in the same order. The finalizer
+// turns any 1-bit input difference into ~32 flipped output bits, which
+// decorrelates the per-shard scores.
 func hrwScore(shard, key string) uint64 {
 	h := fnv.New64a()
 	h.Write([]byte(shard))
 	h.Write([]byte{0})
 	h.Write([]byte(key))
-	return h.Sum64()
+	return mix64(h.Sum64())
+}
+
+// mix64 is splitmix64's finalizer (Stafford variant 13).
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
 }
 
 // rankShards orders shard IDs by descending rendezvous score for key,

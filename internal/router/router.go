@@ -119,6 +119,8 @@ func New(cfg Config) (*Router, error) {
 	}
 	r.mux.HandleFunc("/v1/parse", r.handleParse)
 	r.mux.HandleFunc("/v1/batch", r.handleBatch)
+	r.mux.HandleFunc("/v1/lattice", r.handleLattice)
+	r.mux.HandleFunc("/v1/lattice/stream", r.handleLatticeStream)
 	r.mux.HandleFunc("/v1/grammars", r.handleGrammars)
 	r.mux.HandleFunc("/healthz", r.handleHealthz)
 	r.mux.HandleFunc("/metrics", r.handleMetrics)

@@ -95,3 +95,54 @@ func FuzzCacheKey(f *testing.F) {
 		}
 	})
 }
+
+// FuzzLatticeRequestDecode fuzzes the lattice-request surface: any byte
+// sequence that json-decodes into a LatticeRequest must build (or
+// cleanly reject) a lattice, produce a deterministic routing key with
+// the documented shape, and survive a marshal round-trip with the same
+// key — the invariant lattice affinity (router.rankShards over
+// LatticeAffinityKey) depends on. Seed corpus:
+// testdata/fuzz/FuzzLatticeRequestDecode.
+func FuzzLatticeRequestDecode(f *testing.F) {
+	f.Add([]byte(`{"grammar":"english","utterance_id":"utt-7","slots":[[{"word":"the","score":0.9}],[{"word":"dog","score":0.8},{"word":"ball","score":0.4}]]}`))
+	f.Add([]byte(`{"grammar":"demo","slots":[[{"word":"the"},{"word":"a"}],[{"word":"program"}],[{"word":"runs","score":1}]],"engine":"pool","backend":"serial","max_paths":4}`))
+	f.Add([]byte(`{"grammar_source":"(grammar (roles))","slots":[[{"word":"x"}]],"max_parses":-1,"timeout_ms":5,"no_cache":true}`))
+	f.Add([]byte(`{"grammar":"english","slots":[[]]}`))
+	f.Add([]byte(`{"grammar":"english","utterance_id":"u|x","slots":[[{"word":"w","score":-1e308}]]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var req LatticeRequest
+		if err := json.Unmarshal(data, &req); err != nil {
+			return // not a request; the handler answers 400 before any of this runs
+		}
+		// Lattice construction never panics; it either builds or rejects.
+		l, lerr := buildLattice(req.Slots)
+		if (l == nil) == (lerr == nil) {
+			t.Fatalf("buildLattice returned lattice=%v err=%v", l != nil, lerr)
+		}
+		k1 := LatticeAffinityKey(req)
+		if k1 != LatticeAffinityKey(req) {
+			t.Fatalf("LatticeAffinityKey not deterministic for %+v", req)
+		}
+		gkey := GrammarKey(ParseRequest{Grammar: req.Grammar, GrammarSource: req.GrammarSource})
+		if req.UtteranceID != "" {
+			if k1 != "lattice|"+gkey+"|uid|"+req.UtteranceID {
+				t.Fatalf("uid key %q does not follow lattice|%s|uid|%s", k1, gkey, req.UtteranceID)
+			}
+		} else if !strings.HasPrefix(k1, "lattice|"+gkey+"|slots") {
+			t.Fatalf("anonymous key %q does not start with lattice|%s|slots", k1, gkey)
+		}
+		// The key survives a wire round-trip: routing stays stable when a
+		// proxy re-encodes the request.
+		wire, err := json.Marshal(req)
+		if err != nil {
+			t.Fatalf("re-marshal: %v", err)
+		}
+		var again LatticeRequest
+		if err := json.Unmarshal(wire, &again); err != nil {
+			t.Fatalf("round-trip decode: %v", err)
+		}
+		if k2 := LatticeAffinityKey(again); k2 != k1 {
+			t.Fatalf("affinity key changed across round-trip:\nbefore: %q\nafter:  %q", k1, k2)
+		}
+	})
+}

@@ -2,6 +2,7 @@ package server
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
@@ -57,4 +58,34 @@ func CacheKey(req ParseRequest) (string, error) {
 		return "", err
 	}
 	return cacheKeyOf(cfgKeyOf(GrammarKey(req), backend, req), req.MaxParses, req.Words()), nil
+}
+
+// LatticeAffinityKey is the canonical routing identity of a lattice
+// request. The router rendezvous-hashes it to pick a shard, so every
+// request of one utterance — each streamed slot, each re-decode of a
+// grown lattice — must derive the same key and land on the shard that
+// holds its prefix snapshots. Utterance-scoped requests key on
+// (grammar, utterance_id); anonymous ones fall back to the slot
+// contents, which still keeps exact re-submissions shard-local.
+func LatticeAffinityKey(req LatticeRequest) string {
+	gkey := GrammarKey(ParseRequest{Grammar: req.Grammar, GrammarSource: req.GrammarSource})
+	if req.UtteranceID != "" {
+		return "lattice|" + gkey + "|uid|" + req.UtteranceID
+	}
+	var sb strings.Builder
+	sb.WriteString("lattice|")
+	sb.WriteString(gkey)
+	sb.WriteString("|slots")
+	for _, slot := range req.Slots {
+		sb.WriteByte('|')
+		for i, a := range slot {
+			if i > 0 {
+				sb.WriteByte('\x1e')
+			}
+			sb.WriteString(a.Word)
+			sb.WriteByte('\x1f')
+			sb.WriteString(strconv.FormatFloat(a.Score, 'g', -1, 64))
+		}
+	}
+	return sb.String()
 }

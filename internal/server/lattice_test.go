@@ -1,0 +1,539 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func latticeTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postLattice(t *testing.T, url string, req LatticeRequest) (int, LatticeResult) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url+"/v1/lattice", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res LatticeResult
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, res
+}
+
+// englishLatticeSlots is the shared test lattice: 8 candidate paths,
+// 4 of which are grammatical (every noun/verb combination; "the
+// chased" as object fails).
+func englishLatticeSlots() [][]LatticeAlt {
+	return [][]LatticeAlt{
+		{{Word: "the", Score: 0.9}},
+		{{Word: "dog", Score: 0.9}, {Word: "ball", Score: 0.4}},
+		{{Word: "saw", Score: 0.7}, {Word: "walked", Score: 0.6}},
+		{{Word: "the", Score: 0.9}},
+		{{Word: "man", Score: 0.8}, {Word: "chased", Score: 0.3}},
+	}
+}
+
+func TestLatticeEndpoint(t *testing.T) {
+	_, ts := latticeTestServer(t, Config{})
+	status, res := postLattice(t, ts.URL, LatticeRequest{
+		Grammar:     "english",
+		UtteranceID: "utt-1",
+		Slots:       englishLatticeSlots(),
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d: %+v", status, res)
+	}
+	if res.Engine != "prefix" || res.Grammar != "english" || res.UtteranceID != "utt-1" {
+		t.Errorf("echo fields wrong: %+v", res)
+	}
+	if res.Slots != 5 || res.Paths != 8 || res.Expanded != 8 || res.Truncated {
+		t.Errorf("expansion accounting: slots=%d paths=%d expanded=%d truncated=%v",
+			res.Slots, res.Paths, res.Expanded, res.Truncated)
+	}
+	if res.Accepted != 4 || len(res.Hypotheses) != 8 {
+		t.Fatalf("accepted=%d hyps=%d", res.Accepted, len(res.Hypotheses))
+	}
+	// Accepted hypotheses sort first, best score leading.
+	best := res.Hypotheses[0]
+	if !best.Accepted || strings.Join(best.Words, " ") != "the dog saw the man" {
+		t.Errorf("best hypothesis: %+v", best)
+	}
+	if !res.Hypotheses[3].Accepted || res.Hypotheses[4].Accepted {
+		t.Errorf("accepted-first ordering violated: %+v", res.Hypotheses)
+	}
+	if best.NumParses == 0 || len(best.Parses) == 0 {
+		t.Errorf("best hypothesis has no rendered parses: %+v", best)
+	}
+	// Sibling candidates share prefixes within one request.
+	if res.PrefixHits == 0 {
+		t.Error("expected intra-lattice prefix reuse")
+	}
+}
+
+func TestLatticeEndpointErrors(t *testing.T) {
+	_, ts := latticeTestServer(t, Config{})
+	for _, tc := range []struct {
+		name   string
+		req    LatticeRequest
+		status int
+	}{
+		{"empty lattice", LatticeRequest{Grammar: "english"}, http.StatusBadRequest},
+		{"empty slot", LatticeRequest{Grammar: "english", Slots: [][]LatticeAlt{{}}}, http.StatusBadRequest},
+		{"missing word", LatticeRequest{Grammar: "english", Slots: [][]LatticeAlt{{{Score: 1}}}}, http.StatusBadRequest},
+		{"unknown grammar", LatticeRequest{Grammar: "nope", Slots: [][]LatticeAlt{{{Word: "x"}}}}, http.StatusNotFound},
+		{"unknown engine", LatticeRequest{Grammar: "english", Engine: "warp", Slots: [][]LatticeAlt{{{Word: "x"}}}}, http.StatusBadRequest},
+		{"bad backend", LatticeRequest{Grammar: "english", Engine: "pool", Backend: "abacus", Slots: [][]LatticeAlt{{{Word: "x"}}}}, http.StatusBadRequest},
+	} {
+		status, res := postLattice(t, ts.URL, tc.req)
+		if status != tc.status {
+			t.Errorf("%s: status %d, want %d (%+v)", tc.name, status, tc.status, res)
+		}
+		if res.Error == "" {
+			t.Errorf("%s: error field empty", tc.name)
+		}
+	}
+	// GET is rejected.
+	resp, err := http.Get(ts.URL + "/v1/lattice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET: status %d", resp.StatusCode)
+	}
+}
+
+// The pool engine fans candidates through the ordinary parse path; both
+// engines must agree on every verdict-bearing field.
+func TestLatticePoolEngineAgreesWithPrefix(t *testing.T) {
+	_, ts := latticeTestServer(t, Config{})
+	req := LatticeRequest{Grammar: "english", Slots: englishLatticeSlots()}
+	_, prefix := postLattice(t, ts.URL, req)
+	req.Engine = "pool"
+	status, pool := postLattice(t, ts.URL, req)
+	if status != http.StatusOK {
+		t.Fatalf("pool engine: status %d: %+v", status, pool)
+	}
+	if pool.Engine != "pool" {
+		t.Errorf("engine echo: %q", pool.Engine)
+	}
+	if len(pool.Hypotheses) != len(prefix.Hypotheses) || pool.Accepted != prefix.Accepted {
+		t.Fatalf("pool %d hyps/%d accepted, prefix %d/%d",
+			len(pool.Hypotheses), pool.Accepted, len(prefix.Hypotheses), prefix.Accepted)
+	}
+	for i := range pool.Hypotheses {
+		p, q := pool.Hypotheses[i], prefix.Hypotheses[i]
+		if !reflect.DeepEqual(p.Words, q.Words) || p.Accepted != q.Accepted ||
+			p.Ambiguous != q.Ambiguous || p.NumParses != q.NumParses ||
+			!reflect.DeepEqual(p.Parses, q.Parses) || p.Score != q.Score {
+			t.Errorf("hypothesis %d disagrees:\npool:   %+v\nprefix: %+v", i, p, q)
+		}
+	}
+}
+
+func TestLatticePathBudgetCaps(t *testing.T) {
+	_, ts := latticeTestServer(t, Config{LatticeMaxPaths: 4})
+	status, res := postLattice(t, ts.URL, LatticeRequest{
+		Grammar: "english",
+		Slots:   englishLatticeSlots(),
+		// Request more than the server allows: the cap wins.
+		MaxPaths: 1000,
+	})
+	if status != http.StatusOK {
+		t.Fatalf("status %d", status)
+	}
+	if res.Expanded != 4 || !res.Truncated || res.Paths != 8 {
+		t.Errorf("budget: expanded=%d truncated=%v paths=%d", res.Expanded, res.Truncated, res.Paths)
+	}
+}
+
+func TestLatticeMetricsExposed(t *testing.T) {
+	s, ts := latticeTestServer(t, Config{})
+	if _, res := postLattice(t, ts.URL, LatticeRequest{Grammar: "english", Slots: englishLatticeSlots()}); res.Error != "" {
+		t.Fatalf("decode failed: %s", res.Error)
+	}
+	st := s.Stats()
+	if st.LatticeRequests != 1 || st.LatticePathsExpanded != 8 {
+		t.Errorf("stats: requests=%d paths=%d", st.LatticeRequests, st.LatticePathsExpanded)
+	}
+	if st.LatticePrefixHits == 0 || st.LatticePrefixMisses == 0 {
+		t.Errorf("stats: prefix hits=%d misses=%d", st.LatticePrefixHits, st.LatticePrefixMisses)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{
+		"parsecd_lattice_requests_total 1",
+		"parsecd_lattice_paths_expanded_total 8",
+		"parsecd_lattice_prefix_cache_hits_total",
+		"parsecd_lattice_prefix_cache_misses_total",
+		"parsecd_lattice_stream_slots_total",
+	} {
+		if !strings.Contains(string(body), name) {
+			t.Errorf("/metrics missing %q", name)
+		}
+	}
+}
+
+// streamLattice drives the NDJSON endpoint: the header goes first, then
+// each slot as its own line (full duplex: updates are read as slots are
+// written), and returns every update in order.
+func streamLattice(t *testing.T, url string, header LatticeRequest, slots [][]LatticeAlt) []LatticeStreamUpdate {
+	t.Helper()
+	pr, pw := io.Pipe()
+	req, err := http.NewRequest(http.MethodPost, url+"/v1/lattice/stream", pr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	// RoundTrip blocks until response headers, which the server only
+	// sends after reading the request's header line — so the round trip
+	// runs on its own goroutine while this one feeds the pipe.
+	respCh := make(chan *http.Response, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultTransport.RoundTrip(req)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		respCh <- resp
+	}()
+	send := func(v any) {
+		t.Helper()
+		line, err := json.Marshal(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := pw.Write(append(line, '\n')); err != nil {
+			t.Fatal(err)
+		}
+	}
+	send(header)
+
+	var resp *http.Response
+	select {
+	case resp = <-respCh:
+	case err := <-errCh:
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("stream status %d: %s", resp.StatusCode, body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	readUpdate := func() LatticeStreamUpdate {
+		t.Helper()
+		if !sc.Scan() {
+			t.Fatalf("stream ended early: %v", sc.Err())
+		}
+		var u LatticeStreamUpdate
+		if err := json.Unmarshal(sc.Bytes(), &u); err != nil {
+			t.Fatalf("bad update line %q: %v", sc.Text(), err)
+		}
+		return u
+	}
+
+	var updates []LatticeStreamUpdate
+	// When the header carried slots the server decodes them immediately.
+	if len(header.Slots) > 0 {
+		u := readUpdate()
+		if u.Error != "" {
+			t.Fatalf("header update error: %s", u.Error)
+		}
+		updates = append(updates, u)
+	}
+	for i, slot := range slots {
+		send(LatticeStreamSlot{Alts: slot})
+		u := readUpdate()
+		if u.Error != "" {
+			t.Fatalf("slot %d: update error: %s", i, u.Error)
+		}
+		if u.Slot != i+1 {
+			t.Fatalf("slot %d: update for slot %d", i, u.Slot)
+		}
+		updates = append(updates, u)
+	}
+	pw.Close() // end of utterance
+	final := readUpdate()
+	updates = append(updates, final)
+	if sc.Scan() {
+		t.Fatalf("unexpected line after final update: %s", sc.Text())
+	}
+	return updates
+}
+
+// hypothesisVerdicts projects the fields both endpoints must agree on —
+// work accounting (counters, reuse) legitimately differs between a
+// cold batch decode and the warm final update of a stream.
+type hypothesisVerdict struct {
+	Words     string
+	Score     float64
+	Accepted  bool
+	Ambiguous bool
+	NumParses int
+	Parses    string
+	Unknown   string
+}
+
+func verdictsOf(hyps []LatticeHypothesis) []hypothesisVerdict {
+	out := make([]hypothesisVerdict, len(hyps))
+	for i, h := range hyps {
+		out[i] = hypothesisVerdict{
+			Words:     strings.Join(h.Words, " "),
+			Score:     h.Score,
+			Accepted:  h.Accepted,
+			Ambiguous: h.Ambiguous,
+			NumParses: h.NumParses,
+			Parses:    strings.Join(h.Parses, "\n---\n"),
+			Unknown:   h.Unknown,
+		}
+	}
+	return out
+}
+
+// TestLatticeStreamMatchesBatch is the tier-1 equivalence pin: feeding
+// the lattice slot by slot over the stream must end on exactly the
+// hypothesis set the batch endpoint computes for the whole lattice.
+func TestLatticeStreamMatchesBatch(t *testing.T) {
+	_, ts := latticeTestServer(t, Config{})
+	slots := englishLatticeSlots()
+
+	updates := streamLattice(t, ts.URL, LatticeRequest{Grammar: "english", UtteranceID: "utt-stream"}, slots)
+	if len(updates) != len(slots)+1 {
+		t.Fatalf("got %d updates, want %d", len(updates), len(slots)+1)
+	}
+	final := updates[len(updates)-1]
+	if !final.Final || final.Result == nil {
+		t.Fatalf("last update not final: %+v", final)
+	}
+	// Each intermediate update decodes the growing prefix lattice.
+	for i, u := range updates[:len(slots)] {
+		if u.Final || u.Result == nil || u.Result.Slots != i+1 {
+			t.Errorf("update %d malformed: %+v", i, u)
+		}
+	}
+	// Updates after the first must reuse the previous update's
+	// snapshots: that is the point of the subsystem.
+	if updates[1].Result.PrefixHits == 0 {
+		t.Errorf("second update shows no prefix reuse: %+v", updates[1].Result)
+	}
+
+	_, batch := postLattice(t, ts.URL, LatticeRequest{Grammar: "english", Slots: slots})
+	if batch.Error != "" {
+		t.Fatalf("batch decode failed: %s", batch.Error)
+	}
+	got, want := verdictsOf(final.Result.Hypotheses), verdictsOf(batch.Hypotheses)
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("final stream hypotheses differ from batch:\nstream: %+v\nbatch:  %+v", got, want)
+	}
+	if final.Result.Accepted != batch.Accepted || final.Result.Expanded != batch.Expanded {
+		t.Errorf("aggregates differ: stream accepted=%d expanded=%d, batch %d/%d",
+			final.Result.Accepted, final.Result.Expanded, batch.Accepted, batch.Expanded)
+	}
+}
+
+func TestLatticeStreamHeaderSlots(t *testing.T) {
+	// Slots carried in the header are decoded immediately; the stream
+	// then extends them.
+	s, ts := latticeTestServer(t, Config{})
+	slots := englishLatticeSlots()
+	header := LatticeRequest{Grammar: "english", Slots: slots[:2]}
+	updates := streamLattice(t, ts.URL, header, nil)
+	// One update for the header slots plus the final repeat.
+	if len(updates) != 2 {
+		t.Fatalf("got %d updates, want 2", len(updates))
+	}
+	if updates[0].Final || updates[0].Result == nil || updates[0].Result.Slots != 2 {
+		t.Fatalf("header update malformed: %+v", updates[0])
+	}
+	if !updates[1].Final || updates[1].Result == nil || updates[1].Result.Slots != 2 {
+		t.Fatalf("final update malformed: %+v", updates[1])
+	}
+	if n := s.Stats().LatticeSlotsStreamed; n != 2 {
+		t.Errorf("slots streamed = %d, want 2", n)
+	}
+}
+
+func TestLatticeStreamErrors(t *testing.T) {
+	_, ts := latticeTestServer(t, Config{})
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := http.Post(ts.URL+"/v1/lattice/stream", "application/x-ndjson", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, string(data)
+	}
+	if st, _ := post(""); st != http.StatusBadRequest {
+		t.Errorf("empty stream: status %d", st)
+	}
+	if st, _ := post("{not json}\n"); st != http.StatusBadRequest {
+		t.Errorf("bad header: status %d", st)
+	}
+	if st, _ := post(`{"grammar":"nope"}` + "\n"); st != http.StatusNotFound {
+		t.Errorf("unknown grammar: status %d", st)
+	}
+	if st, _ := post(`{"grammar":"english","engine":"pool"}` + "\n"); st != http.StatusBadRequest {
+		t.Errorf("pool engine over stream: status %d", st)
+	}
+	// Errors after streaming starts arrive as update lines on a 200.
+	st, body := post(`{"grammar":"english"}` + "\n" + `{"alts":[]}` + "\n")
+	if st != http.StatusOK {
+		t.Fatalf("empty slot line: status %d", st)
+	}
+	var u LatticeStreamUpdate
+	if err := json.Unmarshal([]byte(strings.SplitN(body, "\n", 2)[0]), &u); err != nil || u.Error == "" {
+		t.Errorf("expected error update, got %q (%v)", body, err)
+	}
+}
+
+func TestLatticeAffinityKeyShape(t *testing.T) {
+	withID := LatticeRequest{Grammar: "english", UtteranceID: "u7", Slots: englishLatticeSlots()}
+	if got := LatticeAffinityKey(withID); got != "lattice|english|uid|u7" {
+		t.Errorf("utterance key: %q", got)
+	}
+	// Anonymous requests key on slot contents: stable across calls,
+	// sensitive to any slot change.
+	anon := LatticeRequest{Grammar: "english", Slots: englishLatticeSlots()}
+	k1, k2 := LatticeAffinityKey(anon), LatticeAffinityKey(anon)
+	if k1 != k2 {
+		t.Errorf("anonymous key not deterministic: %q vs %q", k1, k2)
+	}
+	changed := LatticeRequest{Grammar: "english", Slots: englishLatticeSlots()}
+	changed.Slots[1][0].Score = 0.123
+	if LatticeAffinityKey(changed) == k1 {
+		t.Error("score change did not change the anonymous key")
+	}
+	// Inline grammar sources hash like ParseRequest's grammar key.
+	src := LatticeRequest{GrammarSource: "(grammar)", UtteranceID: "u1"}
+	if !strings.Contains(LatticeAffinityKey(src), "|uid|u1") {
+		t.Errorf("source key: %q", LatticeAffinityKey(src))
+	}
+}
+
+func TestLatticeAdmission429(t *testing.T) {
+	// QueueDepth 1 with the gate held: the second waiter is rejected.
+	s, ts := latticeTestServer(t, Config{Workers: 1, QueueDepth: 1})
+	s.latticeGate <- struct{}{} // occupy the only slot
+	defer func() { <-s.latticeGate }()
+	s.latticeQueued.Add(1) // one waiter already queued
+	defer s.latticeQueued.Add(-1)
+	status, res := postLattice(t, ts.URL, LatticeRequest{Grammar: "english", Slots: englishLatticeSlots()})
+	if status != http.StatusTooManyRequests {
+		t.Fatalf("status %d: %+v", status, res)
+	}
+	if s.Stats().Rejected == 0 {
+		t.Error("rejection not counted")
+	}
+}
+
+func TestLatticeTimeout504(t *testing.T) {
+	s, ts := latticeTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	s.latticeGate <- struct{}{} // never released: requests wait then expire
+	defer func() { <-s.latticeGate }()
+	status, res := postLattice(t, ts.URL, LatticeRequest{
+		Grammar:   "english",
+		Slots:     englishLatticeSlots(),
+		TimeoutMS: 30,
+	})
+	if status != http.StatusGatewayTimeout || !res.TimedOut {
+		t.Fatalf("status %d timedout=%v: %+v", status, res.TimedOut, res)
+	}
+}
+
+func TestLatticeUnknownWordHypothesis(t *testing.T) {
+	_, ts := latticeTestServer(t, Config{})
+	for _, engine := range []string{"prefix", "pool"} {
+		status, res := postLattice(t, ts.URL, LatticeRequest{
+			Grammar: "english",
+			Engine:  engine,
+			Slots: [][]LatticeAlt{
+				{{Word: "the", Score: 0.5}, {Word: "zzz", Score: 0.9}},
+				{{Word: "dog", Score: 0.9}},
+				{{Word: "walked", Score: 0.9}},
+			},
+		})
+		if status != http.StatusOK {
+			t.Fatalf("%s: status %d", engine, status)
+		}
+		var sawUnknown bool
+		for _, h := range res.Hypotheses {
+			if h.Unknown == "zzz" && !h.Accepted {
+				sawUnknown = true
+			}
+		}
+		if !sawUnknown || res.Accepted != 1 {
+			t.Errorf("%s: unknown-word handling: %+v", engine, res)
+		}
+	}
+}
+
+func TestLatticeDeterministicTieBreak(t *testing.T) {
+	// Equal scores everywhere: ordering must still be fully pinned
+	// (accepted first, then lexicographic word sequence).
+	_, ts := latticeTestServer(t, Config{})
+	req := LatticeRequest{
+		Grammar: "english",
+		Slots: [][]LatticeAlt{
+			{{Word: "the", Score: 0.5}},
+			{{Word: "dog", Score: 0.5}, {Word: "ball", Score: 0.5}},
+			{{Word: "walked", Score: 0.5}},
+		},
+	}
+	var first []string
+	for i := 0; i < 3; i++ {
+		_, res := postLattice(t, ts.URL, req)
+		var order []string
+		for _, h := range res.Hypotheses {
+			order = append(order, fmt.Sprintf("%v/%v", h.Words, h.Accepted))
+		}
+		if i == 0 {
+			first = order
+			if len(res.Hypotheses) != 2 || !res.Hypotheses[0].Accepted {
+				t.Fatalf("unexpected hypothesis set: %+v", res.Hypotheses)
+			}
+			// "the ball walked" and "the dog walked" are both accepted;
+			// ball < dog lexicographically.
+			if strings.Join(res.Hypotheses[0].Words, " ") != "the ball walked" {
+				t.Errorf("tie-break order: %+v", res.Hypotheses)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(order, first) {
+			t.Errorf("run %d ordering differs: %v vs %v", i, order, first)
+		}
+	}
+}

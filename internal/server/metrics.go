@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/latticeserve"
 	"repro/internal/metrics"
 )
 
@@ -31,6 +32,11 @@ type serverMetrics struct {
 	coalesced atomic.Uint64 // jobs that shared a batch with at least one other
 	gangRuns  atomic.Uint64 // ganged simulator runs (≥2 sentences on one PE array)
 	gangJobs  atomic.Uint64 // jobs served by a ganged run
+
+	latticeRequests    atomic.Uint64 // lattice decodes completed (batch + final stream)
+	latticePaths       atomic.Uint64 // candidate paths expanded across lattice decodes
+	latticeTruncations atomic.Uint64 // lattice decodes that hit the path budget
+	latticeStreamSlots atomic.Uint64 // slots appended over streaming connections
 
 	queueWait    *Histogram // seconds
 	parseLatency *Histogram // seconds
@@ -82,9 +88,18 @@ type Stats struct {
 	ResultCacheEvictions   uint64
 	ResultCacheExpirations uint64
 	ResultCacheCoalesced   uint64
+	// Lattice-serving counters (see internal/latticeserve).
+	LatticeRequests       uint64
+	LatticePathsExpanded  uint64
+	LatticeTruncations    uint64
+	LatticeSlotsStreamed  uint64
+	LatticePrefixHits     uint64
+	LatticePrefixMisses   uint64
+	LatticePrefixEvicts   uint64
+	LatticeFallbackParses uint64
 }
 
-func (m *serverMetrics) snapshot(cache *Cache, rc *resultCache) Stats {
+func (m *serverMetrics) snapshot(cache *Cache, rc *resultCache, ls latticeserve.CacheStats) Stats {
 	hits, misses := cache.Stats()
 	rs := rc.stats()
 	return Stats{
@@ -105,12 +120,21 @@ func (m *serverMetrics) snapshot(cache *Cache, rc *resultCache) Stats {
 		ResultCacheEvictions:   rs.Evictions,
 		ResultCacheExpirations: rs.Expirations,
 		ResultCacheCoalesced:   rs.Coalesced,
+
+		LatticeRequests:       m.latticeRequests.Load(),
+		LatticePathsExpanded:  m.latticePaths.Load(),
+		LatticeTruncations:    m.latticeTruncations.Load(),
+		LatticeSlotsStreamed:  m.latticeStreamSlots.Load(),
+		LatticePrefixHits:     ls.Hits,
+		LatticePrefixMisses:   ls.Misses,
+		LatticePrefixEvicts:   ls.Evictions,
+		LatticeFallbackParses: ls.Fallbacks,
 	}
 }
 
 // writePrometheus renders every metric in Prometheus text exposition
 // format (version 0.0.4).
-func (m *serverMetrics) writePrometheus(w io.Writer, cache *Cache, rc *resultCache) {
+func (m *serverMetrics) writePrometheus(w io.Writer, cache *Cache, rc *resultCache, ls latticeserve.CacheStats) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -151,6 +175,15 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cache *Cache, rc *resultCac
 	lhits, lmisses := core.LayoutCacheStats()
 	counter("parsecd_layout_cache_hits_total", "PE-map plan cache hits (layouts reused)", lhits)
 	counter("parsecd_layout_cache_misses_total", "PE-map plan cache misses (layouts built)", lmisses)
+
+	counter("parsecd_lattice_requests_total", "lattice decodes completed (batch and final stream updates)", m.latticeRequests.Load())
+	counter("parsecd_lattice_paths_expanded_total", "candidate paths expanded across lattice decodes", m.latticePaths.Load())
+	counter("parsecd_lattice_truncations_total", "lattice decodes truncated by the path budget", m.latticeTruncations.Load())
+	counter("parsecd_lattice_stream_slots_total", "slots appended over word-synchronous streaming connections", m.latticeStreamSlots.Load())
+	counter("parsecd_lattice_prefix_cache_hits_total", "prefix slots served from cached snapshots", ls.Hits)
+	counter("parsecd_lattice_prefix_cache_misses_total", "prefix snapshots computed", ls.Misses)
+	counter("parsecd_lattice_prefix_cache_evictions_total", "prefix snapshots evicted at capacity", ls.Evictions)
+	counter("parsecd_lattice_fallback_parses_total", "lattice paths parsed from scratch (extension-unstable grammar)", ls.Fallbacks)
 
 	// The machine-work accounting every engine shares (internal/metrics),
 	// summed over all parses served.

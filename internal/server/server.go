@@ -7,11 +7,13 @@ import (
 	"net"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/cdg"
 	"repro/internal/core"
 	"repro/internal/grammars"
+	"repro/internal/latticeserve"
 )
 
 // Config tunes the service. Zero values take the defaults noted.
@@ -44,6 +46,12 @@ type Config struct {
 	// router (cmd/parsecrouter) can attribute responses to the node
 	// that produced them.
 	ShardName string
+	// LatticeMaxPaths caps candidate-path expansion per lattice
+	// request; requests may ask for fewer but never more (default 64).
+	LatticeMaxPaths int
+	// LatticePrefixEntries caps the lattice engine's prefix-snapshot
+	// cache (default 512; negative disables prefix reuse).
+	LatticePrefixEntries int
 }
 
 func (c Config) withDefaults() Config {
@@ -71,6 +79,12 @@ func (c Config) withDefaults() Config {
 	if c.ResultCacheTTL <= 0 {
 		c.ResultCacheTTL = 60 * time.Second
 	}
+	if c.LatticeMaxPaths <= 0 {
+		c.LatticeMaxPaths = 64
+	}
+	if c.LatticePrefixEntries == 0 {
+		c.LatticePrefixEntries = latticeserve.DefaultPrefixEntries
+	}
 	return c
 }
 
@@ -83,6 +97,14 @@ type Server struct {
 	pool   *Pool
 	m      *serverMetrics
 	mux    *http.ServeMux
+
+	// lattice is the incremental lattice-serving engine; latticeGate
+	// bounds concurrent lattice decodes to the worker count (lattice
+	// decoding runs on the handler goroutine, not the parse pool) and
+	// latticeQueued tracks waiters for the 429 bound.
+	lattice       *latticeserve.Engine
+	latticeGate   chan struct{}
+	latticeQueued atomic.Int64
 
 	mu sync.Mutex
 	hs *http.Server
@@ -103,8 +125,12 @@ func New(cfg Config) *Server {
 		s.rcache = newResultCache(cfg.ResultCacheEntries, cfg.ResultCacheTTL)
 	}
 	s.pool = newPool(cfg.Workers, cfg.QueueDepth, cfg.MaxBatch, cfg.BatchWindow, s.m)
+	s.lattice = latticeserve.New(latticeserve.Config{PrefixEntries: cfg.LatticePrefixEntries})
+	s.latticeGate = make(chan struct{}, cfg.Workers)
 	s.mux.HandleFunc("/v1/parse", s.handleParse)
 	s.mux.HandleFunc("/v1/batch", s.handleBatch)
+	s.mux.HandleFunc("/v1/lattice", s.handleLattice)
+	s.mux.HandleFunc("/v1/lattice/stream", s.handleLatticeStream)
 	s.mux.HandleFunc("/v1/grammars", s.handleGrammars)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
@@ -155,7 +181,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // Stats snapshots the service counters.
-func (s *Server) Stats() Stats { return s.m.snapshot(s.cache, s.rcache) }
+func (s *Server) Stats() Stats { return s.m.snapshot(s.cache, s.rcache, s.lattice.Stats()) }
 
 type statusRecorder struct {
 	http.ResponseWriter
@@ -170,6 +196,18 @@ func (r *statusRecorder) WriteHeader(code int) {
 	}
 	r.ResponseWriter.WriteHeader(code)
 }
+
+// Flush forwards to the wrapped writer so streaming handlers see a
+// Flusher through the recorder.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// Unwrap lets http.ResponseController reach the underlying writer
+// (EnableFullDuplex for the word-synchronous lattice stream).
+func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter }
 
 // maxBody bounds request bodies (grammar sources included).
 const maxBody = 1 << 20
@@ -389,5 +427,5 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	s.m.writePrometheus(w, s.cache, s.rcache)
+	s.m.writePrometheus(w, s.cache, s.rcache, s.lattice.Stats())
 }

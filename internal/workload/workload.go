@@ -67,6 +67,55 @@ func AmbiguousEnglish(pps int) []string {
 	return out
 }
 
+// EnglishLattice returns an n-slot word lattice (n ≥ 3) shaped like a
+// speech recognizer's n-best output over the English grammar: slot i's
+// first alternative is EnglishSentence(n)'s word, the remaining alts-1
+// alternatives are same-category confusions, so at least one path
+// through the lattice is grammatical while most are not. variant
+// rotates which confusions fill the extra alternatives, giving distinct
+// lattices for distinct utterances while staying fully deterministic.
+func EnglishLattice(n, alts int, variant uint64) [][]string {
+	if n < 3 || alts < 1 {
+		panic(fmt.Sprintf("workload: EnglishLattice(%d, %d)", n, alts))
+	}
+	base := EnglishSentence(n)
+	out := make([][]string, n)
+	for i, w := range base {
+		conf := englishConfusions(w)
+		slot := make([]string, 0, alts)
+		slot = append(slot, w)
+		for j := 0; len(slot) < alts && j < len(conf); j++ {
+			c := conf[(int(variant%uint64(len(conf)))+i+j)%len(conf)]
+			if c != w {
+				slot = append(slot, c)
+			}
+		}
+		out[i] = slot
+	}
+	return out
+}
+
+// englishConfusions lists the acoustically-confusable stand-ins for a
+// word of the English lexicon — same-category words, so the confusion
+// substitutes cleanly, plus one cross-category intruder to give the
+// parser ungrammatical paths to reject.
+func englishConfusions(w string) []string {
+	switch w {
+	case "the", "a", "every":
+		return []string{"a", "every", "the"}
+	case "big", "old", "red":
+		return []string{"old", "red", "big"}
+	case "dog", "man", "telescope", "park", "cat", "ball":
+		return []string{"man", "cat", "ball", "park", "dog", "walked"}
+	case "saw", "walked", "liked", "chased":
+		return []string{"liked", "chased", "saw", "walked", "ball"}
+	case "with", "in", "of":
+		return []string{"in", "of", "with"}
+	default:
+		return []string{"dog", "saw", "the"}
+	}
+}
+
 // CopyString returns the length-2n copy-language string (w·w) derived
 // from the bits of pattern.
 func CopyString(n int, pattern uint64) []string {

@@ -109,3 +109,37 @@ func TestPanicsOnBadLengths(t *testing.T) {
 		}()
 	}
 }
+
+func TestEnglishLatticeShape(t *testing.T) {
+	g := grammars.English()
+	for n := 3; n <= 10; n++ {
+		slots := EnglishLattice(n, 3, uint64(n))
+		if len(slots) != n {
+			t.Fatalf("EnglishLattice(%d, 3) has %d slots", n, len(slots))
+		}
+		base := EnglishSentence(n)
+		for i, slot := range slots {
+			if len(slot) < 1 || len(slot) > 3 {
+				t.Fatalf("slot %d has %d alternatives: %v", i, len(slot), slot)
+			}
+			if slot[0] != base[i] {
+				t.Errorf("slot %d first alternative %q, want base word %q", i, slot[0], base[i])
+			}
+			for _, w := range slot {
+				if _, err := cdg.Resolve(g, []string{w}, nil); err != nil {
+					t.Errorf("slot %d alternative %q not in english lexicon: %v", i, w, err)
+				}
+			}
+		}
+	}
+	// Deterministic per variant, distinct across variants somewhere.
+	a := EnglishLattice(5, 3, 1)
+	b := EnglishLattice(5, 3, 1)
+	for i := range a {
+		for j := range a[i] {
+			if a[i][j] != b[i][j] {
+				t.Fatalf("EnglishLattice not deterministic at slot %d", i)
+			}
+		}
+	}
+}
