@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint ci serve load bench bench-smoke fuzz-smoke cluster-smoke
+.PHONY: build test race vet lint lint-json ci serve load bench bench-smoke fuzz-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,14 @@ vet:
 lint:
 	$(GO) run ./cmd/parseclint ./...
 
+# lint-json writes the machine-readable report (every finding,
+# suppressed ones included, with their justifications) that CI archives
+# as an artifact. The exit status still gates on unsuppressed findings
+# only.
+lint-json:
+	$(GO) run ./cmd/parseclint -json ./... > lint-report.json || (cat lint-report.json; exit 1)
+	@echo wrote lint-report.json
+
 race:
 	$(GO) test -race ./...
 
@@ -33,10 +41,12 @@ ci: vet lint race fuzz-smoke
 # budget; set FUZZTIME=5s for a quick local pass or point -fuzztime
 # at something much larger for a real soak.
 FUZZTIME ?= 30s
+FUZZ_TARGETS ?= FuzzParseRequestDecode FuzzCacheKey FuzzLatticeRequestDecode
 fuzz-smoke:
-	$(GO) test -run '^$$' -fuzz '^FuzzParseRequestDecode$$' -fuzztime $(FUZZTIME) ./internal/server/
-	$(GO) test -run '^$$' -fuzz '^FuzzCacheKey$$' -fuzztime $(FUZZTIME) ./internal/server/
-	$(GO) test -run '^$$' -fuzz '^FuzzLatticeRequestDecode$$' -fuzztime $(FUZZTIME) ./internal/server/
+	@for t in $(FUZZ_TARGETS); do \
+		echo "== fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/server/ || exit 1; \
+	done
 
 # cluster-smoke boots a 3-shard in-process cluster (real server.New
 # instances behind the router, no child processes) and drives a mixed

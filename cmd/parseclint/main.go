@@ -1,11 +1,12 @@
 // Command parseclint is the project's static-analysis gate: a
-// multichecker running the internal/analysis suite (ctxflow, detrand,
-// locksafe, maporder) over the package patterns given on the command
-// line. It is `make lint` and part of `make ci`.
+// multichecker running the internal/analysis suite (allocfree,
+// ctxflow, detrand, httpresp, lockorder, locksafe, maporder,
+// metricflow) over the package patterns given on the command line. It
+// is `make lint` and part of `make ci`.
 //
 // Usage:
 //
-//	parseclint [-only names] [-list] [packages...]
+//	parseclint [-only names] [-list] [-json] [packages...]
 //
 // With no packages, ./... is checked. Exit status is 1 when any
 // diagnostic survives suppression. Findings are suppressed one line at
@@ -16,6 +17,12 @@
 // on the offending line or the line above; the justification is
 // mandatory.
 //
+// -json emits the machine-readable report CI archives as an artifact:
+// every diagnostic including suppressed ones (with their
+// justifications), so a reviewer can audit what the suite found and
+// what was waived without re-running it. The exit status still depends
+// only on unsuppressed findings.
+//
 // The suite is stdlib-only (see internal/analysis). If the module ever
 // vendors golang.org/x/tools, the same analyzers port to
 // go/analysis + unitchecker, at which point `go vet
@@ -24,9 +31,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"path/filepath"
 	"strings"
 
 	"repro/internal/analysis"
@@ -36,10 +46,29 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-func run(args []string, out, errw *os.File) int {
+// jsonDiagnostic is one finding in the -json report.
+type jsonDiagnostic struct {
+	File          string `json:"file"`
+	Line          int    `json:"line"`
+	Col           int    `json:"col"`
+	Analyzer      string `json:"analyzer"`
+	Message       string `json:"message"`
+	Suppressed    bool   `json:"suppressed"`
+	Justification string `json:"justification,omitempty"`
+}
+
+// jsonReport is the -json document.
+type jsonReport struct {
+	Analyzers    []string         `json:"analyzers"`
+	Diagnostics  []jsonDiagnostic `json:"diagnostics"`
+	Unsuppressed int              `json:"unsuppressed"`
+}
+
+func run(args []string, out, errw io.Writer) int {
 	fs := flag.NewFlagSet("parseclint", flag.ContinueOnError)
 	only := fs.String("only", "", "comma-separated analyzer names to run (default: all)")
 	list := fs.Bool("list", false, "list analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit the full diagnostic report (including suppressed findings) as JSON")
 	fs.SetOutput(errw)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -77,19 +106,63 @@ func run(args []string, out, errw *os.File) int {
 		fmt.Fprintf(errw, "parseclint: %v\n", err)
 		return 2
 	}
-	bad := false
-	for _, pkg := range pkgs {
-		diags, err := analysis.RunAnalyzers(pkg, analyzers, false)
-		if err != nil {
+	// One suite run over every package at once: the whole-program
+	// analyzers (lockorder, metricflow, interprocedural ctxflow) need
+	// the cross-package view.
+	diags, err := analysis.RunSuite(".", pkgs, analyzers, false)
+	if err != nil {
+		fmt.Fprintf(errw, "parseclint: %v\n", err)
+		return 2
+	}
+
+	cwd, _ := os.Getwd()
+	relfile := func(name string) string {
+		if cwd != "" {
+			if rel, err := filepath.Rel(cwd, name); err == nil && !strings.HasPrefix(rel, "..") {
+				return rel
+			}
+		}
+		return name
+	}
+
+	unsuppressed := 0
+	for _, d := range diags {
+		if !d.Suppressed {
+			unsuppressed++
+		}
+	}
+
+	if *asJSON {
+		report := jsonReport{Unsuppressed: unsuppressed, Diagnostics: []jsonDiagnostic{}}
+		for _, a := range analyzers {
+			report.Analyzers = append(report.Analyzers, a.Name)
+		}
+		for _, d := range diags {
+			report.Diagnostics = append(report.Diagnostics, jsonDiagnostic{
+				File:          relfile(d.Pos.Filename),
+				Line:          d.Pos.Line,
+				Col:           d.Pos.Column,
+				Analyzer:      d.Analyzer,
+				Message:       d.Message,
+				Suppressed:    d.Suppressed,
+				Justification: d.Justification,
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(report); err != nil {
 			fmt.Fprintf(errw, "parseclint: %v\n", err)
 			return 2
 		}
+	} else {
 		for _, d := range diags {
-			bad = true
-			fmt.Fprintln(out, d)
+			if d.Suppressed {
+				continue
+			}
+			fmt.Fprintf(out, "%s:%d:%d: %s: %s\n", relfile(d.Pos.Filename), d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
 		}
 	}
-	if bad {
+	if unsuppressed > 0 {
 		return 1
 	}
 	return 0

@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestJSONReport runs the real suite over this package and decodes the
+// -json report: the document must name every analyzer, parse cleanly,
+// and agree with the exit status on the unsuppressed count.
+func TestJSONReport(t *testing.T) {
+	var out, errw bytes.Buffer
+	code := run([]string{"-json", "."}, &out, &errw)
+	if code == 2 {
+		t.Fatalf("run errored: %s", errw.String())
+	}
+
+	var report jsonReport
+	if err := json.Unmarshal(out.Bytes(), &report); err != nil {
+		t.Fatalf("-json output is not valid JSON: %v\n%s", err, out.String())
+	}
+	if len(report.Analyzers) != 8 {
+		t.Errorf("report names %d analyzers, want 8: %v", len(report.Analyzers), report.Analyzers)
+	}
+	unsuppressed := 0
+	for _, d := range report.Diagnostics {
+		if d.File == "" || d.Line <= 0 || d.Analyzer == "" || d.Message == "" {
+			t.Errorf("incomplete diagnostic: %+v", d)
+		}
+		if !d.Suppressed {
+			unsuppressed++
+		}
+		if d.Suppressed && d.Justification == "" {
+			t.Errorf("suppressed diagnostic without justification: %+v", d)
+		}
+	}
+	if unsuppressed != report.Unsuppressed {
+		t.Errorf("unsuppressed = %d but %d diagnostics are unsuppressed", report.Unsuppressed, unsuppressed)
+	}
+	wantCode := 0
+	if report.Unsuppressed > 0 {
+		wantCode = 1
+	}
+	if code != wantCode {
+		t.Errorf("exit = %d, want %d for %d unsuppressed findings", code, wantCode, report.Unsuppressed)
+	}
+}
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errw); code != 0 {
+		t.Fatalf("run -list = %d: %s", code, errw.String())
+	}
+	for _, name := range []string{"allocfree", "ctxflow", "detrand", "httpresp", "lockorder", "locksafe", "maporder", "metricflow"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errw bytes.Buffer
+	if code := run([]string{"-only", "nope"}, &out, &errw); code != 2 {
+		t.Errorf("run -only nope = %d, want 2", code)
+	}
+}

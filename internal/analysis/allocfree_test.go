@@ -1,0 +1,52 @@
+package analysis
+
+import "testing"
+
+// TestParseEscapeDiags feeds parseEscapeDiags a canned -gcflags=-m
+// transcript: heap diagnostics are kept with their positions,
+// inlining chatter and non-escapes are dropped.
+func TestParseEscapeDiags(t *testing.T) {
+	out := []byte(`# repro/internal/maspar
+internal/maspar/arena.go:71:13: make([]uint8, n) escapes to heap
+internal/maspar/packed.go:43:6: can inline (*Machine).firstActive
+internal/maspar/refscan.go:75:11: func literal does not escape
+internal/maspar/packed.go:198:16: func literal escapes to heap
+internal/maspar/machine.go:12:2: moved to heap: cfg
+some prose the compiler should never print
+internal/maspar/refscan.go:30: malformed: missing column
+`)
+	diags := parseEscapeDiags(out)
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3: %+v", len(diags), diags)
+	}
+	want := []escDiag{
+		{file: "internal/maspar/arena.go", line: 71, col: 13, msg: "make([]uint8, n) escapes to heap"},
+		{file: "internal/maspar/packed.go", line: 198, col: 16, msg: "func literal escapes to heap"},
+		{file: "internal/maspar/machine.go", line: 12, col: 2, msg: "moved to heap: cfg"},
+	}
+	for i, w := range want {
+		if diags[i] != w {
+			t.Errorf("diag %d = %+v, want %+v", i, diags[i], w)
+		}
+	}
+}
+
+// TestSameFile pins the suffix matching between the loader's absolute
+// filenames and the compiler's build-dir-relative ones.
+func TestSameFile(t *testing.T) {
+	cases := []struct {
+		abs, rel string
+		want     bool
+	}{
+		{"/root/repo/internal/maspar/arena.go", "internal/maspar/arena.go", true},
+		{"internal/maspar/arena.go", "internal/maspar/arena.go", true},
+		{"/root/repo/internal/maspar/arena.go", "arena.go", true},
+		{"/root/repo/internal/maspar/xarena.go", "arena.go", false},
+		{"/root/repo/internal/core/arena.go", "internal/maspar/arena.go", false},
+	}
+	for _, c := range cases {
+		if got := sameFile(c.abs, c.rel); got != c.want {
+			t.Errorf("sameFile(%q, %q) = %v, want %v", c.abs, c.rel, got, c.want)
+		}
+	}
+}

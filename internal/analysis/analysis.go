@@ -10,16 +10,28 @@
 // mechanically; see DESIGN.md "Static analysis & determinism
 // invariants".
 //
+// Two analyzer shapes exist. A per-package analyzer (Run) sees one
+// typechecked package at a time — enough for lexical and type-level
+// invariants. A whole-program analyzer (RunProgram) sees every loaded
+// package at once and may correlate across package boundaries: the
+// lock-acquisition graph (lockorder), the metric-name registry
+// (metricflow), and the interprocedural context propagation (ctxflow)
+// all need the full module. An analyzer may implement both.
+//
 // The suite machine-checks the invariants the paper's claims rest on:
-// the simulator packages must be bit-deterministic (detrand, maporder)
-// and the server must keep its cancellation and locking contracts
-// (ctxflow, locksafe). Findings can be suppressed one line at a time
-// with
+// the simulator packages must be bit-deterministic (detrand, maporder),
+// the server must keep its cancellation and locking contracts (ctxflow,
+// locksafe, lockorder), HTTP handlers must keep the response-write
+// discipline (httpresp), hot kernels must honor their //parsec:noalloc
+// contract (allocfree), and every exported metric name must be
+// constant, registered, and documented (metricflow). Findings can be
+// suppressed one line at a time with
 //
 //	//lint:allow <analyzer> (justification)
 //
 // where the parenthesized justification is mandatory: an allow without
-// a reason is itself a diagnostic.
+// a reason is itself a diagnostic, and so is an allow that suppresses
+// nothing.
 package analysis
 
 import (
@@ -43,8 +55,12 @@ type Analyzer struct {
 	// when driven over the real tree; nil means every package. Fixture
 	// tests bypass it.
 	Match func(pkgPath string) bool
-	// Run reports findings on one package via pass.Reportf.
+	// Run reports findings on one package via pass.Reportf. Nil for
+	// analyzers that are whole-program only.
 	Run func(pass *Pass) error
+	// RunProgram reports findings over every matched package at once
+	// (cross-package graphs, registries). Nil for per-package analyzers.
+	RunProgram func(pass *ProgramPass) error
 }
 
 // Pass carries one package's syntax and type information to an
@@ -59,11 +75,54 @@ type Pass struct {
 	diags *[]Diagnostic
 }
 
-// Diagnostic is one finding.
+// Program is the whole-module view handed to RunProgram analyzers.
+type Program struct {
+	// Dir is the root the suite was driven from (module root for real
+	// runs, the fixture directory for fixture tests) — the anchor for
+	// on-disk artifacts like README.md that metricflow cross-checks.
+	Dir string
+	// Pkgs are the matched packages, in load order.
+	Pkgs []*Package
+}
+
+// ProgramPass carries the Program to a whole-program analyzer.
+type ProgramPass struct {
+	Analyzer *Analyzer
+	Prog     *Program
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos within pkg.
+func (p *ProgramPass) Reportf(pkg *Package, pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// ReportPosition records a finding at an already-resolved position —
+// used for diagnostics against non-Go artifacts (README.md).
+func (p *ProgramPass) ReportPosition(pos token.Position, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      pos,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding. Suppressed findings are retained (the JSON
+// report shows them with their justification); only unsuppressed ones
+// gate CI.
 type Diagnostic struct {
 	Analyzer string
 	Pos      token.Position
 	Message  string
+	// Suppressed marks a finding covered by a justified //lint:allow.
+	Suppressed bool
+	// Justification is the allow comment's parenthesized reason.
+	Justification string
 }
 
 func (d Diagnostic) String() string {
@@ -89,13 +148,15 @@ type allowSite struct {
 	reason    string
 	pos       token.Position
 	used      bool
+	// ran records whether any analyzer the site names actually ran on
+	// the site's package — the precondition for the unused-allow check.
+	ran bool
 }
 
 // collectAllows indexes every //lint:allow comment of the files by
 // (filename, line). A suppression covers diagnostics on its own line
 // and on the line directly below it (comment-above style).
-func collectAllows(fset *token.FileSet, files []*ast.File) map[string]*allowSite {
-	sites := make(map[string]*allowSite)
+func collectAllows(fset *token.FileSet, files []*ast.File, sites map[string]*allowSite, ranNames map[string]bool) {
 	for _, f := range files {
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
@@ -105,7 +166,11 @@ func collectAllows(fset *token.FileSet, files []*ast.File) map[string]*allowSite
 				}
 				site := &allowSite{analyzers: make(map[string]bool), pos: fset.Position(c.Pos())}
 				for _, name := range strings.Split(m[1], ",") {
-					site.analyzers[strings.TrimSpace(name)] = true
+					name = strings.TrimSpace(name)
+					site.analyzers[name] = true
+					if ranNames[name] {
+						site.ran = true
+					}
 				}
 				if len(m) > 2 {
 					site.reason = strings.TrimSpace(m[2])
@@ -115,50 +180,107 @@ func collectAllows(fset *token.FileSet, files []*ast.File) map[string]*allowSite
 			}
 		}
 	}
-	return sites
 }
 
-// RunAnalyzers applies analyzers to pkg (respecting each analyzer's
-// Match unless force is set), applies //lint:allow suppressions, and
-// returns the surviving diagnostics sorted by position. A suppression
-// comment with no justification, or one that suppresses nothing, is
-// reported as a finding of the pseudo-analyzer "lintallow".
-func RunAnalyzers(pkg *Package, analyzers []*Analyzer, force bool) ([]Diagnostic, error) {
+// RunSuite applies analyzers to every package (respecting each
+// analyzer's Match unless force is set): per-package Run on each
+// matched package, then RunProgram once over the matched set. It then
+// applies //lint:allow suppressions — marking, not dropping, the
+// suppressed findings — and returns every diagnostic sorted by
+// position. Three suppression pathologies are findings of the
+// pseudo-analyzer "lintallow": an allow without a justification, an
+// allow naming an analyzer that ran but suppressing nothing, and
+// nothing else. dir is the root the run was driven from (module root),
+// handed to program analyzers for on-disk cross-checks.
+func RunSuite(dir string, pkgs []*Package, analyzers []*Analyzer, force bool) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	matched := func(a *Analyzer, pkg *Package) bool {
+		return force || a.Match == nil || a.Match(pkg.ImportPath)
+	}
+
+	for _, pkg := range pkgs {
+		for _, a := range analyzers {
+			if a.Run == nil || !matched(a, pkg) {
+				continue
+			}
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+			}
+		}
+	}
 	for _, a := range analyzers {
-		if !force && a.Match != nil && !a.Match(pkg.ImportPath) {
+		if a.RunProgram == nil {
 			continue
 		}
-		pass := &Pass{
-			Analyzer:  a,
-			Fset:      pkg.Fset,
-			Files:     pkg.Files,
-			Pkg:       pkg.Types,
-			TypesInfo: pkg.TypesInfo,
-			diags:     &diags,
+		prog := &Program{Dir: dir}
+		for _, pkg := range pkgs {
+			if matched(a, pkg) {
+				prog.Pkgs = append(prog.Pkgs, pkg)
+			}
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, fmt.Errorf("%s: %s: %w", pkg.ImportPath, a.Name, err)
+		if len(prog.Pkgs) == 0 {
+			continue
+		}
+		pass := &ProgramPass{Analyzer: a, Prog: prog, diags: &diags}
+		if err := a.RunProgram(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
 		}
 	}
 
-	sites := collectAllows(pkg.Fset, pkg.Files)
-	kept := diags[:0]
-	for _, d := range diags {
-		if site := matchAllow(sites, d); site != nil {
-			site.used = true
-			if site.reason == "" {
-				kept = append(kept, Diagnostic{
-					Analyzer: "lintallow",
-					Pos:      site.pos,
-					Message:  fmt.Sprintf("//lint:allow %s needs a (justification)", d.Analyzer),
-				})
+	// Which analyzer names ran on which package (program analyzers ran
+	// on every matched one) — drives the unused-allow check.
+	sites := make(map[string]*allowSite)
+	for _, pkg := range pkgs {
+		ranNames := make(map[string]bool)
+		for _, a := range analyzers {
+			if (a.Run != nil || a.RunProgram != nil) && matched(a, pkg) {
+				ranNames[a.Name] = true
 			}
+		}
+		collectAllows(pkg.Fset, pkg.Files, sites, ranNames)
+	}
+
+	for i := range diags {
+		d := &diags[i]
+		site := matchAllow(sites, *d)
+		if site == nil {
 			continue
 		}
-		kept = append(kept, d)
+		site.used = true
+		if site.reason == "" {
+			diags = append(diags, Diagnostic{
+				Analyzer: "lintallow",
+				Pos:      site.pos,
+				Message:  fmt.Sprintf("//lint:allow %s needs a (justification)", d.Analyzer),
+			})
+			continue
+		}
+		d.Suppressed = true
+		d.Justification = site.reason
 	}
-	diags = kept
+	for _, site := range sites {
+		if site.ran && !site.used {
+			names := make([]string, 0, len(site.analyzers))
+			for n := range site.analyzers {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			diags = append(diags, Diagnostic{
+				Analyzer: "lintallow",
+				Pos:      site.pos,
+				Message: fmt.Sprintf("//lint:allow %s suppresses nothing: the analyzer ran and found no diagnostic here",
+					strings.Join(names, ",")),
+			})
+		}
+	}
 
 	sort.Slice(diags, func(i, j int) bool {
 		a, b := diags[i], diags[j]
@@ -174,6 +296,23 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer, force bool) ([]Diagnostic
 		return a.Message < b.Message
 	})
 	return diags, nil
+}
+
+// RunAnalyzers applies analyzers to one package and returns the
+// unsuppressed diagnostics — the legacy single-package surface, kept
+// for direct callers; the driver uses RunSuite.
+func RunAnalyzers(pkg *Package, analyzers []*Analyzer, force bool) ([]Diagnostic, error) {
+	all, err := RunSuite(pkg.Dir, []*Package{pkg}, analyzers, force)
+	if err != nil {
+		return nil, err
+	}
+	kept := all[:0]
+	for _, d := range all {
+		if !d.Suppressed {
+			kept = append(kept, d)
+		}
+	}
+	return kept, nil
 }
 
 // matchAllow finds a suppression covering d: an allow on the same line

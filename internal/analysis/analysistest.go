@@ -23,58 +23,12 @@ var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
 // must fire. This is the analysistest contract, stdlib-only.
 func RunFixture(t *testing.T, a *Analyzer, name string) {
 	t.Helper()
-	dir := filepath.Join("testdata", "src", name)
-	fset := token.NewFileSet()
-	entries, err := os.ReadDir(dir)
-	if err != nil {
-		t.Fatalf("fixture %s: %v", name, err)
-	}
-	var files []*ast.File
-	imports := map[string]bool{}
-	for _, e := range entries {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
-			continue
-		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
-		if err != nil {
-			t.Fatalf("fixture %s: %v", name, err)
-		}
-		files = append(files, f)
-		for _, imp := range f.Imports {
-			p, _ := strconv.Unquote(imp.Path.Value)
-			imports[p] = true
-		}
-	}
-	if len(files) == 0 {
-		t.Fatalf("fixture %s: no Go files", name)
-	}
-
-	var deps []string
-	for p := range imports {
-		deps = append(deps, p)
-	}
-	sort.Strings(deps)
-	exports, err := ListExports(".", deps)
-	if err != nil {
-		t.Fatalf("fixture %s: resolving imports: %v", name, err)
-	}
-	tpkg, info, err := Check("fixture/"+name, fset, files, exports)
-	if err != nil {
-		t.Fatalf("fixture %s: typecheck: %v", name, err)
-	}
-
-	pkg := &Package{
-		ImportPath: "fixture/" + name,
-		Dir:        dir,
-		Fset:       fset,
-		Files:      files,
-		Types:      tpkg,
-		TypesInfo:  info,
-	}
+	pkg := LoadFixture(t, name)
 	diags, err := RunAnalyzers(pkg, []*Analyzer{a}, true)
 	if err != nil {
 		t.Fatalf("fixture %s: %v", name, err)
 	}
+	fset, files := pkg.Fset, pkg.Files
 
 	type key struct {
 		file string
@@ -122,6 +76,63 @@ func RunFixture(t *testing.T, a *Analyzer, name string) {
 				t.Errorf("%s:%d: expected diagnostic matching %q, got none", k.file, k.line, re)
 			}
 		}
+	}
+}
+
+// LoadFixture parses and typechecks the fixture package at
+// testdata/src/<name>, resolving stdlib imports through the gc export
+// data of the host toolchain. The returned package has ImportPath
+// "fixture/<name>" and Dir pointing at the fixture directory (the
+// anchor program analyzers use for on-disk artifacts like README.md).
+func LoadFixture(t *testing.T, name string) *Package {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("fixture %s: %v", name, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			p, _ := strconv.Unquote(imp.Path.Value)
+			imports[p] = true
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s: no Go files", name)
+	}
+
+	var deps []string
+	for p := range imports {
+		deps = append(deps, p)
+	}
+	sort.Strings(deps)
+	exports, err := ListExports(".", deps)
+	if err != nil {
+		t.Fatalf("fixture %s: resolving imports: %v", name, err)
+	}
+	tpkg, info, err := Check("fixture/"+name, fset, files, exports)
+	if err != nil {
+		t.Fatalf("fixture %s: typecheck: %v", name, err)
+	}
+
+	return &Package{
+		ImportPath: "fixture/" + name,
+		Dir:        dir,
+		Fset:       fset,
+		Files:      files,
+		Types:      tpkg,
+		TypesInfo:  info,
 	}
 }
 

@@ -3,5 +3,5 @@ package analysis
 // All returns every analyzer in the parseclint suite, in reporting
 // order.
 func All() []*Analyzer {
-	return []*Analyzer{CtxFlow, DetRand, LockSafe, MapOrder}
+	return []*Analyzer{AllocFree, CtxFlow, DetRand, HTTPResp, LockOrder, LockSafe, MapOrder, MetricFlow}
 }

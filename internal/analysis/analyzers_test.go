@@ -2,10 +2,15 @@ package analysis
 
 import "testing"
 
-func TestDetRandFixture(t *testing.T)  { RunFixture(t, DetRand, "detrand") }
-func TestMapOrderFixture(t *testing.T) { RunFixture(t, MapOrder, "maporder") }
-func TestCtxFlowFixture(t *testing.T)  { RunFixture(t, CtxFlow, "ctxflow") }
-func TestLockSafeFixture(t *testing.T) { RunFixture(t, LockSafe, "locksafe") }
+func TestDetRandFixture(t *testing.T)      { RunFixture(t, DetRand, "detrand") }
+func TestMapOrderFixture(t *testing.T)     { RunFixture(t, MapOrder, "maporder") }
+func TestCtxFlowFixture(t *testing.T)      { RunFixture(t, CtxFlow, "ctxflow") }
+func TestLockSafeFixture(t *testing.T)     { RunFixture(t, LockSafe, "locksafe") }
+func TestLockOrderFixture(t *testing.T)    { RunFixture(t, LockOrder, "lockorder") }
+func TestAllocFreeFixture(t *testing.T)    { RunFixture(t, AllocFree, "allocfree") }
+func TestHTTPRespFixture(t *testing.T)     { RunFixture(t, HTTPResp, "httpresp") }
+func TestMetricFlowFixture(t *testing.T)   { RunFixture(t, MetricFlow, "metricflow") }
+func TestCtxFlowInterFixture(t *testing.T) { RunFixture(t, CtxFlow, "ctxflowinter") }
 
 // TestMatchScopes pins each analyzer to the packages its invariants
 // live in: the simulator set for determinism, the service set for
@@ -29,6 +34,17 @@ func TestMatchScopes(t *testing.T) {
 		{LockSafe, "repro/internal/metrics", true},
 		{LockSafe, "repro/internal/maspar", true},
 		{LockSafe, "repro/internal/cn", false},
+		{LockOrder, "repro/internal/server", true},
+		{LockOrder, "repro/internal/maspar", true},
+		{AllocFree, "repro/internal/maspar", true},
+		{AllocFree, "repro/internal/core", true},
+		{AllocFree, "repro/internal/bitset", true},
+		{AllocFree, "repro/internal/server", false},
+		{HTTPResp, "repro/internal/server", true},
+		{HTTPResp, "repro/internal/router", true},
+		{HTTPResp, "repro/internal/maspar", false},
+		{MetricFlow, "repro/internal/server", true},
+		{MetricFlow, "repro/cmd/parsecload", true},
 	}
 	for _, c := range cases {
 		if got := c.a.Match(c.path); got != c.want {

@@ -1,0 +1,68 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// Helpers shared by the whole-program analyzers (lockorder, ctxflow,
+// metricflow): enumerate declared functions across packages and resolve
+// static call targets.
+//
+// Cross-package function identity is types.Func.FullName(): the
+// export-data view of a dependency and the source view of the same
+// package create distinct *types.Func objects, so pointer identity does
+// not survive package boundaries but the full name does.
+
+// forEachFuncDecl calls fn for every function declaration with a body
+// in the program, in package order.
+func forEachFuncDecl(prog *Program, fn func(pkg *Package, fd *ast.FuncDecl)) {
+	for _, pkg := range prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+					fn(pkg, fd)
+				}
+			}
+		}
+	}
+}
+
+// declFullName returns the FullName of the *types.Func fd declares, or
+// "" if type information is missing.
+func declFullName(pkg *Package, fd *ast.FuncDecl) string {
+	if obj, ok := pkg.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+		return obj.FullName()
+	}
+	return ""
+}
+
+// staticCallee resolves call to the *types.Func it statically invokes —
+// a plain function, a method on a concrete receiver, or a method value
+// — or nil for dynamic calls (function values, interface methods,
+// conversions, builtins).
+func staticCallee(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if f, ok := info.Uses[fun].(*types.Func); ok {
+			return f
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok {
+			if f, ok := sel.Obj().(*types.Func); ok {
+				// Interface method calls are dynamic: the callee body
+				// is unknown, so whole-program summaries skip them.
+				if types.IsInterface(sel.Recv()) {
+					return nil
+				}
+				return f
+			}
+			return nil
+		}
+		// Package-qualified call: pkg.Func.
+		if f, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return f
+		}
+	}
+	return nil
+}

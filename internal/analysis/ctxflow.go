@@ -25,6 +25,14 @@ import (
 //     struct with a Ctx field — or have an exported Context/Ctx
 //     sibling variant (e.g. Parse → ParseContext) so callers can
 //     cancel.
+//
+//  4. (interprocedural) A function that receives a context must not
+//     call — directly or through any chain of context-less in-module
+//     wrappers — a function that manufactures a fresh context. Rule 1
+//     catches the direct drop; this catches the ctx dying inside a
+//     wrapper: f(ctx) → wrapper() → g(context.Background()). The
+//     propagation stops at context-having callees (handing the ctx to
+//     one of those is exactly what f should do) and at dynamic calls.
 var CtxFlow = &Analyzer{
 	Name: "ctxflow",
 	Doc: "parse entry points must accept a context and pass it through, " +
@@ -32,7 +40,102 @@ var CtxFlow = &Analyzer{
 	Match: func(path string) bool {
 		return strings.HasPrefix(path, "repro") || strings.HasPrefix(path, "fixture/")
 	},
-	Run: runCtxFlow,
+	Run:        runCtxFlow,
+	RunProgram: runCtxFlowProgram,
+}
+
+// cfFunc is the per-function summary rule 4 propagates over.
+type cfFunc struct {
+	pkg    *Package
+	decl   *ast.FuncDecl
+	hasCtx bool
+	// manufactures: the body passes context.Background()/TODO() to a
+	// callee directly.
+	manufactures bool
+	calls        []loCall
+}
+
+func runCtxFlowProgram(pass *ProgramPass) error {
+	funcs := make(map[string]*cfFunc)
+	forEachFuncDecl(pass.Prog, func(pkg *Package, fd *ast.FuncDecl) {
+		name := declFullName(pkg, fd)
+		if name == "" {
+			return
+		}
+		helper := &Pass{Analyzer: pass.Analyzer, Fset: pkg.Fset, Files: pkg.Files, Pkg: pkg.Types, TypesInfo: pkg.TypesInfo}
+		cf := &cfFunc{
+			pkg:    pkg,
+			decl:   fd,
+			hasCtx: funcHasCtxParam(helper, fd) || funcHasCtxOptions(helper, fd),
+		}
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			for _, arg := range call.Args {
+				if isFreshContextCall(helper, arg) {
+					cf.manufactures = true
+				}
+			}
+			if callee := staticCallee(pkg.TypesInfo, call); callee != nil &&
+				callee.Pkg() != nil && !isStdlibPath(callee.Pkg().Path()) {
+				cf.calls = append(cf.calls, loCall{target: callee.FullName(), pos: call.Pos()})
+			}
+			return true
+		})
+		funcs[name] = cf
+	})
+
+	// Fixpoint: does calling a context-less function eventually
+	// manufacture a context, with no context parameter anywhere on the
+	// chain to absorb the caller's? via records one witness callee for
+	// the message.
+	manufactures := make(map[string]bool, len(funcs))
+	via := make(map[string]string)
+	for name, cf := range funcs {
+		if !cf.hasCtx && cf.manufactures {
+			manufactures[name] = true
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, cf := range funcs {
+			if cf.hasCtx || manufactures[name] {
+				continue
+			}
+			for _, call := range cf.calls {
+				callee, ok := funcs[call.target]
+				if !ok || callee.hasCtx || !manufactures[call.target] {
+					continue
+				}
+				manufactures[name] = true
+				via[name] = call.target
+				changed = true
+				break
+			}
+		}
+	}
+
+	for _, cf := range funcs {
+		if !cf.hasCtx {
+			continue
+		}
+		for _, call := range cf.calls {
+			callee, ok := funcs[call.target]
+			if !ok || callee.hasCtx || !manufactures[call.target] {
+				continue
+			}
+			chain := shortFuncName(call.target)
+			for step := via[call.target]; step != ""; step = via[step] {
+				chain += " → " + shortFuncName(step)
+			}
+			pass.Reportf(cf.pkg, call.pos,
+				"%s receives a context but calls %s, which manufactures its own context downstream (%s): plumb the context through the chain",
+				cf.decl.Name.Name, shortFuncName(call.target), chain)
+		}
+	}
+	return nil
 }
 
 func runCtxFlow(pass *Pass) error {

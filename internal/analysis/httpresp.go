@@ -1,0 +1,346 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// HTTPResp machine-checks the response discipline of the serving
+// handlers. Four rules, each lexical within one function:
+//
+//  1. No header mutation after the response has started: a call to
+//     w.Header().Set/Add/Del after a WriteHeader, http.Error, or
+//     Flush on the same path is silently ignored by net/http — the
+//     classic invisible bug.
+//
+//  2. One response write per path: two response-starting statements
+//     (WriteHeader, http.Error, writeJSON) in the same statement list
+//     mean the second logs "superfluous WriteHeader" at runtime and
+//     the client sees the first. Branches are separate paths and are
+//     fine.
+//
+//  3. Streaming loops flush per record: in a function that streams
+//     (sets an ndjson Content-Type), a for/range loop that encodes a
+//     record without a Flush in the same loop body batches the whole
+//     stream into one flush — the word-synchronous lattice protocol
+//     degrades to a batch response.
+//
+//  4. Server errors are counted: a response written with a constant
+//     5xx status needs a metrics-counter touch (a count* call or a
+//     .Add on a counter) earlier in the same function, so fleet
+//     dashboards see error spikes without scraping logs. Paths where
+//     middleware counts centrally carry a justified //lint:allow.
+var HTTPResp = &Analyzer{
+	Name: "httpresp",
+	Doc: "handler discipline: one WriteHeader per path, no header writes " +
+		"after streaming starts, NDJSON loops flush per record, 5xx paths " +
+		"increment an error counter",
+	Match: pkgPathIn("server", "router"),
+	Run:   runHTTPResp,
+}
+
+func runHTTPResp(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkHeaderAfterWrite(pass, fd)
+			checkDoubleWrite(pass, fd)
+			checkStreamFlush(pass, fd)
+			check5xxCounted(pass, fd)
+		}
+	}
+	return nil
+}
+
+// responseWriteKind classifies a statement that starts (or continues)
+// the response body / status line.
+func responseWriteCall(pass *Pass, n ast.Node) (what string, call *ast.CallExpr) {
+	c, ok := n.(*ast.CallExpr)
+	if !ok {
+		return "", nil
+	}
+	switch fun := ast.Unparen(c.Fun).(type) {
+	case *ast.SelectorExpr:
+		switch fun.Sel.Name {
+		case "WriteHeader":
+			if sel, ok := pass.TypesInfo.Selections[fun]; ok && types.IsInterface(sel.Recv()) {
+				return "WriteHeader", c
+			}
+		case "Error":
+			if obj := pass.TypesInfo.Uses[fun.Sel]; obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == "net/http" {
+				return "http.Error", c
+			}
+		}
+	case *ast.Ident:
+		if fun.Name == "writeJSON" {
+			return "writeJSON", c
+		}
+	}
+	return "", nil
+}
+
+// isFlushCall reports a .Flush() on an interface-typed receiver
+// (http.Flusher).
+func isFlushCall(pass *Pass, n ast.Node) bool {
+	c, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Flush" {
+		return false
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	return ok && types.IsInterface(selection.Recv())
+}
+
+// checkHeaderAfterWrite enforces rule 1. The rule is straight-line:
+// once a block's own statement list has started the response (a
+// direct WriteHeader/http.Error/writeJSON/Flush statement, not one
+// nested in a branch that returns), every header mutation in the
+// block's later statements — nested or not — is on the post-write
+// path and flagged. Writes inside branches do not poison the
+// enclosing block, so `if err { http.Error(...); return }` followed
+// by header setup stays clean.
+func checkHeaderAfterWrite(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		started := token.NoPos
+		var startedWhat string
+		for _, stmt := range block.List {
+			es, ok := stmt.(*ast.ExprStmt)
+			if ok && !started.IsValid() {
+				if what, c := responseWriteCall(pass, es.X); what != "" {
+					started, startedWhat = c.Pos(), what
+					continue
+				}
+				if isFlushCall(pass, es.X) {
+					started, startedWhat = es.Pos(), "Flush"
+					continue
+				}
+			}
+			if !started.IsValid() {
+				continue
+			}
+			ast.Inspect(stmt, func(m ast.Node) bool {
+				if c, ok := m.(*ast.CallExpr); ok && isHeaderMutation(pass, c) {
+					pass.Reportf(c.Pos(),
+						"%s sets a header after %s already started the response at %s: net/http ignores it",
+						fd.Name.Name, startedWhat, relPos(pass.Fset, started))
+				}
+				return true
+			})
+		}
+		return true
+	})
+}
+
+// isHeaderMutation matches w.Header().Set/Add/Del(...) on an
+// interface-typed w.
+func isHeaderMutation(pass *Pass, c *ast.CallExpr) bool {
+	sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	switch sel.Sel.Name {
+	case "Set", "Add", "Del":
+	default:
+		return false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	innerSel, ok := ast.Unparen(inner.Fun).(*ast.SelectorExpr)
+	if !ok || innerSel.Sel.Name != "Header" {
+		return false
+	}
+	selection, ok := pass.TypesInfo.Selections[innerSel]
+	return ok && types.IsInterface(selection.Recv())
+}
+
+// checkDoubleWrite enforces rule 2: two response writes as direct
+// statements of the same block.
+func checkDoubleWrite(pass *Pass, fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		block, ok := n.(*ast.BlockStmt)
+		if !ok {
+			return true
+		}
+		var first string
+		var firstPos token.Pos
+		for _, stmt := range block.List {
+			es, ok := stmt.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			what, c := responseWriteCall(pass, es.X)
+			if what == "" {
+				continue
+			}
+			if first != "" {
+				pass.Reportf(c.Pos(),
+					"%s writes the response twice on one path: %s already started it at %s",
+					fd.Name.Name, first, relPos(pass.Fset, firstPos))
+				continue
+			}
+			first, firstPos = what, c.Pos()
+		}
+		return true
+	})
+}
+
+// checkStreamFlush enforces rule 3 in streaming functions.
+func checkStreamFlush(pass *Pass, fd *ast.FuncDecl) {
+	if !setsNDJSONContentType(pass, fd) {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		var body *ast.BlockStmt
+		switch loop := n.(type) {
+		case *ast.ForStmt:
+			body = loop.Body
+		case *ast.RangeStmt:
+			body = loop.Body
+		default:
+			return true
+		}
+		var encodePos token.Pos
+		flushed := false
+		ast.Inspect(body, func(m ast.Node) bool {
+			if c, ok := m.(*ast.CallExpr); ok {
+				if sel, ok := ast.Unparen(c.Fun).(*ast.SelectorExpr); ok && sel.Sel.Name == "Encode" {
+					if !encodePos.IsValid() {
+						encodePos = c.Pos()
+					}
+				}
+			}
+			if isFlushCall(pass, m) {
+				flushed = true
+			}
+			return true
+		})
+		if encodePos.IsValid() && !flushed {
+			pass.Reportf(encodePos,
+				"%s streams NDJSON but this loop encodes records without flushing: the client sees nothing until the stream ends",
+				fd.Name.Name)
+		}
+		return true
+	})
+}
+
+// setsNDJSONContentType reports whether fd sets an ndjson Content-Type
+// — the marker of a streaming handler.
+func setsNDJSONContentType(pass *Pass, fd *ast.FuncDecl) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		if strings.Contains(lit.Value, "ndjson") {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// check5xxCounted enforces rule 4.
+func check5xxCounted(pass *Pass, fd *ast.FuncDecl) {
+	// Positions of counter touches: calls to count*/record* methods or
+	// .Add/.Inc on any receiver.
+	var counterPos []token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		c, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := ""
+		switch fun := ast.Unparen(c.Fun).(type) {
+		case *ast.SelectorExpr:
+			name = fun.Sel.Name
+		case *ast.Ident:
+			name = fun.Name
+		}
+		if strings.HasPrefix(name, "count") || strings.HasPrefix(name, "record") ||
+			name == "Add" || name == "Inc" {
+			counterPos = append(counterPos, c.Pos())
+		}
+		return true
+	})
+	counted := func(before token.Pos) bool {
+		for _, p := range counterPos {
+			if p < before {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		what, c := responseWriteCall(pass, n)
+		if what == "" {
+			return true
+		}
+		status, ok := constStatusArg(pass, c, what)
+		if !ok || status < 500 {
+			return true
+		}
+		if counted(c.Pos()) {
+			return true
+		}
+		pass.Reportf(c.Pos(),
+			"%s writes a %d without incrementing an error counter first: 5xx spikes are invisible to dashboards",
+			fd.Name.Name, status)
+		return true
+	})
+}
+
+// constStatusArg extracts the constant status code of a response
+// write, when the argument is statically known.
+func constStatusArg(pass *Pass, c *ast.CallExpr, what string) (int, bool) {
+	var arg ast.Expr
+	switch what {
+	case "WriteHeader":
+		if len(c.Args) == 1 {
+			arg = c.Args[0]
+		}
+	case "http.Error":
+		if len(c.Args) == 3 {
+			arg = c.Args[2]
+		}
+	case "writeJSON":
+		if len(c.Args) >= 2 {
+			arg = c.Args[1]
+		}
+	}
+	if arg == nil {
+		return 0, false
+	}
+	tv, ok := pass.TypesInfo.Types[arg]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.Int {
+		return 0, false
+	}
+	v, ok := constant.Int64Val(tv.Value)
+	return int(v), ok
+}
+
+// relPos renders pos as base-filename:line for stable messages.
+func relPos(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name + ":" + strconv.Itoa(p.Line)
+}

@@ -1,0 +1,688 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LockOrder builds a cross-package lock-acquisition graph and enforces
+// the two properties the serving stack's latency and liveness depend
+// on:
+//
+//  1. No blocking operation while a mutex is held. Channel sends and
+//     receives, selects without a default case, ranging over a
+//     channel, WaitGroup/Cond Wait, time.Sleep, dialing or listening,
+//     HTTP round trips, and writes to interface-typed writers (an
+//     http.ResponseWriter under a metrics mutex is a network write
+//     whose pace the remote scraper controls) are all flagged inside a
+//     lock region — directly or through any statically-resolvable
+//     chain of calls.
+//
+//  2. No cycles in the lock-acquisition order. Acquiring mutex B while
+//     holding A adds edge A→B; a cycle (including A→A re-acquisition)
+//     is a deadlock waiting for the right interleaving. Edges
+//     propagate through the call graph, so A→B is recorded even when
+//     the B acquisition happens three calls down.
+//
+// The model is deliberately lexical: a region opens at X.Lock()/
+// X.RLock() and closes at the next textually-following X.Unlock()/
+// X.RUnlock() on the same mutex expression in the same function (or at
+// the end of the body when no later unlock appears, the deferred-
+// unlock idiom). Mutexes are identified by their declaration site —
+// the (struct type, field) pair or the package-level var — so two
+// instances of one type share a node. Select statements with a default
+// case are non-blocking and exempt, as are close(), go, and defer
+// subtrees and func literals that are not immediately invoked. These
+// choices trade false negatives for near-zero false positives;
+// DESIGN.md §12 spells out the blind spots.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "no blocking operations while a mutex is held; the cross-package " +
+		"lock-acquisition graph must stay acyclic",
+	Match: func(path string) bool {
+		return strings.HasPrefix(path, "repro") || strings.HasPrefix(path, "fixture/")
+	},
+	RunProgram: runLockOrder,
+}
+
+// lockRegion is one lexically-delimited hold of a mutex.
+type lockRegion struct {
+	node       string // mutex identity, e.g. "repro/internal/server.serverMetrics.mu"
+	start, end token.Pos
+}
+
+// loFunc is the per-function summary the whole-program passes consume.
+type loFunc struct {
+	pkg     *Package
+	decl    *ast.FuncDecl
+	regions []lockRegion
+	// calls are the statically-resolved in-program callees with their
+	// call sites (for region membership and diagnostics).
+	calls []loCall
+	// blocking are the direct blocking operations in the body
+	// (excluding go/defer subtrees and non-invoked func literals),
+	// whether or not under a lock here — the holder's region decides.
+	blocking []loOp
+	// acquires maps each mutex node locked anywhere in the body to its
+	// first lock position (the transitive-summary view).
+	acquires map[string]token.Pos
+	// acqEvents is every individual acquisition (what = node name) —
+	// unlike acquires it keeps re-locks, so a second Lock of the same
+	// mutex inside its own region still forms an A→A edge.
+	acqEvents []loOp
+}
+
+type loCall struct {
+	target string // callee FullName
+	pos    token.Pos
+}
+
+type loOp struct {
+	what string
+	pos  token.Pos
+}
+
+// loEdge is one lock-order edge example: the site where the second
+// mutex is acquired (or the call that leads to it).
+type loEdge struct {
+	pkg *Package
+	pos token.Pos
+}
+
+func runLockOrder(pass *ProgramPass) error {
+	funcs := make(map[string]*loFunc)
+	var order []string
+	forEachFuncDecl(pass.Prog, func(pkg *Package, fd *ast.FuncDecl) {
+		name := declFullName(pkg, fd)
+		if name == "" {
+			return
+		}
+		for n, lf := range summarizeLockFunc(pkg, fd, name) {
+			funcs[n] = lf
+			order = append(order, n)
+		}
+	})
+
+	// Transitive closure over the static call graph: which mutex nodes
+	// does calling f eventually acquire, and does calling f eventually
+	// block? Fixpoint — the sets only grow, so cycles converge.
+	acquiresAll := make(map[string]map[string]bool, len(funcs))
+	blocksAll := make(map[string]string, len(funcs)) // fname -> description of a blocking op
+	for name, lf := range funcs {
+		set := make(map[string]bool, len(lf.acquires))
+		for node := range lf.acquires {
+			set[node] = true
+		}
+		acquiresAll[name] = set
+		if len(lf.blocking) > 0 {
+			blocksAll[name] = lf.blocking[0].what
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for name, lf := range funcs {
+			for _, call := range lf.calls {
+				if _, ok := funcs[call.target]; !ok {
+					continue
+				}
+				for node := range acquiresAll[call.target] {
+					if !acquiresAll[name][node] {
+						acquiresAll[name][node] = true
+						changed = true
+					}
+				}
+				if why, blocks := blocksAll[call.target]; blocks {
+					if _, already := blocksAll[name]; !already {
+						blocksAll[name] = why + " (via " + shortFuncName(call.target) + ")"
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	edges := make(map[string]map[string]loEdge)
+	addEdge := func(from, to string, site loEdge) {
+		if edges[from] == nil {
+			edges[from] = make(map[string]loEdge)
+		}
+		if _, ok := edges[from][to]; !ok {
+			edges[from][to] = site
+		}
+	}
+
+	sort.Strings(order)
+	for _, name := range order {
+		lf := funcs[name]
+		for _, region := range lf.regions {
+			in := func(p token.Pos) bool { return p > region.start && p < region.end }
+			for _, op := range lf.blocking {
+				if in(op.pos) {
+					pass.Reportf(lf.pkg, op.pos,
+						"%s while holding %s (locked at %s): move the blocking operation outside the critical section",
+						op.what, shortNodeName(region.node), relPosition(lf.pkg, region.start))
+				}
+			}
+			for _, acq := range lf.acqEvents {
+				if in(acq.pos) {
+					addEdge(region.node, acq.what, loEdge{pkg: lf.pkg, pos: acq.pos})
+				}
+			}
+			for _, call := range lf.calls {
+				if !in(call.pos) {
+					continue
+				}
+				if why, blocks := blocksAll[call.target]; blocks {
+					pass.Reportf(lf.pkg, call.pos,
+						"call to %s blocks (%s) while holding %s (locked at %s)",
+						shortFuncName(call.target), why, shortNodeName(region.node),
+						relPosition(lf.pkg, region.start))
+				}
+				for node := range acquiresAll[call.target] {
+					addEdge(region.node, node, loEdge{pkg: lf.pkg, pos: call.pos})
+				}
+			}
+		}
+	}
+
+	reportLockCycles(pass, edges)
+	return nil
+}
+
+// summarizeLockFunc builds fd's lock summaries: one loFunc for the
+// declaration itself, plus one per local closure (`emit := func(...)`)
+// under the synthetic name "<full>$<var>". Treating closures as call-
+// graph nodes matters: `counter := func(...){ fmt.Fprintf(w, ...) }`
+// invoked between Lock and Unlock is exactly how metrics writers hold
+// a mutex across network I/O, and the closure body is invisible to a
+// walker that only sees the outer function.
+func summarizeLockFunc(pkg *Package, fd *ast.FuncDecl, fullName string) map[string]*loFunc {
+	// Local closures bound to identifiers, shared by the outer body
+	// and sibling closures.
+	closures := make(map[*types.Var]string)
+	bodies := make(map[string]*ast.FuncLit)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			fl, ok := rhs.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok {
+				continue
+			}
+			obj, _ := pkg.TypesInfo.Defs[id].(*types.Var)
+			if obj == nil {
+				obj, _ = pkg.TypesInfo.Uses[id].(*types.Var)
+			}
+			if obj == nil {
+				continue
+			}
+			name := fullName + "$" + id.Name
+			closures[obj] = name
+			bodies[name] = fl
+		}
+		return true
+	})
+
+	out := make(map[string]*loFunc, 1+len(bodies))
+	out[fullName] = scanLockBody(pkg, fd, fd.Body, closures)
+	for name, fl := range bodies {
+		out[name] = scanLockBody(pkg, fd, fl.Body, closures)
+	}
+	return out
+}
+
+// scanLockBody summarizes one body (function or closure): lock
+// regions, acquisitions, statically-resolved calls, and direct
+// blocking operations. Nested func literals are excluded unless
+// immediately invoked — named local closures are summarized separately
+// and linked through calls.
+func scanLockBody(pkg *Package, fd *ast.FuncDecl, body *ast.BlockStmt, closures map[*types.Var]string) *loFunc {
+	lf := &loFunc{pkg: pkg, decl: fd, acquires: make(map[string]token.Pos)}
+	info := pkg.TypesInfo
+
+	// Lock/unlock events, by textual mutex key (receiver expression),
+	// in position order. The scan skips go/defer subtrees and non-IIFE
+	// func literals the same way the blocking scan does — a Lock inside
+	// `go func(){...}()` is not an event of this body.
+	type lockEvent struct {
+		pos     token.Pos
+		node    string
+		key     string
+		acquire bool
+	}
+	var events []lockEvent
+	iifeEvents := make(map[*ast.FuncLit]bool)
+	var scanEvents func(n ast.Node)
+	scanEvents = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return
+		case *ast.FuncLit:
+			if !iifeEvents[n] {
+				return
+			}
+		case *ast.DeferStmt:
+			// A deferred unlock leaves the region open to body end; a
+			// deferred Lock (degenerate) is ignored with the rest of
+			// the defer subtree.
+			return
+		case *ast.CallExpr:
+			if fl, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				iifeEvents[fl] = true
+			}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				var acquire bool
+				switch sel.Sel.Name {
+				case "Lock", "RLock":
+					acquire = true
+				case "Unlock", "RUnlock":
+					acquire = false
+				default:
+					goto children
+				}
+				if isMutexMethod(info, sel) {
+					events = append(events, lockEvent{
+						pos:     n.Pos(),
+						node:    mutexNode(pkg, sel.X),
+						key:     exprText(pkg.Fset, sel.X),
+						acquire: acquire,
+					})
+				}
+			}
+		}
+	children:
+		inspectChildren(n, scanEvents)
+	}
+	scanEvents(body)
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+	for i, ev := range events {
+		if !ev.acquire {
+			continue
+		}
+		if first, seen := lf.acquires[ev.node]; !seen || ev.pos < first {
+			lf.acquires[ev.node] = ev.pos
+		}
+		lf.acqEvents = append(lf.acqEvents, loOp{what: ev.node, pos: ev.pos})
+		end := body.End()
+		for _, later := range events[i+1:] {
+			if !later.acquire && later.key == ev.key {
+				end = later.pos
+				break
+			}
+		}
+		lf.regions = append(lf.regions, lockRegion{node: ev.node, start: ev.pos, end: end})
+	}
+
+	collectCallsAndBlocking(pkg, body, lf, closures)
+	return lf
+}
+
+// collectCallsAndBlocking walks body recording static calls and direct
+// blocking operations, skipping go/defer subtrees and func literals
+// that are not immediately invoked (their bodies run at another time,
+// possibly after the lock is released). Calls through identifiers
+// bound to local closures resolve to the closures' synthetic names.
+func collectCallsAndBlocking(pkg *Package, body ast.Node, lf *loFunc, closures map[*types.Var]string) {
+	info := pkg.TypesInfo
+	// Send/recv operations exempted because they sit in a select that
+	// has a default case (non-blocking poll), keyed by position.
+	exempt := make(map[token.Pos]bool)
+	iife := make(map[*ast.FuncLit]bool)
+
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt, *ast.DeferStmt:
+			return
+		case *ast.FuncLit:
+			if !iife[n] {
+				return
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, clause := range n.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if hasDefault {
+				for _, clause := range n.Body.List {
+					cc := clause.(*ast.CommClause)
+					if cc.Comm != nil {
+						markCommExempt(cc.Comm, exempt)
+					}
+				}
+			} else {
+				lf.blocking = append(lf.blocking, loOp{what: "select without a default case", pos: n.Pos()})
+				return // one report per select is enough
+			}
+		case *ast.SendStmt:
+			if !exempt[n.Pos()] {
+				lf.blocking = append(lf.blocking, loOp{what: "channel send", pos: n.Pos()})
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW && !exempt[n.Pos()] {
+				lf.blocking = append(lf.blocking, loOp{what: "channel receive", pos: n.Pos()})
+			}
+		case *ast.RangeStmt:
+			if t := info.TypeOf(n.X); t != nil {
+				if _, ok := t.Underlying().(*types.Chan); ok {
+					lf.blocking = append(lf.blocking, loOp{what: "range over a channel", pos: n.Pos()})
+				}
+			}
+		case *ast.CallExpr:
+			if fl, ok := ast.Unparen(n.Fun).(*ast.FuncLit); ok {
+				iife[fl] = true
+			}
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok {
+				if v, ok := info.Uses[id].(*types.Var); ok {
+					if target, isClosure := closures[v]; isClosure {
+						lf.calls = append(lf.calls, loCall{target: target, pos: n.Pos()})
+					}
+				}
+			}
+			if callee := staticCallee(info, n); callee != nil {
+				if what := blockingCallee(callee); what != "" {
+					lf.blocking = append(lf.blocking, loOp{what: what, pos: n.Pos()})
+				} else if callee.Pkg() != nil && !isStdlibPath(callee.Pkg().Path()) {
+					lf.calls = append(lf.calls, loCall{target: callee.FullName(), pos: n.Pos()})
+				}
+			} else if what := blockingInterfaceWrite(info, pkg.Fset, n); what != "" {
+				lf.blocking = append(lf.blocking, loOp{what: what, pos: n.Pos()})
+			}
+			// fmt.Fprintf-style writes name a stdlib function but block
+			// on their writer argument.
+			if what := blockingWriterArg(info, n); what != "" {
+				lf.blocking = append(lf.blocking, loOp{what: what, pos: n.Pos()})
+			}
+		}
+		inspectChildren(n, walk)
+	}
+	walk(body)
+}
+
+// inspectChildren applies walk to each direct child of n.
+func inspectChildren(n ast.Node, walk func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true // enter n itself, then intercept its children
+		}
+		if c != nil {
+			walk(c)
+		}
+		return false
+	})
+}
+
+// markCommExempt records the send/recv operation of one select comm
+// clause as non-blocking (the select has a default case).
+func markCommExempt(comm ast.Stmt, exempt map[token.Pos]bool) {
+	ast.Inspect(comm, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			exempt[n.Pos()] = true
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				exempt[n.Pos()] = true
+			}
+		}
+		return true
+	})
+}
+
+// isMutexMethod reports whether sel names a method of sync.Mutex or
+// sync.RWMutex (directly or promoted through embedding).
+func isMutexMethod(info *types.Info, sel *ast.SelectorExpr) bool {
+	selection, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	f, ok := selection.Obj().(*types.Func)
+	if !ok || f.Pkg() == nil || f.Pkg().Path() != "sync" {
+		return false
+	}
+	recv := f.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	return isSyncType(t, "Mutex") || isSyncType(t, "RWMutex")
+}
+
+// mutexNode names the mutex behind expr by declaration site: the
+// owning (struct type, field) pair for fields, the package-level var
+// otherwise, with a textual fallback. Instances of one type share a
+// node — the identity the acquisition-order graph is built on.
+func mutexNode(pkg *Package, expr ast.Expr) string {
+	expr = ast.Unparen(expr)
+	switch e := expr.(type) {
+	case *ast.SelectorExpr:
+		if selection, ok := pkg.TypesInfo.Selections[e]; ok && selection.Kind() == types.FieldVal {
+			recv := selection.Recv()
+			if ptr, ok := recv.(*types.Pointer); ok {
+				recv = ptr.Elem()
+			}
+			if named, ok := recv.(*types.Named); ok {
+				obj := named.Obj()
+				return obj.Pkg().Path() + "." + obj.Name() + "." + e.Sel.Name
+			}
+		}
+	case *ast.Ident:
+		if obj, ok := pkg.TypesInfo.Uses[e]; ok {
+			if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Path() + "." + v.Name()
+			}
+		}
+	}
+	return pkg.ImportPath + ".(" + exprText(pkg.Fset, expr) + ")"
+}
+
+// blockingCallee classifies stdlib callees that block by nature.
+func blockingCallee(f *types.Func) string {
+	if f.Pkg() == nil {
+		return ""
+	}
+	switch f.Pkg().Path() {
+	case "sync":
+		if f.Name() == "Wait" {
+			return "sync Wait"
+		}
+	case "time":
+		if f.Name() == "Sleep" {
+			return "time.Sleep"
+		}
+	case "net":
+		switch f.Name() {
+		case "Dial", "DialTimeout", "DialUDP", "DialTCP", "Listen", "ListenPacket", "ListenTCP", "ListenUDP":
+			return "net." + f.Name()
+		}
+	case "net/http":
+		switch f.Name() {
+		case "Get", "Post", "PostForm", "Head", "Do":
+			return "HTTP round trip (net/http." + f.Name() + ")"
+		}
+	}
+	return ""
+}
+
+// blockingInterfaceWrite classifies method calls on interface-typed
+// receivers whose pace a remote peer can control: Write, WriteString,
+// WriteHeader, Flush, ReadFrom. Calling these on an io.Writer or
+// http.ResponseWriter inside a critical section couples lock hold time
+// to I/O.
+func blockingInterfaceWrite(info *types.Info, fset *token.FileSet, call *ast.CallExpr) string {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Write", "WriteString", "WriteHeader", "Flush", "ReadFrom":
+	default:
+		return ""
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || !types.IsInterface(selection.Recv()) {
+		return ""
+	}
+	return "interface " + sel.Sel.Name + " (possible network I/O)"
+}
+
+// blockingWriterArg classifies fmt.Fprint*/io.Copy/io.WriteString
+// calls whose destination argument is interface-typed: the write lands
+// on an unknown writer, possibly a network connection.
+func blockingWriterArg(info *types.Info, call *ast.CallExpr) string {
+	callee := staticCallee(info, call)
+	if callee == nil || callee.Pkg() == nil || len(call.Args) == 0 {
+		return ""
+	}
+	switch callee.Pkg().Path() {
+	case "fmt":
+		switch callee.Name() {
+		case "Fprintf", "Fprint", "Fprintln":
+		default:
+			return ""
+		}
+	case "io":
+		switch callee.Name() {
+		case "Copy", "WriteString", "CopyN", "CopyBuffer":
+		default:
+			return ""
+		}
+	default:
+		return ""
+	}
+	if t := info.TypeOf(call.Args[0]); t != nil && types.IsInterface(t) {
+		return "write to an interface writer via " + callee.Pkg().Name() + "." + callee.Name() + " (possible network I/O)"
+	}
+	return ""
+}
+
+// isStdlibPath reports whether an import path belongs to the standard
+// library (no dot in the first path element, and not this module's
+// fixture namespace).
+func isStdlibPath(path string) bool {
+	first := path
+	if i := strings.IndexByte(first, '/'); i >= 0 {
+		first = first[:i]
+	}
+	if first == "repro" || first == "fixture" {
+		return false
+	}
+	return !strings.Contains(first, ".")
+}
+
+// shortNodeName trims a mutex node to its last two path elements for
+// messages.
+func shortNodeName(node string) string {
+	if i := strings.LastIndexByte(node, '/'); i >= 0 {
+		return node[i+1:]
+	}
+	return node
+}
+
+// shortFuncName trims a FullName to pkg.Func / (pkg.T).Method form,
+// keeping the method parenthesis the path trim would otherwise orphan.
+func shortFuncName(full string) string {
+	i := strings.LastIndexByte(full, '/')
+	if i < 0 {
+		return full
+	}
+	s := full[i+1:]
+	if strings.HasPrefix(full, "(") && !strings.HasPrefix(s, "(") {
+		s = "(" + s
+	}
+	return s
+}
+
+// relPosition renders a position with the filename reduced to its
+// base, keeping lock-site references in messages stable across
+// machines.
+func relPosition(pkg *Package, pos token.Pos) string {
+	p := pkg.Fset.Position(pos)
+	name := p.Filename
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	return name + ":" + strconv.Itoa(p.Line)
+}
+
+// reportLockCycles reports every cycle in the acquisition graph once,
+// deduplicated by node set, anchored at the edge example site.
+func reportLockCycles(pass *ProgramPass, edges map[string]map[string]loEdge) {
+	var nodes []string
+	for from := range edges {
+		nodes = append(nodes, from)
+	}
+	sort.Strings(nodes)
+
+	seen := make(map[string]bool)
+	for _, start := range nodes {
+		// DFS restricted to nodes >= start, so each cycle is found from
+		// its smallest node exactly once.
+		var path []string
+		onPath := make(map[string]bool)
+		var dfs func(n string)
+		dfs = func(n string) {
+			path = append(path, n)
+			onPath[n] = true
+			var outs []string
+			for to := range edges[n] {
+				outs = append(outs, to)
+			}
+			sort.Strings(outs)
+			for _, to := range outs {
+				if to < start {
+					continue
+				}
+				if to == start {
+					cyc := append(append([]string{}, path...), to)
+					key := strings.Join(cyc[:len(cyc)-1], "→")
+					if !seen[key] {
+						seen[key] = true
+						site := edges[n][to]
+						var parts []string
+						for _, nd := range cyc {
+							parts = append(parts, shortNodeName(nd))
+						}
+						if len(cyc) == 2 { // A→A
+							pass.Reportf(site.pkg, site.pos,
+								"%s is re-acquired while already held: self-deadlock", shortNodeName(start))
+						} else {
+							pass.Reportf(site.pkg, site.pos,
+								"lock-order cycle: %s — a concurrent interleaving deadlocks here",
+								strings.Join(parts, " → "))
+						}
+					}
+					continue
+				}
+				if !onPath[to] {
+					dfs(to)
+				}
+			}
+			path = path[:len(path)-1]
+			delete(onPath, n)
+		}
+		dfs(start)
+	}
+}

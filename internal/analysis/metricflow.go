@@ -1,0 +1,230 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// MetricFlow keeps the Prometheus surface honest, whole-program. The
+// registry model is simple on purpose: a metric name exists iff a
+// writePrometheus function emits it, and everything else — code that
+// scrapes or asserts on names (the router's fleet summing, the load
+// generator's hit-rate scrape) and the README operator documentation —
+// must agree with that set. Three rules:
+//
+//  1. Statically constant names: a parsecd_*/parsecrouter_* string
+//     that is an operand of a run-time concatenation is invisible to
+//     this analyzer and to grep — the exact drift class this check
+//     exists to kill. Assemble nothing; write full literals.
+//
+//  2. No dangling references: a metric name mentioned outside
+//     writePrometheus (scrape parsers, dashboards' source of truth)
+//     must be exposed by some writePrometheus function, modulo the
+//     histogram _bucket/_sum/_count suffixes.
+//
+//  3. Documentation parity with README.md: every exposed name is
+//     documented, and every documented name is exposed. A trailing *
+//     in the README marks an explicit family wildcard and must cover
+//     at least one exposed name.
+var MetricFlow = &Analyzer{
+	Name: "metricflow",
+	Doc: "parsecd_*/parsecrouter_* metric names must be constant, exposed " +
+		"by writePrometheus, and documented in README.md",
+	Match: func(path string) bool {
+		return strings.HasPrefix(path, "repro") || strings.HasPrefix(path, "fixture/")
+	},
+	RunProgram: runMetricFlow,
+}
+
+// metricTokenRe extracts metric names from strings and docs.
+var metricTokenRe = regexp.MustCompile(`\b(?:parsecd|parsecrouter)_[a-z0-9_]*[a-z0-9]`)
+
+// metricSite is one occurrence of a metric name in Go source.
+type metricSite struct {
+	pkg  *Package
+	pos  token.Pos
+	name string
+}
+
+func runMetricFlow(pass *ProgramPass) error {
+	var exposed, referenced []metricSite
+
+	for _, pkg := range pass.Prog.Pkgs {
+		for _, f := range pkg.Files {
+			for _, decl := range f.Decls {
+				inWriter := false
+				if fd, ok := decl.(*ast.FuncDecl); ok && fd.Name.Name == "writePrometheus" {
+					inWriter = true
+				}
+				ast.Inspect(decl, func(n ast.Node) bool {
+					lit, ok := n.(*ast.BasicLit)
+					if !ok || lit.Kind != token.STRING {
+						return true
+					}
+					val, err := strconv.Unquote(lit.Value)
+					if err != nil {
+						return true
+					}
+					for _, name := range metricTokenRe.FindAllString(val, -1) {
+						site := metricSite{pkg: pkg, pos: lit.Pos(), name: name}
+						if inWriter {
+							exposed = append(exposed, site)
+						} else {
+							referenced = append(referenced, site)
+						}
+					}
+					return true
+				})
+			}
+			checkAssembledNames(pass, pkg, f)
+		}
+	}
+
+	exposedSet := make(map[string]bool, len(exposed))
+	for _, s := range exposed {
+		exposedSet[s.name] = true
+	}
+
+	for _, s := range referenced {
+		if resolveMetric(exposedSet, s.name) {
+			continue
+		}
+		pass.Reportf(s.pkg, s.pos,
+			"metric %s is referenced here but no writePrometheus function exposes it", s.name)
+	}
+
+	// README parity only makes sense against the full program: a
+	// subset run (parseclint ./internal/maspar/) has no writePrometheus
+	// in scope and every documented name would look unexposed.
+	if len(exposed) > 0 {
+		checkMetricsREADME(pass, exposed, exposedSet)
+	}
+	return nil
+}
+
+// resolveMetric reports whether name is exposed, directly or as a
+// histogram series derived from an exposed base name.
+func resolveMetric(exposed map[string]bool, name string) bool {
+	if exposed[name] {
+		return true
+	}
+	for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suffix); ok && exposed[base] {
+			return true
+		}
+	}
+	return false
+}
+
+// checkAssembledNames enforces rule 1: a metric-name literal may not
+// feed a non-constant concatenation.
+func checkAssembledNames(pass *ProgramPass, pkg *Package, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		be, ok := n.(*ast.BinaryExpr)
+		if !ok || be.Op != token.ADD {
+			return true
+		}
+		if tv, ok := pkg.TypesInfo.Types[be]; ok && tv.Value != nil {
+			return true // constant-folded: still a static name
+		}
+		var hit *ast.BasicLit
+		ast.Inspect(be, func(m ast.Node) bool {
+			lit, ok := m.(*ast.BasicLit)
+			if !ok || lit.Kind != token.STRING || hit != nil {
+				return true
+			}
+			if val, err := strconv.Unquote(lit.Value); err == nil {
+				if strings.HasPrefix(val, "parsecd_") || strings.HasPrefix(val, "parsecrouter_") {
+					hit = lit
+				}
+			}
+			return true
+		})
+		if hit != nil {
+			val, _ := strconv.Unquote(hit.Value)
+			pass.Reportf(pkg, hit.Pos(),
+				"metric name %q is assembled at run time: write the full literal so the name registry stays statically checkable", val)
+			return false // one report per concatenation chain
+		}
+		return true
+	})
+}
+
+// checkMetricsREADME enforces rule 3 against Dir/README.md. Findings
+// against the README itself are positioned in that file; missing
+// documentation is reported at the exposing literal. A missing README
+// (some fixtures) skips the rule.
+func checkMetricsREADME(pass *ProgramPass, exposed []metricSite, exposedSet map[string]bool) {
+	path := filepath.Join(pass.Prog.Dir, "README.md")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return
+	}
+
+	documented := make(map[string]bool)
+	type wildcard struct {
+		prefix string
+		line   int
+	}
+	var wildcards []wildcard
+	lines := strings.Split(string(data), "\n")
+	for i, line := range lines {
+		for _, m := range metricTokenRe.FindAllStringIndex(line, -1) {
+			name := line[m[0]:m[1]]
+			// An explicit family wildcard: parsecd_work_…_total style
+			// "name*" mention.
+			if m[1] < len(line) && (line[m[1]] == '*' || strings.HasPrefix(line[m[1]:], "_*")) {
+				prefix := name
+				if strings.HasPrefix(line[m[1]:], "_*") {
+					prefix += "_"
+				}
+				wildcards = append(wildcards, wildcard{prefix: prefix, line: i + 1})
+				continue
+			}
+			documented[name] = true
+			if !resolveMetric(exposedSet, name) {
+				pass.ReportPosition(token.Position{Filename: path, Line: i + 1, Column: m[0] + 1},
+					"README.md documents metric %s which no writePrometheus function exposes", name)
+			}
+		}
+	}
+	for _, w := range wildcards {
+		covered := false
+		for name := range exposedSet {
+			if strings.HasPrefix(name, w.prefix) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			pass.ReportPosition(token.Position{Filename: path, Line: w.line},
+				"README.md documents metric family %s* which matches no exposed metric", w.prefix)
+		}
+	}
+
+	wildcardCovers := func(name string) bool {
+		for _, w := range wildcards {
+			if strings.HasPrefix(name, w.prefix) {
+				return true
+			}
+		}
+		return false
+	}
+	seen := make(map[string]bool)
+	for _, s := range exposed {
+		if seen[s.name] {
+			continue
+		}
+		seen[s.name] = true
+		if documented[s.name] || wildcardCovers(s.name) {
+			continue
+		}
+		pass.Reportf(s.pkg, s.pos,
+			"metric %s is exposed but not documented in README.md", s.name)
+	}
+}

@@ -1,0 +1,40 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMetricFlowREADMESide covers the findings RunFixture cannot
+// express with // want comments: diagnostics positioned inside
+// README.md itself (a documented name no exporter emits, and a family
+// wildcard that covers nothing).
+func TestMetricFlowREADMESide(t *testing.T) {
+	pkg := LoadFixture(t, "metricflowreadme")
+	diags, err := RunSuite(pkg.Dir, []*Package{pkg}, []*Analyzer{MetricFlow}, true)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+
+	var stale, deadWildcard bool
+	for _, d := range diags {
+		if !strings.HasSuffix(d.Pos.Filename, "README.md") {
+			t.Errorf("unexpected non-README diagnostic: %s", d)
+			continue
+		}
+		switch {
+		case strings.Contains(d.Message, "parsecd_removed_total"):
+			stale = true
+		case strings.Contains(d.Message, "parsecrouter_shard_"):
+			deadWildcard = true
+		default:
+			t.Errorf("unexpected README diagnostic: %s", d)
+		}
+	}
+	if !stale {
+		t.Error("missing diagnostic for stale documented metric parsecd_removed_total")
+	}
+	if !deadWildcard {
+		t.Error("missing diagnostic for dead wildcard parsecrouter_shard_*")
+	}
+}

@@ -1,0 +1,31 @@
+package analysis
+
+import "testing"
+
+// TestSelfLint is the repository's own gate, run as a unit test: the
+// full suite over the full module must report no unsuppressed
+// diagnostic, and every suppression in the tree must carry its
+// justification. CI runs the same check via `make lint`; having it in
+// `go test ./...` means a violation fails tier-1 too.
+func TestSelfLint(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and analyzes the whole module")
+	}
+	pkgs, err := Load("../..", []string{"./..."})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	diags, err := RunSuite("../..", pkgs, All(), false)
+	if err != nil {
+		t.Fatalf("RunSuite: %v", err)
+	}
+	for _, d := range diags {
+		if d.Suppressed {
+			if d.Justification == "" {
+				t.Errorf("suppressed without justification: %s", d)
+			}
+			continue
+		}
+		t.Errorf("unsuppressed finding: %s", d)
+	}
+}

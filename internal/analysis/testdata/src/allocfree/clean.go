@@ -1,0 +1,18 @@
+package allocfree
+
+// Unannotated functions may allocate freely.
+func unannotated() []int { return make([]int, 8) }
+
+// The compositional contract: an annotated leaf is a legal callee.
+
+//parsec:noalloc
+func leaf(a []int) {
+	for i := range a {
+		a[i] = 0
+	}
+}
+
+//parsec:noalloc
+func caller(a []int) {
+	leaf(a)
+}

@@ -1,0 +1,31 @@
+package allocfree
+
+// helper is deliberately unannotated: calling it from a noalloc
+// function is an unaudited allocation surface.
+func helper() {}
+
+func takesAny(v interface{}) {}
+
+//parsec:noalloc
+func allocates(dst []int) []int {
+	tmp := make([]int, 4) // want "make in noalloc function allocates"
+	dst = append(dst, 1)  // want "append in noalloc function allocates"
+	_ = tmp
+	return dst
+}
+
+//parsec:noalloc
+func closes() {
+	f := func() {} // want "func literal in noalloc function closes"
+	f()
+}
+
+//parsec:noalloc
+func boxes(x int) {
+	takesAny(x) // want "int boxed into interface" "calls .*takesAny which is not marked"
+}
+
+//parsec:noalloc
+func composes() {
+	helper() // want "calls .*helper which is not marked"
+}

@@ -1,0 +1,22 @@
+package ctxflowinter
+
+import "context"
+
+// A context-less callee that never manufactures a context is a legal
+// call from a context-carrying wrapper: there is nothing to plumb.
+func pure(n int) int { return n * 2 }
+
+func Scale(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	return pure(n)
+}
+
+// Propagation stops at a context-carrying callee: plumb ctx into it
+// and the chain below it is its problem, checked at its own site.
+func takesCtx(ctx context.Context) error { return engine(ctx) }
+
+func Forward(ctx context.Context) error {
+	return takesCtx(ctx)
+}

@@ -1,0 +1,24 @@
+package ctxflowinter
+
+import "context"
+
+func engine(ctx context.Context) error { return ctx.Err() }
+
+// mfg takes no context and manufactures one — fine on its own (it is
+// unexported and not an entry point), but poisonous to reach from a
+// context-carrying wrapper.
+func mfg() error { return engine(context.Background()) }
+
+// mid is a context-less pass-through: it neither takes nor makes a
+// context, so manufacturing propagates through it.
+func mid() error { return mfg() }
+
+// Rule 4, direct: the received ctx dies at this call boundary.
+func Refine(ctx context.Context, n int) error {
+	return mfg() // want "receives a context but calls .*mfg, which manufactures its own context downstream"
+}
+
+// Rule 4, through a chain of context-less wrappers.
+func Wrap(ctx context.Context, b []byte) error {
+	return mid() // want "receives a context but calls .*mid, which manufactures its own context downstream"
+}

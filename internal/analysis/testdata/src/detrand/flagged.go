@@ -31,5 +31,5 @@ func allowedWithReason() int {
 
 func allowedWithoutReason() time.Time {
 	//lint:allow detrand // want "needs a \\(justification\\)"
-	return time.Now()
+	return time.Now() // want "time.Now reads the host clock"
 }

@@ -1,0 +1,40 @@
+package httpresp
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+func countError() {}
+
+// Error paths in branches do not poison the fall-through path: the
+// early return keeps the header setup on a write-free path.
+func branchThenHeaders(w http.ResponseWriter, r *http.Request, bad bool) {
+	if bad {
+		countError()
+		http.Error(w, "boom", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+}
+
+// A per-record Flush keeps the stream word-synchronous.
+func streamFlushed(w http.ResponseWriter, items []int) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		return
+	}
+	enc := json.NewEncoder(w)
+	for _, it := range items {
+		enc.Encode(it)
+		fl.Flush()
+	}
+}
+
+// A counted 5xx satisfies rule 4.
+func failCounted(w http.ResponseWriter, r *http.Request) {
+	countError()
+	http.Error(w, "boom", http.StatusInternalServerError)
+}

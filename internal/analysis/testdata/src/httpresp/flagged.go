@@ -1,0 +1,36 @@
+package httpresp
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Rule 2: two terminal writes on one straight-line path — the second
+// logs "superfluous WriteHeader" and the client never sees it.
+func doubleWrite(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "bad request", http.StatusBadRequest)
+	http.Error(w, "also bad", http.StatusBadRequest) // want "writes the response twice"
+}
+
+// Rule 1: net/http silently drops header mutations once the response
+// has started.
+func lateHeader(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.Header().Set("X-Late", "1") // want "sets a header after WriteHeader"
+}
+
+// Rule 3: an NDJSON loop that never flushes batches the whole stream
+// into one write at the end.
+func streamNoFlush(w http.ResponseWriter, items []int) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	enc := json.NewEncoder(w)
+	for _, it := range items {
+		enc.Encode(it) // want "encodes records without flushing"
+	}
+}
+
+// Rule 4: a constant 5xx with no counter touch is invisible to
+// dashboards.
+func failSilently(w http.ResponseWriter, r *http.Request) {
+	http.Error(w, "boom", http.StatusInternalServerError) // want "writes a 500 without incrementing an error counter"
+}

@@ -1,0 +1,10 @@
+package httpresp
+
+import "net/http"
+
+// Middleware that counts every status centrally is the documented
+// exception to rule 4.
+func failCountedUpstream(w http.ResponseWriter, r *http.Request) {
+	//lint:allow httpresp (status recorded by the statusRecorder middleware wrapping every handler)
+	http.Error(w, "boom", http.StatusInternalServerError)
+}

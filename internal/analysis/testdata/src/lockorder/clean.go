@@ -1,0 +1,60 @@
+package lockorder
+
+import "sync"
+
+var (
+	cmu sync.Mutex
+	cch = make(chan int, 1)
+	cy  int
+)
+
+// A select with a default never blocks: the nonblocking-notify idiom.
+func notifyNonblocking() {
+	cmu.Lock()
+	select {
+	case cch <- 1:
+	default:
+	}
+	cmu.Unlock()
+}
+
+// Blocking after the unlock is the fix lockorder asks for.
+func sendAfterUnlock() {
+	cmu.Lock()
+	cy++
+	cmu.Unlock()
+	cch <- 1
+}
+
+// Consistent A-then-B ordering in every function is acyclic.
+type ordered struct {
+	amu sync.Mutex
+	bmu sync.Mutex
+}
+
+func (o *ordered) first() {
+	o.amu.Lock()
+	o.bmu.Lock()
+	o.bmu.Unlock()
+	o.amu.Unlock()
+}
+
+func (o *ordered) second() {
+	o.amu.Lock()
+	cy++
+	o.amu.Unlock()
+	o.bmu.Lock()
+	cy++
+	o.bmu.Unlock()
+}
+
+// A goroutine launched under the lock runs after Unlock from the
+// scheduler's point of view; its blocking ops are not charged to the
+// critical section.
+func spawnUnderLock() {
+	cmu.Lock()
+	go func() {
+		cch <- 1
+	}()
+	cmu.Unlock()
+}

@@ -1,0 +1,67 @@
+package lockorder
+
+import "sync"
+
+var (
+	mu sync.Mutex
+	x  int
+	ch = make(chan int)
+)
+
+// A blocking operation inside the critical section stalls every other
+// goroutine contending for mu.
+func sendUnderLock() {
+	mu.Lock()
+	ch <- 1 // want "channel send while holding"
+	mu.Unlock()
+}
+
+// Blocking reached through a callee is the same bug one frame deeper.
+type slowBox struct{ mu sync.Mutex }
+
+func (s *slowBox) hot() {
+	s.mu.Lock()
+	s.slow() // want "blocks .* while holding"
+	s.mu.Unlock()
+}
+
+func (s *slowBox) slow() {
+	<-ch
+}
+
+// ABBA: lockAB takes amu then bmu, lockBA takes them in the opposite
+// order — a concurrent interleaving deadlocks.
+type pair struct {
+	amu sync.Mutex
+	bmu sync.Mutex
+}
+
+func (p *pair) lockAB() {
+	p.amu.Lock()
+	p.bmu.Lock()
+	p.bmu.Unlock()
+	p.amu.Unlock()
+}
+
+func (p *pair) lockBA() {
+	p.bmu.Lock()
+	p.amu.Lock() // want "lock-order cycle"
+	p.amu.Unlock()
+	p.bmu.Unlock()
+}
+
+// Re-acquiring a held mutex through a callee self-deadlocks (sync.Mutex
+// is not reentrant).
+type reent struct{ mu sync.Mutex }
+
+func (r *reent) outer() {
+	r.mu.Lock()
+	r.inner() // want "re-acquired while already held"
+	r.mu.Unlock()
+}
+
+func (r *reent) inner() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	x++
+}

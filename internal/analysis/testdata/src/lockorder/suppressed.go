@@ -1,0 +1,18 @@
+package lockorder
+
+import "sync"
+
+var (
+	smu sync.Mutex
+	sch = make(chan int, 8)
+)
+
+// A justified allow keeps an intentional exception out of the report:
+// this channel is buffered and drained by a dedicated goroutine, so
+// the send cannot block in practice.
+func suppressedSend() {
+	smu.Lock()
+	//lint:allow lockorder (buffered hand-off drained by a dedicated goroutine; cannot block)
+	sch <- 1
+	smu.Unlock()
+}

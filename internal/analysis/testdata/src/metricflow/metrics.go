@@ -1,0 +1,31 @@
+package metricflow
+
+import (
+	"fmt"
+	"io"
+)
+
+// writePrometheus is the registry: a metric name exists iff it is
+// emitted here.
+func writePrometheus(w io.Writer, reqs, hits uint64, workA, workB uint64) {
+	fmt.Fprintf(w, "parsecd_reqs_total %d\n", reqs)
+	fmt.Fprintf(w, "parsecd_hits_total %d\n", hits)
+	fmt.Fprintf(w, "parsecd_work_a_total %d\n", workA)
+	fmt.Fprintf(w, "parsecd_work_b_total %d\n", workB)
+	fmt.Fprintf(w, "parsecd_undoc_total 0\n") // want "exposed but not documented in README.md"
+}
+
+// A reference outside writePrometheus must resolve against the
+// registry; _bucket/_sum/_count resolve to their histogram base.
+func scrapeTargets() []string {
+	return []string{
+		"parsecd_reqs_total",
+		"parsecd_ghost_total", // want "referenced here but no writePrometheus function exposes it"
+	}
+}
+
+// Assembling a name at run time hides it from the registry and from
+// grep.
+func assembled(kind string) string {
+	return "parsecd_" + kind + "_total" // want "assembled at run time"
+}

@@ -1,0 +1,10 @@
+package metricflowreadme
+
+import (
+	"fmt"
+	"io"
+)
+
+func writePrometheus(w io.Writer, reqs uint64) {
+	fmt.Fprintf(w, "parsecd_reqs_total %d\n", reqs)
+}

@@ -220,6 +220,8 @@ func (m *Machine) Phys() int { return m.phys }
 func (m *Machine) Layers() int { return m.layer }
 
 // logPhys returns ⌈log₂ P⌉ (the scan/router depth).
+//
+//parsec:noalloc
 func (m *Machine) logPhys() uint64 {
 	return uint64(bits.Len(uint(m.phys - 1)))
 }
@@ -236,11 +238,13 @@ func (m *Machine) chargeChecks(perPE uint64) {
 	m.Cycles += m.costs.ConstraintCheck * perPE * uint64(m.layer)
 }
 
+//parsec:noalloc
 func (m *Machine) chargeScan() {
 	m.ScanOps++
 	m.Cycles += (m.costs.ScanBase + m.costs.ScanPerLevel*m.logPhys()) * uint64(m.layer)
 }
 
+//parsec:noalloc
 func (m *Machine) chargeRouter() {
 	m.RouterOps++
 	m.Cycles += (m.costs.RouterBase + m.costs.RouterPerLevel*m.logPhys()) * uint64(m.layer)
@@ -305,6 +309,8 @@ func (m *Machine) EnableAll() {
 }
 
 // Enabled reports PE pe's activity bit.
+//
+//parsec:noalloc
 func (m *Machine) Enabled(pe int) bool {
 	return m.mask[pe>>6]>>(uint(pe)&63)&1 == 1
 }

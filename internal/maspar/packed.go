@@ -28,6 +28,8 @@ import (
 // precisely where b[i] would be set, so the per-lane carries are
 // recovered as C = P ^ G ^ S and b = (C >> 1) | (cout << 63). The
 // chain starts with cin = 1 so that acc[-1] = ^b[-1] = 0.
+//
+//parsec:noalloc
 func segFillWord(gen, reset, cin uint64) (acc, cout uint64) {
 	p := ^gen
 	g := p & reset
@@ -40,6 +42,8 @@ func segFillWord(gen, reset, cin uint64) (acc, cout uint64) {
 // active PE (ok=false when the mask is empty). Segmented primitives
 // need it because the first active PE always begins a segment whether
 // or not its head bit is set.
+//
+//parsec:noalloc
 func (m *Machine) firstActive() (w int, bit uint64, ok bool) {
 	for i, e := range m.mask {
 		if e != 0 {
@@ -52,6 +56,8 @@ func (m *Machine) firstActive() (w int, bit uint64, ok bool) {
 // SegScanOrV is the packed SegScanOr: dst[i] receives the OR of lane
 // i's segment up to and including itself; inactive lanes get 0. dst
 // may alias data or segHead. All vectors are WordLen words.
+//
+//parsec:noalloc
 func (m *Machine) SegScanOrV(dst, data, segHead []uint64) {
 	m.chargeScan()
 	cin := uint64(1)
@@ -65,6 +71,8 @@ func (m *Machine) SegScanOrV(dst, data, segHead []uint64) {
 // SegScanAndV is the packed SegScanAnd. De Morgan turns the AND-scan
 // into an OR-scan of the complement: acc tracks "a zero has been seen
 // in this segment", and the result is its complement on active lanes.
+//
+//parsec:noalloc
 func (m *Machine) SegScanAndV(dst, data, segHead []uint64) {
 	m.chargeScan()
 	cin := uint64(1)
@@ -79,6 +87,8 @@ func (m *Machine) SegScanAndV(dst, data, segHead []uint64) {
 // its segment head's data value. With gen = data & effectiveHead and
 // reset = effectiveHead the shared recurrence loads the head's value
 // (0 or 1) at each head and carries it across the segment.
+//
+//parsec:noalloc
 func (m *Machine) CopySegHeadV(dst, data, segHead []uint64) {
 	m.chargeScan()
 	fw, fbit, _ := m.firstActive()
@@ -103,6 +113,8 @@ func (m *Machine) CopySegHeadV(dst, data, segHead []uint64) {
 // adder-carry kernel serves; the reset stream is pre-shifted down one
 // lane because lane i stops absorbing from above when lane i+1 starts
 // a new segment. dst must not alias data or segHead.
+//
+//parsec:noalloc
 func (m *Machine) SegReduceOrToHeadV(dst, data, segHead []uint64) {
 	m.chargeScan()
 	m.segReduceToHead(dst, data, segHead, false)
@@ -110,11 +122,14 @@ func (m *Machine) SegReduceOrToHeadV(dst, data, segHead []uint64) {
 
 // SegReduceAndToHeadV is the packed SegReduceAndToHead (each segment's
 // AND to its head lane). dst must not alias data or segHead.
+//
+//parsec:noalloc
 func (m *Machine) SegReduceAndToHeadV(dst, data, segHead []uint64) {
 	m.chargeScan()
 	m.segReduceToHead(dst, data, segHead, true)
 }
 
+//parsec:noalloc
 func (m *Machine) segReduceToHead(dst, data, segHead []uint64, and bool) {
 	fw, fbit, _ := m.firstActive()
 	cin := uint64(1)
@@ -144,6 +159,8 @@ func (m *Machine) segReduceToHead(dst, data, segHead []uint64, and bool) {
 }
 
 // ReduceOrV returns the global OR over all active lanes.
+//
+//parsec:noalloc
 func (m *Machine) ReduceOrV(data []uint64) Bit {
 	m.chargeScan()
 	var acc uint64
@@ -158,6 +175,8 @@ func (m *Machine) ReduceOrV(data []uint64) Bit {
 
 // ReduceAndV returns the global AND over all active lanes (1 when no
 // lane is active).
+//
+//parsec:noalloc
 func (m *Machine) ReduceAndV(data []uint64) Bit {
 	m.chargeScan()
 	var acc uint64
@@ -189,17 +208,21 @@ const routerSeqThreshold = 64
 // arbitrary scatter degrades gracefully to the per-lane gather, which
 // is inherently element-at-a-time (a software router has no word trick
 // for a random permutation).
+//
+//parsec:noalloc
 func (m *Machine) RouterFetchV(dst []uint64, src []int32, data []uint64) {
 	m.chargeRouter()
 	if m.workers <= 1 || m.nw <= routerSeqThreshold {
 		gatherWords(dst, src, data, m.mask, 0, m.nw)
 		return
 	}
+	//lint:allow allocfree (parallel path for large vectors: worker handoff allocates; the sequential path under routerSeqThreshold is the one pinned alloc-free)
 	m.forAllWords(func(w int) {
 		gatherWords(dst, src, data, m.mask, w, w+1)
 	})
 }
 
+//parsec:noalloc
 func gatherWords(dst []uint64, src []int32, data, mask []uint64, lo, hi int) {
 	for w := lo; w < hi; w++ {
 		e := mask[w]

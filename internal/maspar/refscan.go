@@ -25,6 +25,8 @@ type Bit = uint8
 // SegScanOr performs an inclusive, segmented OR-scan: each active PE
 // receives the OR of its segment's values up to and including itself.
 // Inactive PEs keep a zero result.
+//
+//parsec:noalloc
 func (m *Machine) SegScanOr(data []Bit, segHead []bool) []Bit {
 	m.chargeScan()
 	out := m.buf.getBytes()
@@ -67,11 +69,14 @@ func (m *Machine) SegScanAnd(data []Bit, segHead []bool) []Bit {
 // SegReduceOrToHead ORs each segment and deposits the result on the
 // segment's head PE (zero elsewhere). On the real machine this is a
 // backward scanOr read off at the boundary PEs; it costs one scan.
+//
+//parsec:noalloc
 func (m *Machine) SegReduceOrToHead(data []Bit, segHead []bool) []Bit {
 	m.chargeScan()
 	out := m.buf.getBytes()
 	head := -1
 	var acc Bit
+	//lint:allow allocfree (non-escaping closure: stack-allocated, AllocsPerRun==0 pins it)
 	flush := func() {
 		if head >= 0 {
 			out[head] = acc
@@ -122,6 +127,8 @@ func (m *Machine) SegReduceAndToHead(data []Bit, segHead []bool) []Bit {
 // CopySegHead broadcasts each segment head's value to every active PE of
 // its segment (the copy-scan idiom used to distribute consistency
 // verdicts back across a column block).
+//
+//parsec:noalloc
 func (m *Machine) CopySegHead(data []Bit, segHead []bool) []Bit {
 	m.chargeScan()
 	out := m.buf.getBytes()

@@ -143,17 +143,29 @@ func (m *routerMetrics) stats() Stats {
 // (sorted) order. statuses is the fleet snapshot for the liveness
 // gauge.
 func (m *routerMetrics) writePrometheus(w io.Writer, statuses []ShardStatus) {
+	// Snapshot under mu, write after: w is the scraper's connection,
+	// and holding the routing-path mutex across it would let a slow
+	// scraper stall countServed on every proxied request (lockorder
+	// enforces this).
 	m.mu.Lock()
 	urls := make([]string, 0, len(m.perShard))
 	for u := range m.perShard {
 		urls = append(urls, u)
 	}
 	sort.Strings(urls)
+	rows := make([]shardCounters, len(urls))
+	for i, u := range urls {
+		rows[i] = *m.perShard[u]
+	}
+	failovers, emptyFleet := m.failovers, m.emptyFleet
+	probes, probeFailures, scrapeErrors := m.probes, m.probeFailures, m.scrapeErrors
+	started := m.started
+	m.mu.Unlock()
 
 	perShard := func(name, help string, get func(*shardCounters) uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
-		for _, u := range urls {
-			fmt.Fprintf(w, "%s{shard=%q} %d\n", name, u, get(m.perShard[u]))
+		for i, u := range urls {
+			fmt.Fprintf(w, "%s{shard=%q} %d\n", name, u, get(&rows[i]))
 		}
 	}
 	perShard("parsecrouter_shard_requests_total", "requests answered by each shard", func(sc *shardCounters) uint64 { return sc.requests })
@@ -165,13 +177,11 @@ func (m *routerMetrics) writePrometheus(w io.Writer, statuses []ShardStatus) {
 	counter := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
-	counter("parsecrouter_failovers_total", "requests retried on a lower-ranked shard", m.failovers)
-	counter("parsecrouter_empty_fleet_total", "requests refused because no shard was eligible", m.emptyFleet)
-	counter("parsecrouter_probes_total", "health probes sent", m.probes)
-	counter("parsecrouter_probe_failures_total", "health probes that failed", m.probeFailures)
-	counter("parsecrouter_scrape_errors_total", "per-shard /metrics scrapes that failed during aggregation", m.scrapeErrors)
-	started := m.started
-	m.mu.Unlock()
+	counter("parsecrouter_failovers_total", "requests retried on a lower-ranked shard", failovers)
+	counter("parsecrouter_empty_fleet_total", "requests refused because no shard was eligible", emptyFleet)
+	counter("parsecrouter_probes_total", "health probes sent", probes)
+	counter("parsecrouter_probe_failures_total", "health probes that failed", probeFailures)
+	counter("parsecrouter_scrape_errors_total", "per-shard /metrics scrapes that failed during aggregation", scrapeErrors)
 
 	fmt.Fprintf(w, "# HELP parsecrouter_shard_eligible whether each shard currently receives traffic (live or probation)\n# TYPE parsecrouter_shard_eligible gauge\n")
 	for _, st := range statuses {

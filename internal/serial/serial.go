@@ -188,7 +188,14 @@ func Refine(nw *cn.Network, extra []*cdg.Constraint, opt Options) {
 		}
 	}
 	if opt.Filter {
-		nw.Filter(opt.MaxFilterIters)
+		ctx := opt.Ctx
+		if ctx == nil {
+			ctx = context.Background()
+		}
+		// Refinement is advisory: a cancelled filter leaves the network
+		// partially filtered, which is still a valid (over-approximate)
+		// refinement, so the error is not surfaced here.
+		nw.FilterCtx(ctx, opt.MaxFilterIters)
 	}
 }
 

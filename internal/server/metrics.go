@@ -139,18 +139,26 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cache *Cache, rc *resultCac
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
 
+	// Snapshot everything mu guards before writing: w is the scraper's
+	// connection, and a write to it must never pace the request-count
+	// hot path (lockorder enforces this).
 	m.mu.Lock()
 	statuses := make([]int, 0, len(m.requests))
 	for s := range m.requests {
 		statuses = append(statuses, s)
 	}
 	sort.Ints(statuses)
-	fmt.Fprintf(w, "# HELP parsecd_requests_total HTTP requests by status code\n# TYPE parsecd_requests_total counter\n")
-	for _, s := range statuses {
-		fmt.Fprintf(w, "parsecd_requests_total{code=%q} %d\n", fmt.Sprint(s), m.requests[s])
+	statusCounts := make([]uint64, len(statuses))
+	for i, s := range statuses {
+		statusCounts[i] = m.requests[s]
 	}
 	work := m.work
 	m.mu.Unlock()
+
+	fmt.Fprintf(w, "# HELP parsecd_requests_total HTTP requests by status code\n# TYPE parsecd_requests_total counter\n")
+	for i, s := range statuses {
+		fmt.Fprintf(w, "parsecd_requests_total{code=%q} %d\n", fmt.Sprint(s), statusCounts[i])
+	}
 
 	counter("parsecd_parses_total", "parses executed by the worker pool", m.parses.Load())
 	counter("parsecd_batches_total", "coalesced batches executed", m.batches.Load())
@@ -186,24 +194,26 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cache *Cache, rc *resultCac
 	counter("parsecd_lattice_fallback_parses_total", "lattice paths parsed from scratch (extension-unstable grammar)", ls.Fallbacks)
 
 	// The machine-work accounting every engine shares (internal/metrics),
-	// summed over all parses served.
+	// summed over all parses served. Full literal names: metricflow
+	// requires every exposed name to be statically constant so the
+	// registry (and grep) can find it.
 	workCounters := []struct {
 		name, help string
 		v          uint64
 	}{
-		{"constraint_checks", "elementary constraint evaluations", work.ConstraintChecks},
-		{"matrix_writes", "arc-matrix bit writes", work.MatrixWrites},
-		{"support_checks", "role-value support tests", work.SupportChecks},
-		{"eliminations", "role values eliminated", work.Eliminations},
-		{"filter_iterations", "consistency-maintenance passes", work.FilterIterations},
-		{"pram_steps", "synchronous P-RAM steps", work.Steps},
-		{"maspar_cycles", "simulated MasPar cycles", work.Cycles},
-		{"maspar_scans", "segmented scan invocations", work.ScanOps},
-		{"maspar_router_ops", "router point-to-point sends", work.RouterOps},
-		{"maspar_broadcasts", "ACU broadcasts", work.Broadcasts},
+		{"parsecd_work_constraint_checks_total", "elementary constraint evaluations", work.ConstraintChecks},
+		{"parsecd_work_matrix_writes_total", "arc-matrix bit writes", work.MatrixWrites},
+		{"parsecd_work_support_checks_total", "role-value support tests", work.SupportChecks},
+		{"parsecd_work_eliminations_total", "role values eliminated", work.Eliminations},
+		{"parsecd_work_filter_iterations_total", "consistency-maintenance passes", work.FilterIterations},
+		{"parsecd_work_pram_steps_total", "synchronous P-RAM steps", work.Steps},
+		{"parsecd_work_maspar_cycles_total", "simulated MasPar cycles", work.Cycles},
+		{"parsecd_work_maspar_scans_total", "segmented scan invocations", work.ScanOps},
+		{"parsecd_work_maspar_router_ops_total", "router point-to-point sends", work.RouterOps},
+		{"parsecd_work_maspar_broadcasts_total", "ACU broadcasts", work.Broadcasts},
 	}
 	for _, c := range workCounters {
-		counter("parsecd_work_"+c.name+"_total", c.help, c.v)
+		counter(c.name, c.help, c.v)
 	}
 
 	m.queueWait.WritePrometheus(w, "parsecd_queue_wait_seconds", "time requests spent queued before a worker picked them up")
