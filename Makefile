@@ -39,13 +39,19 @@ ci: vet lint race fuzz-smoke
 # fuzz-smoke runs each native fuzz target for FUZZTIME on top of its
 # checked-in seed corpus (testdata/fuzz/). 30s per target is the CI
 # budget; set FUZZTIME=5s for a quick local pass or point -fuzztime
-# at something much larger for a real soak.
+# at something much larger for a real soak. Targets are pkg:Name pairs
+# so surfaces outside the server package (the VM-vs-AST differential
+# target in internal/cdg) ride the same harness.
 FUZZTIME ?= 30s
-FUZZ_TARGETS ?= FuzzParseRequestDecode FuzzCacheKey FuzzLatticeRequestDecode
+FUZZ_TARGETS ?= ./internal/server/:FuzzParseRequestDecode \
+	./internal/server/:FuzzCacheKey \
+	./internal/server/:FuzzLatticeRequestDecode \
+	./internal/cdg/:FuzzCompiledEvalMatchesAST
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
-		echo "== fuzz $$t ($(FUZZTIME))"; \
-		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/server/ || exit 1; \
+		pkg=$${t%%:*}; name=$${t##*:}; \
+		echo "== fuzz $$name ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$name$$" -fuzztime $(FUZZTIME) $$pkg || exit 1; \
 	done
 
 # cluster-smoke boots a 3-shard in-process cluster (real server.New
@@ -63,16 +69,20 @@ serve:
 load:
 	$(GO) run ./cmd/parsecload -c 16 -n 400
 
-# bench runs the simulator, network, and serving-path benchmarks with
-# allocation accounting and writes the machine-readable report the perf
-# work tracks (ns/op, B/op, allocs/op, simulated cycles/op, sents/s).
+# bench runs the simulator, network, constraint-eval, end-to-end, and
+# serving-path benchmarks with allocation accounting and writes the
+# machine-readable report the perf work tracks (ns/op, B/op,
+# allocs/op, simulated cycles/op, sents/s, and the end-to-end parse's
+# eval/scan/router stage attribution).
+BENCH_PKGS = ./internal/maspar/ ./internal/cn/ ./internal/cdg/ ./internal/core/ ./internal/latticeserve/ ./internal/server/
 bench:
-	$(GO) test -run '^$$' -bench . -benchmem ./internal/maspar/ ./internal/cn/ ./internal/latticeserve/ ./internal/server/ | $(GO) run ./cmd/benchjson -o BENCH_scan.json
+	$(GO) test -run '^$$' -bench . -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -o BENCH_scan.json
 	@echo wrote BENCH_scan.json
 
 # bench-smoke is the CI-sized variant: one short iteration per
-# benchmark, just enough to prove the harness and the JSON pipeline
-# stay healthy.
+# benchmark (BenchmarkEndToEndParse and BenchmarkConstraintEval
+# included), just enough to prove the harness, the attribution
+# plumbing, and the JSON pipeline stay healthy.
 bench-smoke:
-	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem ./internal/maspar/ ./internal/cn/ ./internal/latticeserve/ ./internal/server/ | $(GO) run ./cmd/benchjson -o BENCH_scan.json
+	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -o BENCH_scan.json
 	@echo wrote BENCH_scan.json

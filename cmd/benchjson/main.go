@@ -1,8 +1,9 @@
 // Command benchjson converts `go test -bench` text output read on
 // stdin into a JSON benchmark report on stdout (or -o file). It keeps
 // the metrics the scan/router optimization work tracks: ns/op, B/op,
-// allocs/op, the simulator's custom cycles/op metric, and the serving
-// path's sents/s throughput metric.
+// allocs/op, the simulator's custom cycles/op metric, the serving
+// path's sents/s throughput metric, and the end-to-end parse
+// benchmark's eval/scan/router stage attribution.
 //
 // Usage:
 //
@@ -32,6 +33,9 @@ type Result struct {
 	AllocsPer  float64 `json:"allocs_per_op"`
 	CyclesPer  float64 `json:"cycles_per_op,omitempty"`
 	SentsPer   float64 `json:"sents_per_sec,omitempty"`
+	EvalNsPer  float64 `json:"eval_ns_per_op,omitempty"`
+	ScanNsPer  float64 `json:"scan_ns_per_op,omitempty"`
+	RouterNs   float64 `json:"router_ns_per_op,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -132,6 +136,12 @@ func parseLine(line string) (Result, bool) {
 			res.CyclesPer = v
 		case "sents/s":
 			res.SentsPer = v
+		case "eval-ns/op":
+			res.EvalNsPer = v
+		case "scan-ns/op":
+			res.ScanNsPer = v
+		case "router-ns/op":
+			res.RouterNs = v
 		}
 	}
 	return res, true

@@ -43,7 +43,7 @@ var AllocFree = &Analyzer{
 	Name: "allocfree",
 	Doc: "//parsec:noalloc functions must not allocate: escape-analysis " +
 		"diagnostics and allocation idioms are errors inside them",
-	Match:      pkgPathIn("maspar", "core", "bitset"),
+	Match:      pkgPathIn("maspar", "core", "bitset", "cdg"),
 	RunProgram: runAllocFree,
 }
 

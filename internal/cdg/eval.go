@@ -184,6 +184,7 @@ var (
 	valInvalid = value{kind: vInvalid}
 )
 
+//parsec:noalloc
 func boolVal(b bool) value {
 	if b {
 		return valTrue
@@ -191,6 +192,7 @@ func boolVal(b bool) value {
 	return valFalse
 }
 
+//parsec:noalloc
 func (v value) truthy() bool { return v.kind == vBool && v.n != 0 }
 
 // eqVals implements the (eq x y) predicate: true only when kinds match

@@ -1,0 +1,94 @@
+// Differential fuzzing of the bytecode VM against the AST reference
+// interpreter. The VM (vm.go, vmcompile.go) is an optimization layer:
+// every verdict it produces — through Check1/Check2 and through the
+// span sweeps the propagation drivers use, including their row-fill
+// and straight-line specializations — must be bit-equal to what
+// Constraint.Satisfied computes on the expr tree. This target drives
+// the comparison with seed-generated grammars drawn from the same
+// constraint templates the natural-language grammars use, so the fused
+// superinstruction shapes (category tests, label gates, modifiee
+// comparisons) are all exercised.
+//
+// The package is external (cdg_test) because the generators live in
+// internal/grammars, which imports cdg.
+package cdg_test
+
+import (
+	"testing"
+
+	"repro/internal/cdg"
+	"repro/internal/grammars"
+)
+
+// sweepRefs enumerates every role value of the space in driver order —
+// the exact spans cn.ApplyUnary/ApplyBinary hand to the checkers.
+func sweepRefs(sp *cdg.Space) []cdg.RVRef {
+	var refs []cdg.RVRef
+	for gr := 0; gr < sp.NumRoles(); gr++ {
+		pos, r := sp.RoleAt(gr)
+		for idx := 0; idx < sp.RVCount(r); idx++ {
+			refs = append(refs, sp.RVRef(pos, r, idx))
+		}
+	}
+	return refs
+}
+
+func FuzzCompiledEvalMatchesAST(f *testing.F) {
+	f.Add(uint64(1), uint64(2), uint64(0))
+	f.Add(uint64(7), uint64(11), uint64(1))
+	f.Add(uint64(42), uint64(1), uint64(2))
+	f.Add(uint64(9001), uint64(17), uint64(5))
+	f.Add(uint64(123456789), uint64(987654321), uint64(7))
+	f.Fuzz(func(t *testing.T, gseed, sseed, nmix uint64) {
+		g := grammars.Random(gseed)
+		words := grammars.RandomSentence(g, sseed, 2+int(nmix%3))
+		sent, err := cdg.Resolve(g, words, nil)
+		if err != nil {
+			return // unresolvable word sequence: nothing to compare
+		}
+		sp := cdg.NewSpace(g, sent)
+		refs := sweepRefs(sp)
+		env := &cdg.Env{Sent: sent}
+		out := make([]bool, len(refs))
+		rev := make([]bool, len(refs))
+
+		for _, c := range g.Unary() {
+			ck := c.Bind(sent)
+			ck.Check1Span(refs, out)
+			for i, x := range refs {
+				env.X = x
+				want := c.Satisfied(env)
+				if got := ck.Check1(x); got != want {
+					t.Fatalf("g=%d s=%d %s: Check1(%v)=%v, AST=%v", gseed, sseed, c.Name, x, got, want)
+				}
+				if out[i] != want {
+					t.Fatalf("g=%d s=%d %s: Check1Span[%d]=%v, AST=%v", gseed, sseed, c.Name, i, out[i], want)
+				}
+			}
+		}
+		for _, c := range g.Binary() {
+			ck := c.Bind(sent)
+			for _, x := range refs {
+				ck.Check2Span(x, refs, out)
+				ck.Check2SpanRev(x, refs, rev)
+				env.X = x
+				for j, y := range refs {
+					env.Y = y
+					want := c.Satisfied(env)
+					if got := ck.Check2(x, y); got != want {
+						t.Fatalf("g=%d s=%d %s: Check2(%v,%v)=%v, AST=%v", gseed, sseed, c.Name, x, y, got, want)
+					}
+					if out[j] != want {
+						t.Fatalf("g=%d s=%d %s: Check2Span[%d]=%v, AST=%v", gseed, sseed, c.Name, j, out[j], want)
+					}
+					env.X, env.Y = y, x
+					wantRev := c.Satisfied(env)
+					env.X = x
+					if rev[j] != wantRev {
+						t.Fatalf("g=%d s=%d %s: Check2SpanRev[%d]=%v, AST=%v", gseed, sseed, c.Name, j, rev[j], wantRev)
+					}
+				}
+			}
+		}
+	})
+}

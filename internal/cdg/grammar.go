@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // LabelID indexes Grammar.Labels.
@@ -46,6 +47,12 @@ type Constraint struct {
 
 	ante expr
 	cons expr
+
+	// prog is the bytecode form compiled from ante/cons (vm.go); nil
+	// when the lowering did not fit the VM's fixed scratch, in which
+	// case every Checker for this constraint evaluates through the AST
+	// reference interpreter below.
+	prog *Prog
 }
 
 // Satisfied reports whether the constraint holds in env. A role value
@@ -80,6 +87,14 @@ type Grammar struct {
 
 	unary  []*Constraint
 	binary []*Constraint
+
+	// ctxMu guards ctxCache, the memo for CompileConstraint: context
+	// constraints are admitted per request on the serving path, and the
+	// same (name, source) pair recompiles into the same immutable
+	// *Constraint, so the compile (and its bytecode lowering) is paid
+	// once per grammar.
+	ctxMu    sync.Mutex
+	ctxCache map[string]*Constraint
 
 	// maxLabels is the largest |table[r]| over all roles — the paper's
 	// grammatical constant l used for PE virtualization (§2.2.3).

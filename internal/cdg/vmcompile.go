@@ -1,0 +1,678 @@
+package cdg
+
+// Lowering from the expr AST to the bytecode of vm.go. Three
+// transformations, fused into one codegen walk:
+//
+//  1. Constant folding: a subexpression that references no role-value
+//     variable and no sentence state (no word/cat node) is evaluated
+//     once at compile time and becomes a const-pool entry.
+//  2. Sentence-invariant hoisting: a variable-free subexpression that
+//     DOES read the sentence — (word N), (cat (word N)), or any
+//     predicate over them — is assigned a slot and compiled into the
+//     prologue, which Bind runs once per sentence. The per-pair
+//     residue is then just register compares.
+//  3. Superinstruction selection: the dominant constraint shapes —
+//     access-compare-const and (eq (cat (word (pos v))) CAT) — are
+//     emitted as single fused instructions, in a value form and in
+//     jump-if-false/jump-if-true forms.
+//
+// Predicates in branch position (the antecedent, the consequent, and
+// every and/or/not operand) are lowered branch-directed: truth flows
+// through jump targets instead of materialized booleans, so an
+// and-chain costs one fused test-and-jump per conjunct and nothing
+// else. Booleans are materialized only where a predicate is used as a
+// value (e.g. compared with eq).
+//
+// compileProg is total: a constraint the lowering cannot fit into the
+// fixed VM scratch (stack deeper than maxEvalStack, more than
+// maxEvalSlots hoisted slots, or a program past the int16 operand
+// encoding) returns nil and the constraint simply keeps evaluating
+// through the AST reference interpreter.
+
+// constPool interns the values a program references. Shared between
+// the body and prologue codegens so both index one table.
+type constPool struct {
+	vals []value
+	idx  map[value]int16
+}
+
+func (p *constPool) intern(v value) int16 {
+	if i, ok := p.idx[v]; ok {
+		return i
+	}
+	i := int16(len(p.vals))
+	p.vals = append(p.vals, v)
+	p.idx[v] = i
+	return i
+}
+
+// codegen emits bytecode for one segment, tracking operand-stack depth
+// so compileProg can size-check against the VM's fixed stack.
+type codegen struct {
+	pool  *constPool
+	code  []instr
+	slots []expr           // hoisted subexpressions, in slot order
+	slot  map[string]int16 // canonical source text → slot index
+	hoist bool             // false while compiling the prologue itself
+
+	depth    int
+	maxDepth int
+}
+
+func (cg *codegen) push() {
+	cg.depth++
+	if cg.depth > cg.maxDepth {
+		cg.maxDepth = cg.depth
+	}
+}
+
+func (cg *codegen) emitOp(op opcode, a int16) {
+	cg.code = append(cg.code, instr{op: op, a: a})
+}
+
+// emitJump appends a jump with an unpatched target and returns its pc.
+func (cg *codegen) emitJump(op opcode) int {
+	cg.code = append(cg.code, instr{op: op})
+	return len(cg.code) - 1
+}
+
+// patch points jump pc at the current end of code. Fused conditional
+// jumps carry their target in c (a and b hold the access spec and the
+// immediate); the plain jumps carry it in a.
+func (cg *codegen) patch(pc int) {
+	target := int16(len(cg.code))
+	if op := cg.code[pc].op; op >= opFieldEqImmJF && op <= opSlotJT {
+		cg.code[pc].c = target
+	} else {
+		cg.code[pc].a = target
+	}
+}
+
+func (cg *codegen) patchAll(pcs []int) {
+	for _, pc := range pcs {
+		cg.patch(pc)
+	}
+}
+
+func (cg *codegen) emitConst(v value) {
+	cg.emitOp(opConst, cg.pool.intern(v))
+	cg.push()
+}
+
+// sentenceDependent reports whether e reads sentence state (a word or
+// cat node anywhere below it). Together with vars()==0 it decides
+// fold-vs-hoist.
+func sentenceDependent(e expr) bool {
+	switch t := e.(type) {
+	case *wordExpr, *catExpr:
+		return true
+	case *logicExpr:
+		for _, a := range t.args {
+			if sentenceDependent(a) {
+				return true
+			}
+		}
+	case *cmpExpr:
+		return sentenceDependent(t.a) || sentenceDependent(t.b)
+	}
+	return false
+}
+
+// foldConst evaluates e at compile time when it depends on neither a
+// role-value variable nor the sentence. eqVals never touches env.Sent
+// here — a vWord needs a word node, which is sentence-dependent.
+func foldConst(e expr) (value, bool) {
+	if e.vars() != 0 || sentenceDependent(e) {
+		return value{}, false
+	}
+	return e.eval(&Env{}), true
+}
+
+// slotFor assigns (or reuses) the hoisting slot of a sentence-only
+// subexpression, keyed by canonical source text.
+func (cg *codegen) slotFor(e expr) (int16, bool) {
+	key := e.String()
+	idx, ok := cg.slot[key]
+	if !ok {
+		if len(cg.slots) >= maxEvalSlots {
+			return 0, false
+		}
+		idx = int16(len(cg.slots))
+		cg.slots = append(cg.slots, e)
+		cg.slot[key] = idx
+	}
+	return idx, true
+}
+
+// fieldClass groups the access fields by the value kind they produce:
+// lab → vLabel, role → vRole, pos and mod → the int class (mod also
+// admits vNil, which the VM's 0 sentinel and > 0 guards reproduce).
+func fieldClass(fn string) int {
+	switch fn {
+	case "lab":
+		return 0
+	case "role":
+		return 1
+	}
+	return 2 // pos, mod: int class
+}
+
+// catChainField unwraps (cat (word (FIELD v))) to the inner access.
+func catChainField(e expr) (*accessExpr, bool) {
+	if cat, isCat := e.(*catExpr); isCat {
+		if w, isWord := cat.arg.(*wordExpr); isWord {
+			acc, isAcc := w.arg.(*accessExpr)
+			return acc, isAcc
+		}
+	}
+	return nil, false
+}
+
+// fuseCmp recognizes the superinstruction shapes inside a cmpExpr and
+// proves their kind rules at compile time:
+//
+//   - access CMP access → FieldCmpField (eq needs matching kind
+//     classes, gt/lt need both int-class; a provable mismatch is a
+//     compile-time false);
+//   - access CMP const → FieldEqImm/FieldGtImm/FieldLtImm when the
+//     constant matches the field's kind and fits the immediate (a kind
+//     mismatch is compile-time false; an out-of-range int falls back
+//     to the generic stack lowering);
+//   - (eq (cat (word (FIELD v))) CAT) → CatEqImm.
+//
+// It returns the JF-form instruction template (target unset), or
+// constFalse for comparisons the kind rules decide statically, or
+// ok == false when no fusion applies.
+func fuseCmp(t *cmpExpr) (in instr, constFalse, ok bool) {
+	if accA, aIsAcc := t.a.(*accessExpr); aIsAcc {
+		if accB, bIsAcc := t.b.(*accessExpr); bIsAcc {
+			ca, cb := fieldClass(accA.fn), fieldClass(accB.fn)
+			op := opFieldEqFieldJF
+			switch t.op {
+			case "eq":
+				if ca != cb {
+					return instr{}, true, true // vLabel vs vInt etc.: never equal
+				}
+			case "gt", "lt":
+				if ca != 2 || cb != 2 {
+					return instr{}, true, true // gt/lt require both ints
+				}
+				op = opFieldGtFieldJF
+				if t.op == "lt" {
+					op = opFieldLtFieldJF
+				}
+			default:
+				return instr{}, false, false
+			}
+			spec := accessSpec(accA) | accessSpec(accB)<<3
+			return instr{op: op, a: spec}, false, true
+		}
+	}
+
+	// One side must fold to a constant; a names the dynamic side.
+	a := t.a
+	rev := false
+	cv, isConst := foldConst(t.b)
+	if !isConst {
+		cv, isConst = foldConst(t.a)
+		if !isConst {
+			return instr{}, false, false
+		}
+		a, rev = t.b, true
+	}
+
+	if acc, isAcc := a.(*accessExpr); isAcc {
+		spec := accessSpec(acc)
+		switch t.op {
+		case "eq":
+			switch acc.fn {
+			case "lab":
+				if cv.kind != vLabel {
+					return instr{}, true, true
+				}
+				return instr{op: opFieldEqImmJF, a: spec, b: int16(cv.n)}, false, true
+			case "role":
+				if cv.kind != vRole {
+					return instr{}, true, true
+				}
+				return instr{op: opFieldEqImmJF, a: spec, b: int16(cv.n)}, false, true
+			case "mod":
+				if cv.kind == vNil {
+					return instr{op: opFieldEqImmJF, a: spec, b: 0}, false, true
+				}
+				fallthrough
+			default: // pos, or mod against an int
+				if cv.kind != vInt {
+					return instr{}, true, true
+				}
+				if cv.n < 1 || cv.n > maxImmPos {
+					return instr{}, false, false // generic lowering stays exact
+				}
+				return instr{op: opFieldEqImmJF, a: spec, b: int16(cv.n)}, false, true
+			}
+		case "gt", "lt":
+			if fieldClass(acc.fn) != 2 {
+				return instr{}, true, true // vLabel/vRole are never ints
+			}
+			if cv.kind != vInt {
+				return instr{}, true, true
+			}
+			if cv.n < 0 || cv.n > maxImmPos {
+				return instr{}, false, false
+			}
+			op := opFieldGtImmJF
+			if (t.op == "lt") != rev { // reversal flips the direction
+				op = opFieldLtImmJF
+			}
+			return instr{op: op, a: spec, b: int16(cv.n)}, false, true
+		}
+		return instr{}, false, false
+	}
+
+	if t.op == "eq" {
+		if acc, isChain := catChainField(a); isChain {
+			if cv.kind != vCat {
+				return instr{}, true, true // a cat chain yields vCat or vInvalid
+			}
+			if fieldClass(acc.fn) != 2 {
+				return instr{}, true, true // (word (lab v)) is always invalid
+			}
+			return instr{op: opCatEqImmJF, a: accessSpec(acc), b: int16(cv.n)}, false, true
+		}
+	}
+	return instr{}, false, false
+}
+
+// branch lowers predicate e in branch position: the emitted code jumps
+// exactly when e's truthiness equals onTrue and falls through
+// otherwise, leaving nothing on the operand stack. Jump pcs are
+// appended to patches for the caller to point at the branch target. It
+// returns false when the program cannot fit the VM's fixed scratch.
+func (cg *codegen) branch(e expr, onTrue bool, patches *[]int) bool {
+	if v, ok := foldConst(e); ok {
+		if v.truthy() == onTrue {
+			*patches = append(*patches, cg.emitJump(opJump))
+		}
+		return true
+	}
+	if cg.hoist && e.vars() == 0 {
+		// Sentence-only (foldConst would have taken it otherwise):
+		// test the hoisted slot directly.
+		idx, ok := cg.slotFor(e)
+		if !ok {
+			return false
+		}
+		op := opSlotJF
+		if onTrue {
+			op = opSlotJT
+		}
+		cg.code = append(cg.code, instr{op: op, a: idx})
+		*patches = append(*patches, len(cg.code)-1)
+		return true
+	}
+
+	switch t := e.(type) {
+	case *logicExpr:
+		switch t.op {
+		case "not":
+			return cg.branch(t.args[0], !onTrue, patches)
+		case "and":
+			if !onTrue {
+				// Jump out as soon as any conjunct is false.
+				for _, a := range t.args {
+					if !cg.branch(a, false, patches) {
+						return false
+					}
+				}
+				return true
+			}
+			// onTrue: early conjuncts false → fall through past the
+			// final jump; last conjunct true → take the branch.
+			var skip []int
+			for _, a := range t.args[:len(t.args)-1] {
+				if !cg.branch(a, false, &skip) {
+					return false
+				}
+			}
+			if !cg.branch(t.args[len(t.args)-1], true, patches) {
+				return false
+			}
+			cg.patchAll(skip)
+			return true
+		case "or":
+			if onTrue {
+				for _, a := range t.args {
+					if !cg.branch(a, true, patches) {
+						return false
+					}
+				}
+				return true
+			}
+			var skip []int
+			for _, a := range t.args[:len(t.args)-1] {
+				if !cg.branch(a, true, &skip) {
+					return false
+				}
+			}
+			if !cg.branch(t.args[len(t.args)-1], false, patches) {
+				return false
+			}
+			cg.patchAll(skip)
+			return true
+		}
+
+	case *cmpExpr:
+		if in, constFalse, ok := fuseCmp(t); ok {
+			if constFalse {
+				// Statically false (a kind mismatch): jump on !onTrue.
+				if !onTrue {
+					*patches = append(*patches, cg.emitJump(opJump))
+				}
+				return true
+			}
+			if onTrue {
+				in.op++ // the JT form is enum-adjacent to the JF form
+			}
+			cg.code = append(cg.code, in)
+			*patches = append(*patches, len(cg.code)-1)
+			return true
+		}
+	}
+
+	// Generic leaf: materialize the value, then test it.
+	if !cg.emit(e) {
+		return false
+	}
+	op := opJumpNotTruthy
+	if onTrue {
+		op = opJumpTruthy
+	}
+	*patches = append(*patches, cg.emitJump(op))
+	cg.depth--
+	return true
+}
+
+// emit lowers e in value position (its result is pushed). It returns
+// false when the program cannot fit the VM's fixed scratch.
+func (cg *codegen) emit(e expr) bool {
+	if cg.depth+1 > maxEvalStack {
+		return false
+	}
+	if v, ok := foldConst(e); ok {
+		cg.emitConst(v)
+		return true
+	}
+	if cg.hoist && e.vars() == 0 {
+		idx, ok := cg.slotFor(e)
+		if !ok {
+			return false
+		}
+		cg.emitOp(opSlot, idx)
+		cg.push()
+		return true
+	}
+
+	switch t := e.(type) {
+	case *constExpr:
+		cg.emitConst(t.v)
+		return true
+
+	case *accessExpr:
+		cg.emitOp(opAccess, accessSpec(t))
+		cg.push()
+		return true
+
+	case *wordExpr:
+		if !cg.emit(t.arg) {
+			return false
+		}
+		cg.emitOp(opWord, 0)
+		return true
+
+	case *catExpr:
+		if !cg.emit(t.arg) {
+			return false
+		}
+		cg.emitOp(opCat, 0)
+		return true
+
+	case *cmpExpr:
+		// Value position (rare: a comparison used as an operand of
+		// another comparison): the generic stack lowering is always
+		// exact, so no fusion is attempted here.
+		if !cg.emit(t.a) || !cg.emit(t.b) {
+			return false
+		}
+		var op opcode
+		switch t.op {
+		case "eq":
+			op = opEq
+		case "gt":
+			op = opGt
+		default:
+			op = opLt
+		}
+		cg.emitOp(op, 0)
+		cg.depth--
+		return true
+
+	case *logicExpr:
+		// A predicate in value position (e.g. compared with eq):
+		// branch-lower it into an explicit true/false materialization.
+		var toTrue []int
+		if !cg.branch(t, true, &toTrue) {
+			return false
+		}
+		cg.emitConst(valFalse)
+		cg.depth--
+		end := cg.emitJump(opJump)
+		cg.patchAll(toTrue)
+		cg.emitConst(valTrue)
+		cg.patch(end)
+		return true
+	}
+	return false
+}
+
+func accessSpec(e *accessExpr) int16 {
+	var spec int16
+	switch e.fn {
+	case "lab":
+		spec = accLab
+	case "mod":
+		spec = accMod
+	case "role":
+		spec = accRole
+	default:
+		spec = accPos
+	}
+	if e.onY {
+		spec |= accOnY
+	}
+	return spec
+}
+
+// compileProg lowers one compiled constraint to bytecode, or returns
+// nil when it does not fit the VM's fixed scratch (the constraint then
+// stays on the AST interpreter). The program mirrors
+// Constraint.Satisfied — return truthy(cons), unless the antecedent
+// fails, in which case the constraint holds vacuously — lowered fully
+// branch-directed:
+//
+//	[ante; false → RT]
+//	[cons; false → RF]
+//	RT: ret-true
+//	RF: ret-false
+func compileProg(c *Constraint) *Prog {
+	pool := &constPool{idx: make(map[value]int16)}
+	cg := &codegen{pool: pool, slot: make(map[string]int16), hoist: true}
+	var toRT, toRF []int
+	if !cg.branch(c.ante, false, &toRT) {
+		return nil
+	}
+	if !cg.branch(c.cons, false, &toRF) {
+		return nil
+	}
+	cg.patchAll(toRT)
+	cg.code = append(cg.code, instr{op: opRetTrue})
+	cg.patchAll(toRF)
+	cg.code = append(cg.code, instr{op: opRetFalse})
+
+	// Prologue: evaluate each hoisted subexpression into its slot.
+	// hoist is off — the prologue computes the slots, it cannot read
+	// them — so the full subtree is compiled (it runs once per Bind).
+	pro := &codegen{pool: pool, slot: make(map[string]int16)}
+	for i, e := range cg.slots {
+		if !pro.emit(e) {
+			return nil
+		}
+		pro.code = append(pro.code, instr{op: opStoreSlot, a: int16(i)})
+		pro.depth--
+	}
+	if len(pro.code) > 0 {
+		pro.code = append(pro.code, instr{op: opRetTrue})
+	}
+
+	// Size checks: the fixed operand stack, plus the int16 operand
+	// encoding (jump targets and pool indices must fit).
+	const maxEnc = 1 << 14
+	if cg.maxDepth > maxEvalStack || pro.maxDepth > maxEvalStack ||
+		len(cg.code) > maxEnc || len(pro.code) > maxEnc || len(pool.vals) > maxEnc {
+		return nil
+	}
+	maxStack := cg.maxDepth
+	if pro.maxDepth > maxStack {
+		maxStack = pro.maxDepth
+	}
+	flat := isFlat(cg.code)
+	if flat {
+		// Flat programs run only through runFlatSpan, which understands
+		// the pair superinstructions and the return sentinels; non-flat
+		// programs and prologues stay on plain runProg encodings.
+		cg.code = fusePairs(cg.code)
+		retSentinels(cg.code)
+	}
+	evalCompiled.Add(1)
+	return &Prog{
+		code:     cg.code,
+		pro:      pro.code,
+		consts:   pool.vals,
+		numSlots: len(cg.slots),
+		maxStack: maxStack,
+		flat:     flat,
+	}
+}
+
+// isFlat reports whether a body consists solely of fused
+// test-and-jump instructions plus control flow — no operand stack —
+// and can therefore run through the stackless fast loop.
+func isFlat(code []instr) bool {
+	for _, in := range code {
+		switch {
+		case in.op >= opFieldEqImmJF && in.op <= opPairEqImmNeImmJF:
+		case in.op == opJump || in.op == opRetTrue || in.op == opRetFalse:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// fusePairs is the flat-program peephole: two adjacent jump-if-false
+// tests with the same target — one and-chain's conjuncts — collapse
+// into a single pair superinstruction, halving dispatches on the
+// dominant antecedent shapes ((eq (cat ...) C) then a role gate;
+// (eq (lab x) L) then (eq (mod x) (pos y))). The second instruction
+// must not itself be a jump target, and byte-packed immediates must
+// fit (ids always do; positions past 255 stay unfused).
+func fusePairs(code []instr) []instr {
+	isTarget := make([]bool, len(code)+1)
+	for _, in := range code {
+		switch {
+		case in.op >= opFieldEqImmJF && in.op <= opSlotJT:
+			isTarget[in.c] = true
+		case in.op == opJump:
+			isTarget[in.a] = true
+		}
+	}
+	out := make([]instr, 0, len(code))
+	newPC := make([]int16, len(code)+1)
+	for i := 0; i < len(code); i++ {
+		newPC[i] = int16(len(out))
+		in := code[i]
+		if i+1 < len(code) && !isTarget[i+1] && code[i+1].c == in.c {
+			if p, ok := pairOf(in, code[i+1]); ok {
+				newPC[i+1] = int16(len(out))
+				out = append(out, p)
+				i++
+				continue
+			}
+		}
+		out = append(out, in)
+	}
+	newPC[len(code)] = int16(len(out))
+	for k := range out {
+		switch {
+		case out[k].op >= opFieldEqImmJF && out[k].op <= opPairEqImmNeImmJF:
+			out[k].c = newPC[out[k].c]
+		case out[k].op == opJump:
+			out[k].a = newPC[out[k].a]
+		}
+	}
+	return out
+}
+
+// pairOf combines two same-target JF tests into one pair
+// superinstruction, when a supported encoding exists.
+func pairOf(a, b instr) (instr, bool) {
+	byteImms := a.b >= 0 && a.b <= 0xff && b.b >= 0 && b.b <= 0xff
+	switch {
+	case a.op == opFieldEqImmJF && b.op == opFieldEqImmJF && byteImms:
+		return instr{op: opPairEqImmEqImmJF, a: a.a | b.a<<3, b: int16(uint16(a.b) | uint16(b.b)<<8), c: a.c}, true
+	case a.op == opCatEqImmJF && b.op == opFieldEqImmJF && byteImms:
+		return instr{op: opPairCatEqEqImmJF, a: a.a | b.a<<3, b: int16(uint16(a.b) | uint16(b.b)<<8), c: a.c}, true
+	case a.op == opFieldEqImmJF && b.op == opFieldEqImmJT && byteImms:
+		// eq followed by a branch-directed not(eq): continue only when
+		// the first field matches and the second does not.
+		return instr{op: opPairEqImmNeImmJF, a: a.a | b.a<<3, b: int16(uint16(a.b) | uint16(b.b)<<8), c: a.c}, true
+	case a.op == opFieldEqImmJF && b.op == opFieldEqFieldJF:
+		// b.a already packs two 3-bit specs; the pair keeps a's spec at
+		// bits 0–2 and shifts b's pair up to bits 3–8.
+		return instr{op: opPairEqImmEqFieldJF, a: a.a | b.a<<3, b: a.b, c: a.c}, true
+	}
+	return instr{}, false
+}
+
+// retSentinels replaces every flat-program jump target that resolves
+// (through opJump chains) to a bare return with the verdict sentinels,
+// so the taken branch of a fused test finishes the check without
+// another dispatch. An opJump that itself targets a return becomes
+// that return.
+func retSentinels(code []instr) {
+	resolve := func(t int16) int16 {
+		for code[t].op == opJump {
+			t = code[t].a
+		}
+		switch code[t].op {
+		case opRetTrue:
+			return retTrueTarget
+		case opRetFalse:
+			return retFalseTarget
+		}
+		return t
+	}
+	for k := range code {
+		switch {
+		case code[k].op >= opFieldEqImmJF && code[k].op <= opPairEqImmNeImmJF:
+			code[k].c = resolve(code[k].c)
+		case code[k].op == opJump:
+			if t := resolve(code[k].a); t == retTrueTarget {
+				code[k] = instr{op: opRetTrue}
+			} else if t == retFalseTarget {
+				code[k] = instr{op: opRetFalse}
+			} else {
+				code[k].a = t
+			}
+		}
+	}
+}

@@ -44,8 +44,49 @@ type Network struct {
 	// the diagonal.
 	arcAt [][]int
 
+	// scr holds the reusable buffers of the span-based propagation
+	// loops. Network methods are single-goroutine by contract (the
+	// parallel engines drive their own sweeps over the primitives), so
+	// one scratch set per network suffices and steady-state propagation
+	// allocates nothing.
+	scr evalScratch
+
 	// Counters receives the work accounting; never nil.
 	Counters *metrics.Counters
+}
+
+// evalScratch backs ApplyUnary/ApplyBinary/ApplyBinaryAll: the live
+// role values of the swept domain, their domain indices, and the
+// verdict spans the bytecode evaluator fills in one call per row.
+type evalScratch struct {
+	refs []cdg.RVRef
+	idxs []int
+	fwd  []bool
+	rev  []bool
+	cks  []cdg.Checker
+}
+
+// liveRefs fills the scratch ref/index buffers with the live role
+// values of global role gr, in ascending index order (the order every
+// pre-span loop enumerated them in).
+func (nw *Network) liveRefs(gr int) ([]cdg.RVRef, []int) {
+	pos, r := nw.sp.RoleAt(gr)
+	nw.scr.refs = nw.scr.refs[:0]
+	nw.scr.idxs = nw.scr.idxs[:0]
+	nw.domains[gr].ForEach(func(idx int) {
+		nw.scr.refs = append(nw.scr.refs, nw.sp.RVRef(pos, r, idx))
+		nw.scr.idxs = append(nw.scr.idxs, idx)
+	})
+	return nw.scr.refs, nw.scr.idxs
+}
+
+// boolSpan resizes buf to n verdicts, reusing its backing array.
+func boolSpan(buf *[]bool, n int) []bool {
+	if cap(*buf) < n {
+		*buf = make([]bool, n)
+	}
+	*buf = (*buf)[:n]
+	return *buf
 }
 
 // New builds the initial network: domains from table T, the lexicon
@@ -193,21 +234,18 @@ func (nw *Network) ApplyUnary(c *cdg.Constraint) int {
 	if c.Arity != 1 {
 		panic("cn: ApplyUnary needs a unary constraint")
 	}
-	env := &cdg.Env{Sent: nw.sp.Sentence()}
+	ck := c.Bind(nw.sp.Sentence())
 	eliminated := 0
 	for gr := range nw.domains {
-		pos, r := nw.sp.RoleAt(gr)
-		var doomed []int
-		nw.domains[gr].ForEach(func(idx int) {
-			env.X = nw.sp.RVRef(pos, r, idx)
-			nw.Counters.ConstraintChecks++
-			if !c.Satisfied(env) {
-				doomed = append(doomed, idx)
+		refs, idxs := nw.liveRefs(gr)
+		out := boolSpan(&nw.scr.fwd, len(refs))
+		ck.Check1Span(refs, out)
+		nw.Counters.ConstraintChecks += uint64(len(refs))
+		for k, idx := range idxs {
+			if !out[k] {
+				nw.Eliminate(gr, idx)
+				eliminated++
 			}
-		})
-		for _, idx := range doomed {
-			nw.Eliminate(gr, idx)
-			eliminated++
 		}
 	}
 	return eliminated
@@ -217,36 +255,45 @@ func (nw *Network) ApplyUnary(c *cdg.Constraint) int {
 // surviving pair is tested in both variable orientations and the matrix
 // bit is zeroed on violation. O(n⁴) pair checks, matching §1.4. It does
 // not run consistency maintenance; callers sequence that separately.
+//
+// The sweep is span-shaped: one row value against the whole live
+// column set per bytecode call, both orientations evaluated up front.
+// The evaluator may therefore run on pairs whose matrix bit is already
+// zero (or whose forward orientation failed); ConstraintChecks charges
+// exactly the checks the per-pair loop performed — one per surviving
+// pair plus one per forward pass — so counters are bit-identical to
+// the pre-span accounting and to the AST fallback.
 func (nw *Network) ApplyBinary(c *cdg.Constraint) int {
 	if c.Arity != 2 {
 		panic("cn: ApplyBinary needs a binary constraint")
 	}
-	env := &cdg.Env{Sent: nw.sp.Sentence()}
+	ck := c.Bind(nw.sp.Sentence())
 	zeroed := 0
 	for _, arc := range nw.arcs {
 		posA, ra := nw.sp.RoleAt(arc.A)
-		posB, rb := nw.sp.RoleAt(arc.B)
+		ys, js := nw.liveRefs(arc.B)
+		fwd := boolSpan(&nw.scr.fwd, len(ys))
+		rev := boolSpan(&nw.scr.rev, len(ys))
 		nw.domains[arc.A].ForEach(func(i int) {
 			refA := nw.sp.RVRef(posA, ra, i)
-			nw.domains[arc.B].ForEach(func(j int) {
+			ck.Check2Span(refA, ys, fwd)
+			ck.Check2SpanRev(refA, ys, rev)
+			for k, j := range js {
 				if !arc.M.Get(i, j) {
-					return
+					continue
 				}
-				refB := nw.sp.RVRef(posB, rb, j)
-				env.X, env.Y = refA, refB
 				nw.Counters.ConstraintChecks++
-				ok := c.Satisfied(env)
+				ok := fwd[k]
 				if ok {
-					env.X, env.Y = refB, refA
 					nw.Counters.ConstraintChecks++
-					ok = c.Satisfied(env)
+					ok = rev[k]
 				}
 				if !ok {
 					arc.M.ClearBit(i, j)
 					nw.Counters.MatrixWrites++
 					zeroed++
 				}
-			})
+			}
 		})
 	}
 	return zeroed
@@ -270,26 +317,38 @@ func (nw *Network) ApplyBinaryAll(cs []*cdg.Constraint) int {
 			panic("cn: ApplyBinaryAll needs binary constraints")
 		}
 	}
-	env := &cdg.Env{Sent: nw.sp.Sentence()}
+	nw.scr.cks = nw.scr.cks[:0]
+	for _, c := range cs {
+		nw.scr.cks = append(nw.scr.cks, c.Bind(nw.sp.Sentence()))
+	}
+	cks := nw.scr.cks
 	zeroed := 0
 	for _, arc := range nw.arcs {
 		posA, ra := nw.sp.RoleAt(arc.A)
-		posB, rb := nw.sp.RoleAt(arc.B)
+		ys, js := nw.liveRefs(arc.B)
+		n := len(ys)
+		// One fwd/rev verdict span per constraint, stride n, so the
+		// per-pair loop below can replay the counted first-failure walk
+		// (ConstraintChecks stops at a pair's first failing constraint,
+		// exactly as the per-pair form did).
+		fwd := boolSpan(&nw.scr.fwd, len(cks)*n)
+		rev := boolSpan(&nw.scr.rev, len(cks)*n)
 		nw.domains[arc.A].ForEach(func(i int) {
 			refA := nw.sp.RVRef(posA, ra, i)
-			nw.domains[arc.B].ForEach(func(j int) {
+			for k := range cks {
+				cks[k].Check2Span(refA, ys, fwd[k*n:(k+1)*n])
+				cks[k].Check2SpanRev(refA, ys, rev[k*n:(k+1)*n])
+			}
+			for t, j := range js {
 				if !arc.M.Get(i, j) {
-					return
+					continue
 				}
-				refB := nw.sp.RVRef(posB, rb, j)
-				for _, c := range cs {
-					env.X, env.Y = refA, refB
+				for k := range cks {
 					nw.Counters.ConstraintChecks++
-					ok := c.Satisfied(env)
+					ok := fwd[k*n+t]
 					if ok {
-						env.X, env.Y = refB, refA
 						nw.Counters.ConstraintChecks++
-						ok = c.Satisfied(env)
+						ok = rev[k*n+t]
 					}
 					if !ok {
 						arc.M.ClearBit(i, j)
@@ -298,7 +357,7 @@ func (nw *Network) ApplyBinaryAll(cs []*cdg.Constraint) int {
 						break
 					}
 				}
-			})
+			}
 		})
 	}
 	return zeroed

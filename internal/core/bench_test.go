@@ -1,0 +1,52 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/cdg"
+	"repro/internal/grammars"
+)
+
+// BenchmarkEndToEndParse measures the full MasPar parse pipeline on the
+// English grammar — resolve, propagation (compiled constraint eval),
+// consistency maintenance (segmented scans), router traffic — and
+// attributes the wall clock to those stages via WithAttribution. The
+// exported eval-ns/op, scan-ns/op, and router-ns/op metrics are what
+// let BENCH_scan.json say how much of an end-to-end parse the bytecode
+// VM actually owns (and therefore what the measured constraint-eval
+// speedup is worth at the pipeline level). batch=1 is the serving
+// path's latency shape; batch=32 amortizes layout and gang-scheduling
+// overhead the way the batch endpoint does.
+func BenchmarkEndToEndParse(b *testing.B) {
+	g := grammars.English()
+	words := []string{"the", "dog", "saw", "the", "man", "with", "the", "telescope"}
+	for _, batch := range []int{1, 32} {
+		b.Run(fmt.Sprintf("batch=%d", batch), func(b *testing.B) {
+			var attr Attribution
+			p := NewParser(g, WithBackend(MasPar), WithAttribution(&attr))
+			sent, err := cdg.Resolve(g, words, nil)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sents := make([]*cdg.Sentence, batch)
+			for i := range sents {
+				sents[i] = sent
+			}
+			ctx := context.Background()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				if _, err := p.ParseGangContext(ctx, sents); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			perOp := float64(b.N * batch)
+			b.ReportMetric(float64(attr.EvalNs.Load())/perOp, "eval-ns/op")
+			b.ReportMetric(float64(attr.ScanNs.Load())/perOp, "scan-ns/op")
+			b.ReportMetric(float64(attr.RouterNs.Load())/perOp, "router-ns/op")
+		})
+	}
+}

@@ -73,6 +73,13 @@ type masparRun struct {
 	sps   []*cdg.Space
 	sents []*cdg.Sentence
 
+	// cks[b] is the compiled checker of the constraint currently being
+	// propagated, bound to member b's sentence (scratch reused across
+	// constraints so the hot loops never allocate). attr, when non-nil,
+	// receives per-stage wall-clock attribution.
+	cks  []cdg.Checker
+	attr *Attribution
+
 	segWords int // packed words per gang segment
 	stride   int // lane stride between segments (64·segWords)
 
@@ -200,8 +207,8 @@ func gangMaskW(src []uint64, segWords, segs int) []uint64 {
 // array. The context is checked between ACU constraint broadcasts and
 // between consistency rounds — a cancelled parse stops mid-algorithm
 // and the partial PE state is discarded.
-func runMasPar(ctx context.Context, sp *cdg.Space, m *maspar.Machine, consistencyPerConstraint bool, filter bool, maxIters int) (*masparRun, *cn.Network, error) {
-	run, nws, err := runMasParGang(ctx, []*cdg.Space{sp}, m, consistencyPerConstraint, filter, maxIters)
+func runMasPar(ctx context.Context, sp *cdg.Space, m *maspar.Machine, consistencyPerConstraint bool, filter bool, maxIters int, attr *Attribution) (*masparRun, *cn.Network, error) {
+	run, nws, err := runMasParGang(ctx, []*cdg.Space{sp}, m, consistencyPerConstraint, filter, maxIters, attr)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -213,7 +220,7 @@ func runMasPar(ctx context.Context, sp *cdg.Space, m *maspar.Machine, consistenc
 // member's final network. See the package comment: one instruction
 // stream serves every sentence, and counters are attributed per
 // sentence exactly as a solo run would charge them.
-func runMasParGang(ctx context.Context, sps []*cdg.Space, m *maspar.Machine, consistencyPerConstraint bool, filter bool, maxIters int) (*masparRun, []*cn.Network, error) {
+func runMasParGang(ctx context.Context, sps []*cdg.Space, m *maspar.Machine, consistencyPerConstraint bool, filter bool, maxIters int, attr *Attribution) (*masparRun, []*cn.Network, error) {
 	if len(sps) == 0 {
 		return nil, nil, fmt.Errorf("core: a gang needs at least one sentence")
 	}
@@ -241,6 +248,8 @@ func runMasParGang(ctx context.Context, sps []*cdg.Space, m *maspar.Machine, con
 		sents:      make([]*cdg.Sentence, B),
 		segWords:   m.SegWords(),
 		stride:     m.SegStride(),
+		cks:        make([]cdg.Checker, B),
+		attr:       attr,
 		bitsV:      make([][]uint64, l*l),
 		aliveColV:  make([][]uint64, l),
 		aliveRowV:  make([][]uint64, l),
@@ -437,13 +446,16 @@ func (run *masparRun) initBits() {
 // word-parallel.
 func (run *masparRun) applyUnary(c *cdg.Constraint) {
 	ly := run.ly
+	run.bindCheckers(c)
+	t0 := run.attr.start()
+	defer run.attr.eval(t0)
 	run.m.AllChecksWords(2*ly.l, func(w int, active uint64) {
 		seg := w / run.segWords
 		if run.dupSeg(seg) {
 			return // copied from the class representative below
 		}
 		base := seg * run.stride
-		env := cdg.Env{Sent: run.sents[seg]}
+		ck := &run.cks[seg]
 		for bset := active; bset != 0; bset &= bset - 1 {
 			pe := w<<6 + bits.TrailingZeros64(bset)
 			bit := uint64(1) << (uint(pe) & 63)
@@ -452,16 +464,14 @@ func (run *masparRun) applyUnary(c *cdg.Constraint) {
 			for ls := 0; ls < ly.l; ls++ {
 				if run.aliveColV[ls][w]&bit != 0 {
 					if ref, ok := ly.RVRef(col, ls); ok {
-						env.X = ref
-						if !c.Satisfied(&env) {
+						if !ck.Check1(ref) {
 							run.aliveColV[ls][w] &^= bit
 						}
 					}
 				}
 				if run.aliveRowV[ls][w]&bit != 0 {
 					if ref, ok := ly.RVRef(row, ls); ok {
-						env.X = ref
-						if !c.Satisfied(&env) {
+						if !ck.Check1(ref) {
 							run.aliveRowV[ls][w] &^= bit
 						}
 					}
@@ -484,13 +494,16 @@ func (run *masparRun) applyUnary(c *cdg.Constraint) {
 // with identical outcomes.
 func (run *masparRun) applyBinary(c *cdg.Constraint) {
 	ly := run.ly
+	run.bindCheckers(c)
+	t0 := run.attr.start()
+	defer run.attr.eval(t0)
 	run.m.AllChecksWords(2*ly.l*ly.l, func(w int, active uint64) {
 		seg := w / run.segWords
 		if run.dupSeg(seg) {
 			return // copied from the class representative below
 		}
 		base := seg * run.stride
-		env := cdg.Env{Sent: run.sents[seg]}
+		ck := &run.cks[seg]
 		for bset := active; bset != 0; bset &= bset - 1 {
 			pe := w<<6 + bits.TrailingZeros64(bset)
 			bit := uint64(1) << (uint(pe) & 63)
@@ -510,11 +523,9 @@ func (run *masparRun) applyBinary(c *cdg.Constraint) {
 					if !okR {
 						continue
 					}
-					env.X, env.Y = refC, refR
-					ok := c.Satisfied(&env)
+					ok := ck.Check2(refC, refR)
 					if ok {
-						env.X, env.Y = refR, refC
-						ok = c.Satisfied(&env)
+						ok = ck.Check2(refR, refC)
 					}
 					if !ok {
 						bv[w] &^= bit
@@ -524,6 +535,17 @@ func (run *masparRun) applyBinary(c *cdg.Constraint) {
 		}
 	})
 	run.copyDupSegs(run.bitsV)
+}
+
+// bindCheckers binds c's compiled form to every gang member's sentence,
+// reusing the run's checker scratch: the prologue runs once per member
+// per constraint, and the per-lane work inside AllChecksWords is then
+// just bytecode over the fixed stack. Duplicate segments are bound too
+// (Bind is cheap and keeps indexing uniform); dupSeg skips their checks.
+func (run *masparRun) bindCheckers(c *cdg.Constraint) {
+	for b, sent := range run.sents {
+		run.cks[b] = c.Bind(sent)
+	}
 }
 
 // consistencyRound is Figure 12: for every role value, OR its arc
@@ -566,6 +588,7 @@ func (run *masparRun) consistencyRound() bool {
 			tmp[w] = t & active
 		})
 		// OR along each arc segment, result at the arc's first PE.
+		t0 := run.attr.start()
 		m.SegReduceOrToHeadV(perArc, tmp, run.arcSegHeadW)
 		// AND the per-arc results across the column block: only the
 		// boundary PEs participate (Figure 12's "PE disabled only
@@ -575,6 +598,7 @@ func (run *masparRun) consistencyRound() bool {
 		// Re-enable the block and distribute the verdict.
 		m.SetMaskWords(run.baseMaskW)
 		m.CopySegHeadV(dist, blockSup, run.blockFirstActiveW)
+		run.attr.scan(t0)
 		// A value stays alive only if it was alive and is supported.
 		ac := run.aliveColV[lc]
 		m.AllWords(func(w int, active uint64) {
@@ -591,7 +615,9 @@ func (run *masparRun) consistencyRound() bool {
 	for ls := 0; ls < ly.l; ls++ {
 		acv, arv := run.aliveColV[ls], run.aliveRowV[ls]
 		m.AllWords(func(w int, active uint64) { tmp[w] = acv[w] & active })
+		t0 := run.attr.start()
 		m.RouterTransposeV(dist, tmp, ly.s)
+		run.attr.router(t0)
 		m.AllWords(func(w int, active uint64) {
 			arv[w] = (dist[w] & active) | (arv[w] &^ active)
 		})
@@ -611,7 +637,9 @@ func (run *masparRun) consistencyRound() bool {
 	// One segmented reduce tells the ACU which members still changed —
 	// the gang image of the solo round's global ReduceOr, charged
 	// identically (one scan).
+	t0 := run.attr.start()
 	m.SegmentOrV(changed, run.segChanged)
+	run.attr.scan(t0)
 	any := false
 	for _, ch := range run.segChanged {
 		if ch == 1 {

@@ -73,6 +73,9 @@ type config struct {
 	policy                   pram.Policy
 	// workers caps the HostParallel pool (<= 0: GOMAXPROCS).
 	workers int
+	// attr, when non-nil, accumulates per-stage wall-clock attribution
+	// for MasPar runs (constraint eval vs scans vs router).
+	attr *Attribution
 }
 
 func defaultConfig() config {
@@ -115,6 +118,13 @@ func WithWritePolicy(p pram.Policy) Option { return func(c *config) { c.policy =
 // WithWorkers caps the HostParallel backend's goroutine pool
 // (<= 0: GOMAXPROCS, the default).
 func WithWorkers(n int) Option { return func(c *config) { c.workers = n } }
+
+// WithAttribution makes MasPar parses accumulate per-stage wall-clock
+// time (constraint evaluation, consistency scans, router transposes)
+// into a. Pass nil (the default) to disable timing. a is safe to share
+// across parsers and goroutines; BenchmarkEndToEndParse uses this to
+// report eval-ns/op, scan-ns/op, and router-ns/op.
+func WithAttribution(a *Attribution) Option { return func(c *config) { c.attr = a } }
 
 // Parser parses sentences of one grammar on one backend.
 type Parser struct {
@@ -245,7 +255,7 @@ func (p *Parser) ParseGangContext(ctx context.Context, sents []*cdg.Sentence) ([
 	for i, s := range sents {
 		sps[i] = cdg.NewSpace(p.g, s)
 	}
-	run, nws, err := runMasParGang(ctx, sps, m, p.cfg.consistencyPerConstraint, p.cfg.filter, p.cfg.maxFilterIters)
+	run, nws, err := runMasParGang(ctx, sps, m, p.cfg.consistencyPerConstraint, p.cfg.filter, p.cfg.maxFilterIters, p.cfg.attr)
 	if err != nil {
 		return nil, err
 	}
@@ -321,7 +331,7 @@ func (p *Parser) parseSentence(ctx context.Context, sent *cdg.Sentence) (*Result
 			return nil, err
 		}
 		sp := cdg.NewSpace(p.g, sent)
-		run, nw, err := runMasPar(ctx, sp, m, p.cfg.consistencyPerConstraint, p.cfg.filter, p.cfg.maxFilterIters)
+		run, nw, err := runMasPar(ctx, sp, m, p.cfg.consistencyPerConstraint, p.cfg.filter, p.cfg.maxFilterIters, p.cfg.attr)
 		if err != nil {
 			return nil, err
 		}

@@ -220,13 +220,16 @@ func TestParseContextCancellation(t *testing.T) {
 
 // TestParseContextDeadlineMidParse cancels after the parse has started:
 // the serial and MasPar engines must notice between constraints and
-// abort rather than finish. The chain grammar's n filtering rounds give
-// the deadline room to land mid-algorithm.
+// abort rather than finish. The deadline is already in the past when
+// the parse begins — context sets the error synchronously for expired
+// deadlines, so the test never races a timer goroutine against the
+// (increasingly fast) parse; the engines' in-algorithm polls are what
+// observe it.
 func TestParseContextDeadlineMidParse(t *testing.T) {
 	for _, b := range []Backend{Serial, MasPar} {
 		p := NewParser(grammars.Chain(), WithBackend(b))
 		words := grammars.ChainSentence(24)
-		ctx, cancel := context.WithTimeout(context.Background(), time.Microsecond)
+		ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Millisecond))
 		_, err := p.ParseContext(ctx, words)
 		cancel()
 		if !errors.Is(err, context.DeadlineExceeded) {

@@ -159,11 +159,11 @@ func (e *engine) applyBinaryParallel(c *cdg.Constraint) {
 	arcs := e.nw.Arcs()
 	checks := make([]uint64, len(arcs))
 	writes := make([]uint64, len(arcs))
+	ck := c.Bind(e.sent)
 	e.fanOut(len(arcs), func(k int) {
 		arc := arcs[k]
 		posA, ra := e.sp.RoleAt(arc.A)
 		posB, rb := e.sp.RoleAt(arc.B)
-		env := cdg.Env{Sent: e.sent}
 		e.nw.Domain(arc.A).ForEach(func(i int) {
 			refA := e.sp.RVRef(posA, ra, i)
 			e.nw.Domain(arc.B).ForEach(func(j int) {
@@ -171,13 +171,11 @@ func (e *engine) applyBinaryParallel(c *cdg.Constraint) {
 					return
 				}
 				refB := e.sp.RVRef(posB, rb, j)
-				env.X, env.Y = refA, refB
 				checks[k]++
-				ok := c.Satisfied(&env)
+				ok := ck.Check2(refA, refB)
 				if ok {
-					env.X, env.Y = refB, refA
 					checks[k]++
-					ok = c.Satisfied(&env)
+					ok = ck.Check2(refB, refA)
 				}
 				if !ok {
 					arc.M.ClearBit(i, j)

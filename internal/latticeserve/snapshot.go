@@ -71,16 +71,22 @@ func extendSnapshot(g *cdg.Grammar, prev *snapshot, word string) (*snapshot, err
 	sp := cdg.NewSpace(g, sent)
 	nw := cn.NewShell(sp)
 	ctr := nw.Counters
-	env := &cdg.Env{Sent: sent}
 	unary := g.Unary()
 	binary := g.Binary()
+	ucks := make([]cdg.Checker, len(unary))
+	for k, c := range unary {
+		ucks[k] = c.Bind(sent)
+	}
+	bcks := make([]cdg.Checker, len(binary))
+	for k, c := range binary {
+		bcks[k] = c.Bind(sent)
+	}
 
 	unaryOK := func(pos int, r cdg.RoleID, idx int) bool {
 		ref := sp.RVRef(pos, r, idx)
-		for _, c := range unary {
-			env.X = ref
+		for k := range ucks {
 			ctr.ConstraintChecks++
-			if !c.Satisfied(env) {
+			if !ucks[k].Check1(ref) {
 				return false
 			}
 		}
@@ -115,14 +121,13 @@ func extendSnapshot(g *cdg.Grammar, prev *snapshot, word string) (*snapshot, err
 	}
 
 	binOK := func(refA, refB cdg.RVRef) bool {
-		for _, c := range binary {
-			env.X, env.Y = refA, refB
+		for k := range bcks {
+			ck := &bcks[k]
 			ctr.ConstraintChecks++
-			ok := c.Satisfied(env)
+			ok := ck.Check2(refA, refB)
 			if ok {
-				env.X, env.Y = refB, refA
 				ctr.ConstraintChecks++
-				ok = c.Satisfied(env)
+				ok = ck.Check2(refB, refA)
 			}
 			if !ok {
 				return false

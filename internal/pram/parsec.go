@@ -193,7 +193,7 @@ func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		uc := uc
+		ck := uc.Bind(sent)
 		m.Step(ly.nRVProcs, func(p int, c *Ctx) {
 			gr := int(ly.rvRole[p])
 			idx := int(ly.rvIdx[p])
@@ -201,8 +201,7 @@ func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
 				return
 			}
 			pos, r := sp.RoleAt(gr)
-			env := cdg.Env{Sent: sent, X: sp.RVRef(pos, r, idx)}
-			if !uc.Satisfied(&env) {
+			if !ck.Check1(sp.RVRef(pos, r, idx)) {
 				c.Write(ly.domAddr(gr, idx), 0)
 			}
 		})
@@ -214,7 +213,7 @@ func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		bc := bc
+		ck := bc.Bind(sent)
 		m.Step(ly.nPairs, func(p int, c *Ctx) {
 			arc := &ly.arcs[ly.pairArc[p]]
 			i, j := int(ly.pairI[p]), int(ly.pairJ[p])
@@ -224,11 +223,9 @@ func Parse(g *cdg.Grammar, sent *cdg.Sentence, opt Options) (*Result, error) {
 			}
 			refA := sp.RVRef(arc.posA, arc.roleA, i)
 			refB := sp.RVRef(arc.posB, arc.roleB, j)
-			env := cdg.Env{Sent: sent, X: refA, Y: refB}
-			ok := bc.Satisfied(&env)
+			ok := ck.Check2(refA, refB)
 			if ok {
-				env.X, env.Y = refB, refA
-				ok = bc.Satisfied(&env)
+				ok = ck.Check2(refB, refA)
 			}
 			if !ok {
 				c.Write(addr, 0)

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cdg"
 	"repro/internal/core"
 	"repro/internal/latticeserve"
 	"repro/internal/metrics"
@@ -183,6 +184,11 @@ func (m *serverMetrics) writePrometheus(w io.Writer, cache *Cache, rc *resultCac
 	lhits, lmisses := core.LayoutCacheStats()
 	counter("parsecd_layout_cache_hits_total", "PE-map plan cache hits (layouts reused)", lhits)
 	counter("parsecd_layout_cache_misses_total", "PE-map plan cache misses (layouts built)", lmisses)
+
+	ehits, emisses, ecompiled := cdg.EvalCacheStats()
+	counter("parsecd_eval_compile_hits_total", "constraint bytecode compilations served from the memo", ehits)
+	counter("parsecd_eval_compile_misses_total", "constraint bytecode compilations performed", emisses)
+	counter("parsecd_eval_compiled_total", "constraints whose evaluation runs on the bytecode VM (vs the AST fallback)", ecompiled)
 
 	counter("parsecd_lattice_requests_total", "lattice decodes completed (batch and final stream updates)", m.latticeRequests.Load())
 	counter("parsecd_lattice_paths_expanded_total", "candidate paths expanded across lattice decodes", m.latticePaths.Load())
