@@ -2,8 +2,8 @@
 // stdin into a JSON benchmark report on stdout (or -o file). It keeps
 // the metrics the scan/router optimization work tracks: ns/op, B/op,
 // allocs/op, the simulator's custom cycles/op metric, the serving
-// path's sents/s throughput metric, and the end-to-end parse
-// benchmark's eval/scan/router stage attribution.
+// path's sents/s throughput and p99-ns/op tail-latency metrics, and
+// the end-to-end parse benchmark's eval/scan/router stage attribution.
 //
 // Usage:
 //
@@ -36,6 +36,7 @@ type Result struct {
 	EvalNsPer  float64 `json:"eval_ns_per_op,omitempty"`
 	ScanNsPer  float64 `json:"scan_ns_per_op,omitempty"`
 	RouterNs   float64 `json:"router_ns_per_op,omitempty"`
+	P99Ns      float64 `json:"p99_ns_per_op,omitempty"`
 }
 
 // Report is the top-level JSON document.
@@ -142,6 +143,8 @@ func parseLine(line string) (Result, bool) {
 			res.ScanNsPer = v
 		case "router-ns/op":
 			res.RouterNs = v
+		case "p99-ns/op":
+			res.P99Ns = v
 		}
 	}
 	return res, true

@@ -50,6 +50,13 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 		ejectAfter    = fs.Int("eject-after", 3, "consecutive probe failures that eject a shard")
 		readmitAfter  = fs.Int("readmit-after", 2, "consecutive probe successes that re-admit an ejected shard")
 		retries       = fs.Int("retries", 2, "failover attempts after the first shard (so a request touches at most 1+retries shards)")
+		replicateTop  = fs.Int("replicate-top", 0, "replicate up to this many hot keys across their HRW prefix (0 disables)")
+		replicaFactor = fs.Int("replica-factor", 2, "replica prefix length R for promoted hot keys")
+		hotShare      = fs.Float64("hot-share", 0.05, "request share of the window that promotes a key")
+		hotWindow     = fs.Int("hot-window", 2048, "hot-key tracker sliding-window size, in requests")
+		hedge         = fs.Bool("hedge", false, "hedge replicated-key requests to the next replica at half the p99 budget")
+		hedgeDelay    = fs.Duration("hedge-delay", 25*time.Millisecond, "earliest hedge: cold-start delay and floor under the adaptive p99/2 budget (negative hedges immediately)")
+		maxInflight   = fs.Int("max-inflight", 0, "per-shard in-flight forward cap; beyond it requests shed with 429, bulk first (0 disables)")
 		drain         = fs.Duration("drain", 30*time.Second, "max time to drain in-flight requests on shutdown")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -74,6 +81,13 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 		EjectAfter:    *ejectAfter,
 		ReadmitAfter:  *readmitAfter,
 		Retries:       *retries,
+		ReplicateTop:  *replicateTop,
+		ReplicaFactor: *replicaFactor,
+		HotKeyShare:   *hotShare,
+		HotKeyWindow:  *hotWindow,
+		Hedge:         *hedge,
+		HedgeDelay:    *hedgeDelay,
+		MaxInflight:   *maxInflight,
 	})
 	if err != nil {
 		return err
@@ -82,8 +96,8 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	if err != nil {
 		return err
 	}
-	logger.Printf("routing on http://%s across %d shards (probe=%v eject-after=%d readmit-after=%d retries=%d)",
-		bound, len(fleet), *probeInterval, *ejectAfter, *readmitAfter, *retries)
+	logger.Printf("routing on http://%s across %d shards (probe=%v eject-after=%d readmit-after=%d retries=%d replicate-top=%d replica-factor=%d hedge=%v max-inflight=%d)",
+		bound, len(fleet), *probeInterval, *ejectAfter, *readmitAfter, *retries, *replicateTop, *replicaFactor, *hedge, *maxInflight)
 	if ready != nil {
 		ready <- bound
 	}
@@ -110,7 +124,9 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 	for _, u := range urls {
 		logger.Printf("shard %s: requests=%d errors=%d ejections=%d", u, st.Requests[u], st.Errors[u], st.Ejections[u])
 	}
-	logger.Printf("drained: requests=%d failovers=%d empty-fleet=%d probes=%d (failed=%d)",
-		total, st.Failovers, st.EmptyFleet, st.Probes, st.ProbeFailures)
+	logger.Printf("drained: requests=%d failovers=%d empty-fleet=%d probes=%d (failed=%d) hotkeys=%d/%d hedges=%d (wins=%d) sheds=%d+%d",
+		total, st.Failovers, st.EmptyFleet, st.Probes, st.ProbeFailures,
+		st.HotKeyPromotions, st.HotKeyDemotions, st.Hedges, st.HedgeWins,
+		st.ShedsInteractive, st.ShedsBulk)
 	return nil
 }

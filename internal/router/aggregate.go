@@ -12,8 +12,12 @@ import (
 // Prometheus exposition and re-emits the parsecd_* families with every
 // sample summed across shards — counters and histogram
 // buckets/sums/counts add cleanly, so the fleet's exposition reads
-// exactly like one big parsecd. Gauge families (uptime) are skipped:
-// summing point-in-time values across nodes is meaningless.
+// exactly like one big parsecd. Gauge families (uptime, queue depth)
+// cannot be summed — a point-in-time value added across nodes is
+// meaningless — so they are re-emitted as the max across shards under
+// a `_max`-suffixed name: the hottest node's queue depth is exactly
+// the backpressure signal a fleet operator needs, and the rename keeps
+// the series honest about not being the one-node gauge.
 
 // promFamily is one metric family accumulated across scrapes.
 type promFamily struct {
@@ -21,6 +25,7 @@ type promFamily struct {
 	help    string
 	typ     string
 	samples map[string]float64 // full series id (name + label set) → summed value
+	maxs    map[string]float64 // per-series max across scrapes (gauges)
 }
 
 // parsePromText folds one exposition into families. Lines it cannot
@@ -32,7 +37,7 @@ func parsePromText(r io.Reader, families map[string]*promFamily) error {
 	family := func(name string) *promFamily {
 		f, ok := families[name]
 		if !ok {
-			f = &promFamily{name: name, samples: make(map[string]float64)}
+			f = &promFamily{name: name, samples: make(map[string]float64), maxs: make(map[string]float64)}
 			families[name] = f
 		}
 		return f
@@ -77,13 +82,22 @@ func parsePromText(r io.Reader, families map[string]*promFamily) error {
 		if i := strings.IndexByte(series, '{'); i >= 0 {
 			name = series[:i]
 		}
-		family(name).samples[series] += v
+		f := family(name)
+		f.samples[series] += v
+		// Track the per-series max alongside the sum; writeFamilies picks
+		// which one to emit once the family's TYPE is known (our
+		// expositions emit TYPE before samples, but tracking both keeps
+		// the fold order-independent).
+		if cur, ok := f.maxs[series]; !ok || v > cur {
+			f.maxs[series] = v
+		}
 	}
 	return sc.Err()
 }
 
-// writeFamilies emits the accumulated families in sorted order,
-// skipping gauges (not summable across nodes).
+// writeFamilies emits the accumulated families in sorted order:
+// counters and histograms summed under their own names, gauges as the
+// max across shards under the `_max`-suffixed name.
 func writeFamilies(w io.Writer, families map[string]*promFamily) {
 	names := make([]string, 0, len(families))
 	for n := range families {
@@ -94,22 +108,33 @@ func writeFamilies(w io.Writer, families map[string]*promFamily) {
 	defer bw.Flush()
 	for _, n := range names {
 		f := families[n]
-		if f.typ == "gauge" || len(f.samples) == 0 {
+		if len(f.samples) == 0 {
 			continue
 		}
+		outName, values := f.name, f.samples
+		if f.typ == "gauge" {
+			outName, values = f.name+"_max", f.maxs
+		}
 		if f.help != "" {
-			bw.WriteString("# HELP " + f.name + " " + f.help + "\n")
+			help := f.help
+			if f.typ == "gauge" {
+				help = "max across shards: " + help
+			}
+			bw.WriteString("# HELP " + outName + " " + help + "\n")
 		}
 		if f.typ != "" {
-			bw.WriteString("# TYPE " + f.name + " " + f.typ + "\n")
+			bw.WriteString("# TYPE " + outName + " " + f.typ + "\n")
 		}
-		series := make([]string, 0, len(f.samples))
-		for s := range f.samples {
+		series := make([]string, 0, len(values))
+		for s := range values {
 			series = append(series, s)
 		}
 		sort.Strings(series)
 		for _, s := range series {
-			bw.WriteString(s + " " + strconv.FormatFloat(f.samples[s], 'g', -1, 64) + "\n")
+			// Rename the series in place: the family name is the prefix of
+			// every series id (bare or followed by its label set).
+			out := outName + s[len(f.name):]
+			bw.WriteString(out + " " + strconv.FormatFloat(values[s], 'g', -1, 64) + "\n")
 		}
 	}
 }

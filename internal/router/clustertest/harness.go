@@ -19,6 +19,7 @@ import (
 	"net/http/httptest"
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/router"
 	"repro/internal/server"
@@ -30,9 +31,12 @@ type Shard struct {
 	URL    string
 	Server *server.Server
 
-	ts        *httptest.Server
-	down      atomic.Bool
-	force     atomic.Int64 // when non-zero, /v1/* responds with this status
+	ts          *httptest.Server
+	down        atomic.Bool
+	force       atomic.Int64 // when non-zero, /v1/* responds with this status
+	delay       atomic.Int64 // when non-zero, /v1/* stalls this many ns (or until ctx cancel)
+	delayHits   atomic.Int64 // /v1/* requests that entered a forced delay
+	delayCancel atomic.Int64 // forced delays cut short by request-context cancellation
 	parseHits   atomic.Int64
 	batchHits   atomic.Int64
 	latticeHits atomic.Int64
@@ -51,6 +55,23 @@ func (s *Shard) Revive() { s.down.Store(false) }
 // Probes are unaffected, so the shard stays live — this isolates the
 // router's per-status failover policy from membership.
 func (s *Shard) ForceStatus(code int) { s.force.Store(int64(code)) }
+
+// ForceDelay makes every /v1/* request stall for d before reaching the
+// backend (0 restores normal service). The stall ends early — without
+// a response — when the request's context is cancelled, so a test can
+// use an effectively infinite d and still tear down instantly: the
+// blocked attempt just waits to observe its own cancellation. Probes
+// are unaffected, so the shard stays live; this is the latency-fault
+// twin of ForceStatus, backing the hedging tests.
+func (s *Shard) ForceDelay(d time.Duration) { s.delay.Store(int64(d)) }
+
+// DelayHits reports how many /v1/* requests entered a forced delay.
+func (s *Shard) DelayHits() int64 { return s.delayHits.Load() }
+
+// DelayCancels reports how many forced delays were cut short by the
+// request context being cancelled (a hedge winner cancelling the
+// loser).
+func (s *Shard) DelayCancels() int64 { return s.delayCancel.Load() }
 
 // ParseHits reports how many /v1/parse requests reached the backend.
 func (s *Shard) ParseHits() int64 { return s.parseHits.Load() }
@@ -78,9 +99,38 @@ func (s *Shard) handler(inner http.Handler) http.Handler {
 		if code := s.force.Load(); code != 0 && len(r.URL.Path) >= 4 && r.URL.Path[:4] == "/v1/" {
 			w.Header().Set(server.ShardHeader, s.Name)
 			w.Header().Set("Content-Type", "application/json")
+			if code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable {
+				// Mirror the real server's backpressure hint so tests can
+				// check the router propagates it.
+				w.Header().Set("Retry-After", "7")
+			}
 			w.WriteHeader(int(code))
 			fmt.Fprintf(w, `{"error":"clustertest: forced status %d"}`, code)
 			return
+		}
+		if d := s.delay.Load(); d != 0 && len(r.URL.Path) >= 4 && r.URL.Path[:4] == "/v1/" {
+			s.delayHits.Add(1)
+			// Consume the body before stalling and hand the backend a
+			// replay: the net/http server only watches for client
+			// disconnect — the signal that cancels r.Context() — once the
+			// request body has been read to EOF.
+			if data, err := io.ReadAll(r.Body); err == nil {
+				r.Body.Close()
+				r.Body = io.NopCloser(bytes.NewReader(data))
+			}
+			select {
+			case <-time.After(time.Duration(d)):
+			case <-r.Context().Done():
+				// The caller gave up (hedge winner cancelled this attempt):
+				// hijack and drop the connection so no response is written.
+				s.delayCancel.Add(1)
+				if hj, ok := w.(http.Hijacker); ok {
+					if conn, _, err := hj.Hijack(); err == nil {
+						conn.Close()
+					}
+				}
+				return
+			}
 		}
 		switch r.URL.Path {
 		case "/v1/parse":

@@ -53,7 +53,13 @@ func (r *Router) handleLattice(w http.ResponseWriter, req *http.Request) {
 		r.writeJSON(w, http.StatusServiceUnavailable, latticeError(lreq, "no live shards"))
 		return
 	}
-	fr, ok := r.tryShards(req.Context(), "/v1/lattice", "application/json", body, order)
+	fr, ok, shedded := r.tryShards(req.Context(), "/v1/lattice", "application/json", body, order, classOf(req))
+	if shedded {
+		r.m.countShed(classOf(req))
+		w.Header().Set("Retry-After", "1")
+		r.writeJSON(w, http.StatusTooManyRequests, latticeError(lreq, "shard at capacity; retry later"))
+		return
+	}
 	if !ok {
 		r.writeJSON(w, http.StatusServiceUnavailable,
 			latticeError(lreq, fmt.Sprintf("all candidate shards failed: %v", fr.err)))
@@ -131,15 +137,26 @@ func (r *Router) handleLatticeStream(w http.ResponseWriter, req *http.Request) {
 		if i > 0 {
 			r.m.countFailover()
 		}
+		// Streams are admission-checked at setup and then released: a
+		// stream can stay open for minutes and must not pin a forward
+		// slot against the per-shard cap once admitted.
+		if !r.admit.acquire(shard, classInteractive) {
+			r.m.countShed(classInteractive)
+			w.Header().Set("Retry-After", "1")
+			r.writeJSON(w, http.StatusTooManyRequests, latticeError(lreq, "shard at capacity; retry later"))
+			return
+		}
 		freq, err := http.NewRequestWithContext(req.Context(), http.MethodPost,
 			shard+"/v1/lattice/stream",
 			io.MultiReader(bytes.NewReader(header), rest))
 		if err != nil {
+			r.admit.release(shard)
 			r.writeJSON(w, http.StatusServiceUnavailable, latticeError(lreq, err.Error()))
 			return
 		}
 		freq.Header.Set("Content-Type", "application/x-ndjson")
 		resp, err := r.client.Do(freq)
+		r.admit.release(shard)
 		if err != nil {
 			r.m.countError(shard)
 			lastErr = err

@@ -15,6 +15,9 @@ type shardCounters struct {
 	ejections   uint64
 	probations  uint64
 	readmission uint64
+
+	inflight     int // forwards currently in flight (admission control)
+	inflightHigh int // high-water mark of inflight since start
 }
 
 // routerMetrics is the router's own observability state, emitted as
@@ -31,6 +34,15 @@ type routerMetrics struct {
 	probes        uint64
 	probeFailures uint64
 	scrapeErrors  uint64 // /metrics scrapes of a shard that failed
+
+	hotKeyPromotions uint64 // keys promoted to replicated
+	hotKeyDemotions  uint64 // promoted keys demoted back to their primary
+	hotKeyWarms      uint64 // replica warm-up requests completed
+	hedges           uint64 // duplicate requests fired at the next replica
+	hedgeWins        uint64 // hedged duplicates that answered first
+	hedgeCancels     uint64 // losing attempts observed context-cancelled
+	shedsInteractive uint64 // interactive requests refused by admission
+	shedsBulk        uint64 // bulk requests refused by admission
 }
 
 func newRouterMetrics() *routerMetrics {
@@ -105,36 +117,137 @@ func (m *routerMetrics) countScrapeError() {
 	m.mu.Unlock()
 }
 
+func (m *routerMetrics) countHotKeyPromotion() {
+	// Called with hotTracker.mu held; mu nests strictly inside it
+	// (routerMetrics never calls back into the tracker).
+	m.mu.Lock()
+	m.hotKeyPromotions++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) countHotKeyDemotion() {
+	m.mu.Lock()
+	m.hotKeyDemotions++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) countHotKeyWarm() {
+	m.mu.Lock()
+	m.hotKeyWarms++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) countHedge() {
+	m.mu.Lock()
+	m.hedges++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) countHedgeWin() {
+	m.mu.Lock()
+	m.hedgeWins++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) countHedgeCancel() {
+	m.mu.Lock()
+	m.hedgeCancels++
+	m.mu.Unlock()
+}
+
+func (m *routerMetrics) countShed(class reqClass) {
+	m.mu.Lock()
+	if class == classBulk {
+		m.shedsBulk++
+	} else {
+		m.shedsInteractive++
+	}
+	m.mu.Unlock()
+}
+
+// admitInflight claims an in-flight slot on url unless limit is
+// reached, tracking the high-water mark. It is the admission-control
+// hot path: one mutex hold, no allocation past the first request per
+// shard.
+func (m *routerMetrics) admitInflight(url string, limit int) bool {
+	m.mu.Lock()
+	sc := m.forShard(url)
+	if sc.inflight >= limit {
+		m.mu.Unlock()
+		return false
+	}
+	sc.inflight++
+	if sc.inflight > sc.inflightHigh {
+		sc.inflightHigh = sc.inflight
+	}
+	m.mu.Unlock()
+	return true
+}
+
+// releaseInflight returns url's slot.
+func (m *routerMetrics) releaseInflight(url string) {
+	m.mu.Lock()
+	sc := m.forShard(url)
+	if sc.inflight > 0 {
+		sc.inflight--
+	}
+	m.mu.Unlock()
+}
+
 // Stats is a point-in-time snapshot of the router counters (tests,
 // parsecrouter's drain log).
 type Stats struct {
-	Requests  map[string]uint64 // per shard
-	Errors    map[string]uint64
-	Ejections map[string]uint64
+	Requests     map[string]uint64 // per shard
+	Errors       map[string]uint64
+	Ejections    map[string]uint64
+	Inflight     map[string]int // per-shard forwards currently in flight
+	InflightHigh map[string]int // per-shard in-flight high-water mark
 
 	Failovers     uint64
 	EmptyFleet    uint64
 	Probes        uint64
 	ProbeFailures uint64
+
+	HotKeyPromotions uint64
+	HotKeyDemotions  uint64
+	HotKeyWarms      uint64
+	Hedges           uint64
+	HedgeWins        uint64
+	HedgeCancels     uint64
+	ShedsInteractive uint64
+	ShedsBulk        uint64
 }
 
 func (m *routerMetrics) stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	st := Stats{
-		Requests:  make(map[string]uint64),
-		Errors:    make(map[string]uint64),
-		Ejections: make(map[string]uint64),
+		Requests:     make(map[string]uint64),
+		Errors:       make(map[string]uint64),
+		Ejections:    make(map[string]uint64),
+		Inflight:     make(map[string]int),
+		InflightHigh: make(map[string]int),
 
 		Failovers:     m.failovers,
 		EmptyFleet:    m.emptyFleet,
 		Probes:        m.probes,
 		ProbeFailures: m.probeFailures,
+
+		HotKeyPromotions: m.hotKeyPromotions,
+		HotKeyDemotions:  m.hotKeyDemotions,
+		HotKeyWarms:      m.hotKeyWarms,
+		Hedges:           m.hedges,
+		HedgeWins:        m.hedgeWins,
+		HedgeCancels:     m.hedgeCancels,
+		ShedsInteractive: m.shedsInteractive,
+		ShedsBulk:        m.shedsBulk,
 	}
 	for url, sc := range m.perShard {
 		st.Requests[url] = sc.requests
 		st.Errors[url] = sc.errors
 		st.Ejections[url] = sc.ejections
+		st.Inflight[url] = sc.inflight
+		st.InflightHigh[url] = sc.inflightHigh
 	}
 	return st
 }
@@ -159,6 +272,9 @@ func (m *routerMetrics) writePrometheus(w io.Writer, statuses []ShardStatus) {
 	}
 	failovers, emptyFleet := m.failovers, m.emptyFleet
 	probes, probeFailures, scrapeErrors := m.probes, m.probeFailures, m.scrapeErrors
+	promotions, demotions, warms := m.hotKeyPromotions, m.hotKeyDemotions, m.hotKeyWarms
+	hedges, hedgeWins, hedgeCancels := m.hedges, m.hedgeWins, m.hedgeCancels
+	shedInteractive, shedBulk := m.shedsInteractive, m.shedsBulk
 	started := m.started
 	m.mu.Unlock()
 
@@ -182,6 +298,20 @@ func (m *routerMetrics) writePrometheus(w io.Writer, statuses []ShardStatus) {
 	counter("parsecrouter_probes_total", "health probes sent", probes)
 	counter("parsecrouter_probe_failures_total", "health probes that failed", probeFailures)
 	counter("parsecrouter_scrape_errors_total", "per-shard /metrics scrapes that failed during aggregation", scrapeErrors)
+	counter("parsecrouter_hotkey_promotions_total", "keys promoted to replicated across their HRW prefix", promotions)
+	counter("parsecrouter_hotkey_demotions_total", "promoted keys demoted back to their primary shard", demotions)
+	counter("parsecrouter_hotkey_warms_total", "replica warm-up requests completed after promotion", warms)
+	counter("parsecrouter_hedges_total", "duplicate requests fired at the next replica", hedges)
+	counter("parsecrouter_hedge_wins_total", "hedged duplicates that answered before the primary", hedgeWins)
+	counter("parsecrouter_hedge_cancels_total", "losing hedge attempts observed context-cancelled", hedgeCancels)
+	fmt.Fprintf(w, "# HELP parsecrouter_sheds_total requests refused by admission control per class\n# TYPE parsecrouter_sheds_total counter\n")
+	fmt.Fprintf(w, "parsecrouter_sheds_total{class=\"interactive\"} %d\n", shedInteractive)
+	fmt.Fprintf(w, "parsecrouter_sheds_total{class=\"bulk\"} %d\n", shedBulk)
+
+	fmt.Fprintf(w, "# HELP parsecrouter_shard_inflight forwards currently in flight per shard (admission control)\n# TYPE parsecrouter_shard_inflight gauge\n")
+	for i, u := range urls {
+		fmt.Fprintf(w, "parsecrouter_shard_inflight{shard=%q} %d\n", u, rows[i].inflight)
+	}
 
 	fmt.Fprintf(w, "# HELP parsecrouter_shard_eligible whether each shard currently receives traffic (live or probation)\n# TYPE parsecrouter_shard_eligible gauge\n")
 	for _, st := range statuses {

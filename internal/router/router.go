@@ -46,6 +46,32 @@ type Config struct {
 	// Retries bounds failover: a request may be forwarded to at most
 	// 1+Retries shards (default 2).
 	Retries int
+	// ReplicateTop promotes up to this many hot keys to replicated
+	// placement across their HRW prefix (0 disables replication).
+	ReplicateTop int
+	// ReplicaFactor is the replica prefix length R for promoted keys
+	// (default 2 when replication is on).
+	ReplicaFactor int
+	// HotKeyShare is the fraction of the observation window a key must
+	// carry to promote (default 0.05).
+	HotKeyShare float64
+	// HotKeyWindow is the sliding-window size, in requests, of the
+	// hot-key tracker (default 2048).
+	HotKeyWindow int
+	// Hedge enables duplicate requests to the next replica for
+	// replicated keys when the latency budget is half spent.
+	Hedge bool
+	// HedgeDelay is the earliest a hedge may fire (default 25ms): the
+	// cold-start delay while a shard's latency digest has too few
+	// samples, and the floor under the adaptive p99/2 budget once it
+	// is warm — the floor is what keeps the hedge rate low on a
+	// healthy fleet. Negative hedges immediately (deterministic
+	// tests).
+	HedgeDelay time.Duration
+	// MaxInflight caps the router-side in-flight forwards per shard;
+	// beyond it requests are shed with 429 (0 disables admission
+	// control). Bulk-class requests shed at 3/4 of the cap.
+	MaxInflight int
 	// Client overrides the forwarding HTTP client (tests).
 	Client *http.Client
 }
@@ -71,6 +97,18 @@ func (c Config) withDefaults() Config {
 	} else if c.Retries == 0 {
 		c.Retries = 2
 	}
+	if c.ReplicateTop > 0 && c.ReplicaFactor <= 0 {
+		c.ReplicaFactor = 2
+	}
+	if c.HotKeyShare <= 0 {
+		c.HotKeyShare = 0.05
+	}
+	if c.HotKeyWindow <= 0 {
+		c.HotKeyWindow = 2048
+	}
+	if c.HedgeDelay == 0 {
+		c.HedgeDelay = 25 * time.Millisecond
+	}
 	if c.Client == nil {
 		c.Client = &http.Client{}
 	}
@@ -84,6 +122,9 @@ type Router struct {
 	client *http.Client
 	m      *routerMetrics
 	mux    *http.ServeMux
+	hot    *hotTracker    // nil when replication is off
+	digest *latencyDigest // per-shard latency distribution (hedge budget)
+	admit  *admitState    // nil when admission control is off
 
 	mu sync.Mutex
 	// Guarded by mu: the listener state and the prober's cancel.
@@ -116,6 +157,9 @@ func New(cfg Config) (*Router, error) {
 		client: cfg.Client,
 		m:      m,
 		mux:    http.NewServeMux(),
+		hot:    newHotTracker(cfg.ReplicateTop, cfg.ReplicaFactor, cfg.HotKeyWindow, cfg.HotKeyShare),
+		digest: newLatencyDigest(),
+		admit:  newAdmitState(cfg.MaxInflight, m),
 	}
 	r.mux.HandleFunc("/v1/parse", r.handleParse)
 	r.mux.HandleFunc("/v1/batch", r.handleBatch)
@@ -215,12 +259,46 @@ type forwardResult struct {
 	err   error
 }
 
+// forwardOnce is the single forwarding primitive every parse path —
+// failover, hedge, warm-up — goes through: admission check, one POST
+// to shard, latency fed into the hedge digest. shed=true means
+// admission control refused the slot (no request was sent). The
+// in-flight slot is held for the shard's service time (until response
+// headers arrive), which is what the per-shard cap bounds.
+func (r *Router) forwardOnce(ctx context.Context, shard, path, contentType string, body []byte, class reqClass) (*http.Response, bool, error) {
+	if !r.admit.acquire(shard, class) {
+		return nil, true, nil
+	}
+	defer r.admit.release(shard)
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, shard+path, bytes.NewReader(body))
+	if err != nil {
+		return nil, false, err
+	}
+	req.Header.Set("Content-Type", contentType)
+	req.Header.Set(server.ClassHeader, class.String())
+	start := time.Now()
+	resp, err := r.client.Do(req)
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.StatusCode < 500 {
+		// Only successful service times train the hedge budget: fail-fast
+		// 5xx and deadline expiries would drag the p99 toward zero or
+		// infinity and mis-time every future hedge.
+		r.digest.observe(shard, time.Since(start))
+	}
+	return resp, false, nil
+}
+
 // tryShards forwards body to the ranked candidates in order until one
 // yields a terminal response: any status outside the retryable set, or
 // the last candidate's answer whatever it is. The attempt budget is
-// 1+Retries; the request context bounds the whole sequence. The
-// returned response's body is open; the caller must close it.
-func (r *Router) tryShards(ctx context.Context, path string, contentType string, body []byte, order []string) (forwardResult, bool) {
+// 1+Retries; the request context bounds the whole sequence. shed=true
+// means admission control refused a slot — the request is answered 429
+// rather than spilled to a shard outside its placement, which would
+// trade a fast refusal for a guaranteed cache miss. The returned
+// response's body is open; the caller must close it.
+func (r *Router) tryShards(ctx context.Context, path string, contentType string, body []byte, order []string, class reqClass) (forwardResult, bool, bool) {
 	attempts := r.cfg.Retries + 1
 	if attempts > len(order) {
 		attempts = len(order)
@@ -234,12 +312,10 @@ func (r *Router) tryShards(ctx context.Context, path string, contentType string,
 		if i > 0 {
 			r.m.countFailover()
 		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, shard+path, bytes.NewReader(body))
-		if err != nil {
-			return forwardResult{shard: shard, err: err}, false
+		resp, shed, err := r.forwardOnce(ctx, shard, path, contentType, body, class)
+		if shed {
+			return forwardResult{shard: shard}, false, true
 		}
-		req.Header.Set("Content-Type", contentType)
-		resp, err := r.client.Do(req)
 		if err != nil {
 			// Connect/transport failure: count it and fail over.
 			r.m.countError(shard)
@@ -254,9 +330,17 @@ func (r *Router) tryShards(ctx context.Context, path string, contentType string,
 			continue
 		}
 		r.m.countServed(shard)
-		return forwardResult{resp: resp, shard: shard}, true
+		return forwardResult{resp: resp, shard: shard}, true, false
 	}
-	return last, false
+	return last, false, false
+}
+
+// shed answers a request refused by admission control: 429 with a
+// Retry-After hint, in the server's error schema.
+func (r *Router) shed(w http.ResponseWriter, class reqClass, preq server.ParseRequest) {
+	r.m.countShed(class)
+	w.Header().Set("Retry-After", "1")
+	r.writeJSON(w, http.StatusTooManyRequests, errorResult(preq, "shard at capacity; retry later"))
 }
 
 // relay streams a shard response to the client, preserving the
@@ -268,6 +352,11 @@ func (r *Router) relay(w http.ResponseWriter, fr forwardResult) {
 	defer resp.Body.Close()
 	if ct := resp.Header.Get("Content-Type"); ct != "" {
 		w.Header().Set("Content-Type", ct)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "" {
+		// A shard's own backpressure hint (429/503) must survive the hop
+		// so clients back off against the fleet, not just the router.
+		w.Header().Set("Retry-After", ra)
 	}
 	shard := resp.Header.Get(server.ShardHeader)
 	if shard == "" {
@@ -306,13 +395,92 @@ func (r *Router) handleParse(w http.ResponseWriter, req *http.Request) {
 		r.writeJSON(w, http.StatusServiceUnavailable, errorResult(preq, "no live shards"))
 		return
 	}
-	fr, ok := r.tryShards(req.Context(), "/v1/parse", "application/json", body, order)
+	class := classOf(req)
+	d := hotDecision{primary: order[0]}
+	if len(order) > 1 {
+		d.next = order[1]
+	}
+	if r.hot != nil {
+		d = r.hot.observe(key, order, r.m)
+		if d.promoted {
+			// Warm the other prefix members with this very request before
+			// round-robin starts, so no client ever pays a replica's cold
+			// miss (detached from the request context: the warm-up must
+			// outlive this response).
+			go r.warmReplicas(key, body, replicaPrefix(order, r.cfg.ReplicaFactor))
+		}
+	}
+	if r.cfg.Hedge && d.replicated && d.next != d.primary {
+		fr, ok, shedded := r.hedgedDo(req.Context(), "/v1/parse", "application/json", body, d.primary, d.next, class)
+		if shedded {
+			r.shed(w, class, preq)
+			return
+		}
+		if ok {
+			r.relay(w, fr)
+			return
+		}
+		// Both replicas failed retryably: fall through to ordinary
+		// failover over the full HRW order.
+	}
+	fr, ok, shedded := r.tryShards(req.Context(), "/v1/parse", "application/json", body, orderFrom(order, d.primary), class)
+	if shedded {
+		r.shed(w, class, preq)
+		return
+	}
 	if !ok {
 		r.writeJSON(w, http.StatusServiceUnavailable,
 			errorResult(preq, fmt.Sprintf("all candidate shards failed: %v", fr.err)))
 		return
 	}
 	r.relay(w, fr)
+}
+
+// orderFrom rotates order so primary is attempted first, keeping the
+// rest in HRW rank for failover. For unreplicated keys primary is
+// order[0] already and the slice passes through untouched.
+func orderFrom(order []string, primary string) []string {
+	if len(order) == 0 || order[0] == primary {
+		return order
+	}
+	out := make([]string, 0, len(order))
+	out = append(out, primary)
+	for _, s := range order {
+		if s != primary {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// warmTimeout bounds one replica warm-up round.
+const warmTimeout = 10 * time.Second
+
+// warmReplicas primes a freshly promoted key's replicas (every prefix
+// member past the rank-0 primary, which served it all along) by
+// replaying the promoting request at each, then marks the key warm so
+// observe starts round-robining. Counted per replica attempt in
+// parsecrouter_hotkey_warms_total whether or not the warm succeeded —
+// a failed warm just means that replica pays one cold miss later.
+func (r *Router) warmReplicas(key string, body []byte, prefix []string) {
+	ctx, cancel := context.WithTimeout(context.Background(), warmTimeout)
+	defer cancel()
+	warms := 0
+	for _, shard := range prefix[1:] {
+		resp, shedded, err := r.forwardOnce(ctx, shard, "/v1/parse", "application/json", body, classInteractive)
+		if err == nil && !shedded {
+			drain(resp.Body)
+			resp.Body.Close()
+		}
+		warms++
+	}
+	// Mark the key warm BEFORE publishing the warm counters: a non-zero
+	// warms count is the observable signal (tests, /metrics) that the
+	// round-robin is active, so the ready flag must already be set.
+	r.hot.warmed(key)
+	for ; warms > 0; warms-- {
+		r.m.countHotKeyWarm()
+	}
 }
 
 func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
@@ -352,13 +520,14 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 		}
 		groups[top] = append(groups[top], i)
 	}
+	class := classOf(req)
 	results := make([]server.ParseResult, len(breq.Requests))
 	var wg sync.WaitGroup
 	for top, idxs := range groups {
 		wg.Add(1)
 		go func(top string, idxs []int) {
 			defer wg.Done()
-			r.forwardSubBatch(req.Context(), breq.Requests, idxs, orders[top], results)
+			r.forwardSubBatch(req.Context(), breq.Requests, idxs, orders[top], results, class)
 		}(top, idxs)
 	}
 	wg.Wait()
@@ -369,7 +538,7 @@ func (r *Router) handleBatch(w http.ResponseWriter, req *http.Request) {
 // group's ranked shards and scatters the results back into place. A
 // sub-batch that exhausts its candidates reports per-request errors
 // (the batch schema has no per-result status).
-func (r *Router) forwardSubBatch(ctx context.Context, reqs []server.ParseRequest, idxs []int, order []string, results []server.ParseResult) {
+func (r *Router) forwardSubBatch(ctx context.Context, reqs []server.ParseRequest, idxs []int, order []string, results []server.ParseResult, class reqClass) {
 	sub := server.BatchRequest{Requests: make([]server.ParseRequest, len(idxs))}
 	for j, i := range idxs {
 		sub.Requests[j] = reqs[i]
@@ -386,7 +555,15 @@ func (r *Router) forwardSubBatch(ctx context.Context, reqs []server.ParseRequest
 			results[i] = errorResult(reqs[i], msg)
 		}
 	}
-	fr, ok := r.tryShards(ctx, "/v1/batch", "application/json", body, order)
+	fr, ok, shedded := r.tryShards(ctx, "/v1/batch", "application/json", body, order, class)
+	if shedded {
+		// The batch schema has no per-result status, so a shed sub-batch
+		// surfaces as per-request errors; the shed is still counted so
+		// /metrics shows bulk losing headroom before interactive.
+		r.m.countShed(class)
+		fail("shard at capacity; retry later")
+		return
+	}
 	if !ok {
 		fail(fmt.Sprintf("all candidate shards failed: %v", fr.err))
 		return

