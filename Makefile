@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet lint lint-json ci serve load bench bench-smoke fuzz-smoke cluster-smoke
+.PHONY: build test race vet lint lint-json ci serve load bench bench-smoke fuzz-smoke cluster-smoke bench-cluster-bin bench-cluster bench-cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -46,7 +46,8 @@ FUZZTIME ?= 30s
 FUZZ_TARGETS ?= ./internal/server/:FuzzParseRequestDecode \
 	./internal/server/:FuzzCacheKey \
 	./internal/server/:FuzzLatticeRequestDecode \
-	./internal/cdg/:FuzzCompiledEvalMatchesAST
+	./internal/cdg/:FuzzCompiledEvalMatchesAST \
+	./internal/benchfleet/:FuzzScenarioDecode
 fuzz-smoke:
 	@for t in $(FUZZ_TARGETS); do \
 		pkg=$${t%%:*}; name=$${t##*:}; \
@@ -86,3 +87,28 @@ bench:
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem $(BENCH_PKGS) | $(GO) run ./cmd/benchjson -o BENCH_scan.json
 	@echo wrote BENCH_scan.json
+
+# Fleet benchmarking: cmd/parsecbench boots an N-shard parsecd fleet
+# plus parsecrouter as real local processes, drives a declarative
+# scenario (scenarios/*.json) with its fault schedule (kill -9 a shard
+# mid-run, delay injection), scrapes per-shard and router /metrics into
+# a columnar sample store, and writes BENCH_cluster.json in the same
+# benchjson schema as BENCH_scan.json. Query it afterwards:
+#   .benchbin/parsecbench query -in BENCH_cluster.json -phase kill -p 0.99
+BENCHBIN := .benchbin
+bench-cluster-bin:
+	@mkdir -p $(BENCHBIN)
+	$(GO) build -o $(BENCHBIN)/ ./cmd/parsecd ./cmd/parsecrouter ./cmd/parsecload ./cmd/parsecbench
+
+# bench-cluster runs the full 3-shard zipf + kill + lattice scenario.
+bench-cluster: bench-cluster-bin
+	$(BENCHBIN)/parsecbench run -scenario scenarios/zipf-kill.json -mode proc -bin $(BENCHBIN) -o BENCH_cluster.json
+	@echo wrote BENCH_cluster.json
+
+# bench-cluster-smoke is the CI-sized variant: a real 2-shard fleet +
+# router as child processes, a kill-phase scenario (~5s including probe
+# waits), and the test asserts the artifact validates with non-empty
+# per-shard p99/hit-rate series and an observed ejection.
+bench-cluster-smoke: bench-cluster-bin
+	PARSECBENCH_PROC=1 PARSECBENCH_BIN=$(abspath $(BENCHBIN)) PARSECBENCH_OUT=$(abspath BENCH_cluster.json) \
+		$(GO) test -run TestProcFleetSmoke -count=1 -v ./cmd/parsecbench/

@@ -2,8 +2,11 @@
 // stdin into a JSON benchmark report on stdout (or -o file). It keeps
 // the metrics the scan/router optimization work tracks: ns/op, B/op,
 // allocs/op, the simulator's custom cycles/op metric, the serving
-// path's sents/s throughput and p99-ns/op tail-latency metrics, and
+// path's sents/s throughput and p50/p99-ns/op latency metrics, and
 // the end-to-end parse benchmark's eval/scan/router stage attribution.
+// The schema lives in internal/benchjson, shared with the fleet
+// benchmark orchestrator (cmd/parsecbench) so BENCH_scan.json and
+// BENCH_cluster.json stay one format.
 //
 // Usage:
 //
@@ -11,46 +14,19 @@
 package main
 
 import (
-	"bufio"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
-	"strconv"
-	"strings"
+
+	"repro/internal/benchjson"
 )
-
-// Result is one benchmark line. Zero-valued metrics the line did not
-// report (e.g. cycles/op on a benchmark without ReportMetric) are
-// omitted from the JSON.
-type Result struct {
-	Name       string  `json:"name"`
-	Iterations int64   `json:"iterations"`
-	NsPerOp    float64 `json:"ns_per_op"`
-	BytesPerOp float64 `json:"bytes_per_op"`
-	AllocsLine bool    `json:"-"`
-	AllocsPer  float64 `json:"allocs_per_op"`
-	CyclesPer  float64 `json:"cycles_per_op,omitempty"`
-	SentsPer   float64 `json:"sents_per_sec,omitempty"`
-	EvalNsPer  float64 `json:"eval_ns_per_op,omitempty"`
-	ScanNsPer  float64 `json:"scan_ns_per_op,omitempty"`
-	RouterNs   float64 `json:"router_ns_per_op,omitempty"`
-	P99Ns      float64 `json:"p99_ns_per_op,omitempty"`
-}
-
-// Report is the top-level JSON document.
-type Report struct {
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
-	Pkg     string   `json:"pkg,omitempty"`
-	Results []Result `json:"results"`
-}
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
-	rep, err := parse(os.Stdin)
+	rep, err := benchjson.Parse(os.Stdin)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
@@ -71,95 +47,4 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
-}
-
-func parse(r io.Reader) (*Report, error) {
-	rep := &Report{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
-	for sc.Scan() {
-		line := strings.TrimSpace(sc.Text())
-		switch {
-		case strings.HasPrefix(line, "goos:"):
-			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
-			continue
-		case strings.HasPrefix(line, "goarch:"):
-			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
-			continue
-		case strings.HasPrefix(line, "pkg:"):
-			// Multi-package runs keep the last pkg header per result
-			// block; the per-result names stay unambiguous because
-			// benchmark names are distinct across our packages.
-			rep.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
-			continue
-		case !strings.HasPrefix(line, "Benchmark"):
-			continue
-		}
-		res, ok := parseLine(line)
-		if ok {
-			rep.Results = append(rep.Results, res)
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return nil, err
-	}
-	if len(rep.Results) == 0 {
-		return nil, fmt.Errorf("no benchmark result lines on stdin")
-	}
-	return rep, nil
-}
-
-// parseLine decodes one result line: name, iteration count, then
-// (value, unit) pairs.
-func parseLine(line string) (Result, bool) {
-	fields := strings.Fields(line)
-	if len(fields) < 4 {
-		return Result{}, false
-	}
-	iters, err := strconv.ParseInt(fields[1], 10, 64)
-	if err != nil {
-		return Result{}, false
-	}
-	res := Result{Name: trimProcSuffix(fields[0]), Iterations: iters}
-	for i := 2; i+1 < len(fields); i += 2 {
-		v, err := strconv.ParseFloat(fields[i], 64)
-		if err != nil {
-			continue
-		}
-		switch fields[i+1] {
-		case "ns/op":
-			res.NsPerOp = v
-		case "B/op":
-			res.BytesPerOp = v
-		case "allocs/op":
-			res.AllocsPer = v
-		case "cycles/op":
-			res.CyclesPer = v
-		case "sents/s":
-			res.SentsPer = v
-		case "eval-ns/op":
-			res.EvalNsPer = v
-		case "scan-ns/op":
-			res.ScanNsPer = v
-		case "router-ns/op":
-			res.RouterNs = v
-		case "p99-ns/op":
-			res.P99Ns = v
-		}
-	}
-	return res, true
-}
-
-// trimProcSuffix drops the -GOMAXPROCS suffix go test appends
-// (BenchmarkFoo/v=1024-8 → BenchmarkFoo/v=1024) so reports diff
-// cleanly across machines.
-func trimProcSuffix(name string) string {
-	i := strings.LastIndexByte(name, '-')
-	if i < 0 {
-		return name
-	}
-	if _, err := strconv.Atoi(name[i+1:]); err != nil {
-		return name
-	}
-	return name[:i]
 }

@@ -3,48 +3,20 @@ package main
 import (
 	"strings"
 	"testing"
+
+	"repro/internal/benchjson"
 )
 
-const sample = `goos: linux
-goarch: amd64
-pkg: repro/internal/maspar
-cpu: whatever
-BenchmarkSegScanOr/v=16384-8         	 2751582	       433.5 ns/op	     17153 cycles/op	       0 B/op	       0 allocs/op
-BenchmarkRouterFetch/v=65536-8       	  106156	     11245 ns/op	    393223 cycles/op	       0 B/op	       0 allocs/op
-BenchmarkAll-8                       	    9086	    131509 ns/op	         1.000 cycles/op	       0 B/op	       0 allocs/op
-BenchmarkGangThroughput/batch=32-8   	       8	 290593770 ns/op	       110.1 sents/s	19645530 B/op	   48995 allocs/op
-PASS
-ok  	repro/internal/maspar	9.499s
-`
-
-func TestParseBenchOutput(t *testing.T) {
-	rep, err := parse(strings.NewReader(sample))
+// The parser itself is tested in internal/benchjson; this pins the
+// command's dependency on it (a build break here means the extraction
+// regressed).
+func TestCommandUsesSharedParser(t *testing.T) {
+	rep, err := benchjson.Parse(strings.NewReader(
+		"BenchmarkX-8 10 5.0 ns/op 1 B/op 1 allocs/op\n"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "repro/internal/maspar" {
-		t.Errorf("header mismatch: %+v", rep)
-	}
-	if len(rep.Results) != 4 {
-		t.Fatalf("got %d results, want 4", len(rep.Results))
-	}
-	r := rep.Results[0]
-	if r.Name != "BenchmarkSegScanOr/v=16384" {
-		t.Errorf("GOMAXPROCS suffix not trimmed: %q", r.Name)
-	}
-	if r.Iterations != 2751582 || r.NsPerOp != 433.5 || r.CyclesPer != 17153 || r.AllocsPer != 0 {
-		t.Errorf("metrics mismatch: %+v", r)
-	}
-	if rep.Results[2].Name != "BenchmarkAll" {
-		t.Errorf("plain name mishandled: %q", rep.Results[2].Name)
-	}
-	if g := rep.Results[3]; g.SentsPer != 110.1 || g.CyclesPer != 0 {
-		t.Errorf("sents/s metric mishandled: %+v", g)
-	}
-}
-
-func TestParseRejectsEmpty(t *testing.T) {
-	if _, err := parse(strings.NewReader("PASS\nok x 1s\n")); err == nil {
-		t.Fatal("expected an error for input with no benchmark lines")
+	if len(rep.Results) != 1 || rep.Results[0].Name != "BenchmarkX" {
+		t.Fatalf("unexpected report: %+v", rep)
 	}
 }

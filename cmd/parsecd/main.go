@@ -52,6 +52,7 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 		shardName   = fs.String("shard-name", "", "name echoed as the X-Parsec-Shard response header (for fleets behind parsecrouter)")
 		latticeMax  = fs.Int("lattice-max-paths", 0, "max candidate paths expanded per lattice decode (0: server default)")
 		latticePfx  = fs.Int("lattice-prefix-entries", 0, "prefix-snapshot cache capacity in entries (0: server default, -1 disables prefix reuse)")
+		debugFaults = fs.Bool("debug-faults", false, "mount POST /debug/fault for injected request stalls (benchmark fleets only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -72,6 +73,7 @@ func run(args []string, logw io.Writer, ready chan<- string) error {
 
 		LatticeMaxPaths:      *latticeMax,
 		LatticePrefixEntries: *latticePfx,
+		DebugFaults:          *debugFaults,
 	})
 	bound, err := s.Start()
 	if err != nil {

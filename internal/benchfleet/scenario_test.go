@@ -1,0 +1,167 @@
+package benchfleet
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// validScenarioJSON is a minimal well-formed scenario the tests mutate.
+const validScenarioJSON = `{
+  "name": "t",
+  "shards": 2,
+  "seed": 7,
+  "phases": [
+    {"name": "warm", "requests": 10, "concurrency": 2, "mix": "uniform"},
+    {"name": "kill", "requests": 10, "concurrency": 2, "mix": "zipf", "zipf_s": 1.2, "zipf_pool": 8, "probes": 4},
+    {"name": "recover", "requests": 10, "concurrency": 2, "mix": "lattice", "probes": 2}
+  ],
+  "faults": [
+    {"kind": "kill", "shard": 1, "phase": "kill"},
+    {"kind": "revive", "shard": 1, "phase": "recover"}
+  ]
+}`
+
+func TestDecodeScenarioValid(t *testing.T) {
+	sc, err := DecodeScenario([]byte(validScenarioJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "t" || sc.Shards != 2 || sc.Seed != 7 {
+		t.Fatalf("header fields wrong: %+v", sc)
+	}
+	if len(sc.Phases) != 3 || sc.Phases[1].Probes != 4 {
+		t.Fatalf("phases wrong: %+v", sc.Phases)
+	}
+	if got := sc.FaultsAt("kill"); len(got) != 1 || got[0].Kind != FaultKill || got[0].Shard != 1 {
+		t.Fatalf("FaultsAt(kill) = %+v", got)
+	}
+	if got := sc.FaultsAt("warm"); len(got) != 0 {
+		t.Fatalf("FaultsAt(warm) = %+v, want none", got)
+	}
+	if sc.BackendOrDefault() != "serial" {
+		t.Fatalf("BackendOrDefault() = %q", sc.BackendOrDefault())
+	}
+}
+
+func TestDecodeScenarioErrors(t *testing.T) {
+	mutate := func(f func(*Scenario)) []byte {
+		sc, err := DecodeScenario([]byte(validScenarioJSON))
+		if err != nil {
+			t.Fatal(err)
+		}
+		f(sc)
+		data, err := sc.Encode()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+
+	cases := []struct {
+		name    string
+		doc     []byte
+		wantErr string
+	}{
+		{"unknown field", []byte(`{"name":"t","shards":1,"phasez":[]}`), "unknown field"},
+		{"trailing data", []byte(validScenarioJSON + ` {"x":1}`), "trailing data"},
+		{"no name", mutate(func(sc *Scenario) { sc.Name = "" }), "no name"},
+		{"zero shards", mutate(func(sc *Scenario) { sc.Shards = 0 }), "shards must be >= 1"},
+		{"negative seed", mutate(func(sc *Scenario) { sc.Seed = -1 }), "seed must be >= 0"},
+		{"unknown backend", mutate(func(sc *Scenario) { sc.Backend = "warp" }), "unknown backend"},
+		{"no phases", mutate(func(sc *Scenario) { sc.Phases, sc.Faults = nil, nil }), "no phases"},
+		{"unnamed phase", mutate(func(sc *Scenario) { sc.Phases[0].Name = "" }), "has no name"},
+		{"duplicate phase", mutate(func(sc *Scenario) { sc.Phases[2].Name = "warm"; sc.Faults = nil }), "duplicate phase"},
+		{"zero requests", mutate(func(sc *Scenario) { sc.Phases[0].Requests = 0 }), "requests must be >= 1"},
+		{"zero concurrency", mutate(func(sc *Scenario) { sc.Phases[0].Concurrency = 0 }), "concurrency must be >= 1"},
+		{"unknown mix", mutate(func(sc *Scenario) { sc.Phases[0].Mix = "burst" }), "unknown mix"},
+		{"zipf skew too low", mutate(func(sc *Scenario) { sc.Phases[1].ZipfS = 1.0 }), "zipf_s must be > 1"},
+		{"zipf empty pool", mutate(func(sc *Scenario) { sc.Phases[1].ZipfPool = 0 }), "zipf_pool must be >= 1"},
+		{"unknown fault kind", mutate(func(sc *Scenario) { sc.Faults[0].Kind = "slowloris" }), "unknown kind"},
+		{"fault shard out of range", mutate(func(sc *Scenario) { sc.Faults[0].Shard = 2 }), "out of range"},
+		{"fault unknown phase", mutate(func(sc *Scenario) { sc.Faults[0].Phase = "teardown" }), "unknown phase"},
+		{"faults out of phase order", mutate(func(sc *Scenario) {
+			sc.Faults[0].Phase, sc.Faults[1].Phase = "recover", "kill"
+		}), "out of phase order"},
+		{"kill twice", mutate(func(sc *Scenario) { sc.Faults[1] = Fault{Kind: FaultKill, Shard: 1, Phase: "recover"} }), "killed twice"},
+		{"revive without kill", mutate(func(sc *Scenario) { sc.Faults = sc.Faults[1:] }), "without a prior kill"},
+		{"delay without delay_ms", mutate(func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: FaultDelay, Shard: 0, Phase: "warm"}}
+		}), "delay needs delay_ms > 0"},
+		{"clear-delay without delay", mutate(func(sc *Scenario) {
+			sc.Faults = []Fault{{Kind: FaultClearDelay, Shard: 0, Phase: "warm"}}
+		}), "without a prior delay"},
+		{"single shard killed forever", mutate(func(sc *Scenario) {
+			sc.Shards = 1
+			sc.Faults = []Fault{{Kind: FaultKill, Shard: 0, Phase: "kill"}}
+		}), "kills its only shard"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := DecodeScenario(tc.doc)
+			if err == nil {
+				t.Fatalf("DecodeScenario accepted %s", tc.doc)
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestScenarioEncodeRoundTrip(t *testing.T) {
+	sc, err := DecodeScenario([]byte(validScenarioJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := sc.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc2, err := DecodeScenario(data)
+	if err != nil {
+		t.Fatalf("re-decode: %v\n%s", err, data)
+	}
+	if !reflect.DeepEqual(sc, sc2) {
+		t.Fatalf("round trip changed the scenario:\n%+v\n%+v", sc, sc2)
+	}
+}
+
+func TestPhaseWithDefaults(t *testing.T) {
+	p := Phase{Name: "x", Requests: 1, Concurrency: 1, Mix: "uniform"}.withDefaults()
+	if len(p.Grammars) != 1 || p.Grammars[0] != "demo" {
+		t.Fatalf("default grammars = %v", p.Grammars)
+	}
+	if p.MaxLen != 7 {
+		t.Fatalf("default max_len = %d", p.MaxLen)
+	}
+}
+
+// FuzzScenarioDecode checks that no input panics the strict decoder and
+// that every accepted scenario survives an encode → decode round trip
+// unchanged.
+func FuzzScenarioDecode(f *testing.F) {
+	f.Add([]byte(validScenarioJSON))
+	f.Add([]byte(`{"name":"one","shards":1,"phases":[{"name":"p","requests":1,"concurrency":1,"mix":"uniform"}]}`))
+	f.Add([]byte(`{"name":"d","shards":2,"phases":[{"name":"p","requests":1,"concurrency":1,"mix":"lattice"}],"faults":[{"kind":"delay","shard":0,"phase":"p","delay_ms":5}]}`))
+	f.Add([]byte(`{"shards":0}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := DecodeScenario(data)
+		if err != nil {
+			return
+		}
+		enc, err := sc.Encode()
+		if err != nil {
+			t.Fatalf("accepted scenario failed to encode: %v", err)
+		}
+		sc2, err := DecodeScenario(enc)
+		if err != nil {
+			t.Fatalf("re-decode of encoded scenario failed: %v\n%s", err, enc)
+		}
+		if !reflect.DeepEqual(sc, sc2) {
+			t.Fatalf("round trip changed the scenario:\n%+v\n%+v", sc, sc2)
+		}
+	})
+}

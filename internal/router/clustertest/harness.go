@@ -153,13 +153,13 @@ type Cluster struct {
 	rts *httptest.Server
 }
 
-// New boots n backends with scfg (ShardName is overridden per shard:
-// shard0..shardN-1) and one router with rcfg (Shards and Client are
-// filled in; the background prober is disabled so membership only
-// advances through AdvanceProbes). Everything is torn down via t's
-// cleanup.
-func New(t testing.TB, n int, scfg server.Config, rcfg router.Config) *Cluster {
-	t.Helper()
+// Boot brings up n backends with scfg (ShardName is overridden per
+// shard: shard0..shardN-1) and one router with rcfg (Shards and Client
+// are filled in; the background prober is disabled so membership only
+// advances through AdvanceProbes). It is the non-testing constructor —
+// the fleet benchmark orchestrator (internal/benchfleet) boots its
+// in-process mode through it — and the caller owns teardown via Close.
+func Boot(n int, scfg server.Config, rcfg router.Config) (*Cluster, error) {
 	c := &Cluster{}
 	for i := 0; i < n; i++ {
 		scfg.ShardName = fmt.Sprintf("shard%d", i)
@@ -167,11 +167,6 @@ func New(t testing.TB, n int, scfg server.Config, rcfg router.Config) *Cluster {
 		sh := &Shard{Name: scfg.ShardName, Server: s}
 		sh.ts = httptest.NewServer(sh.handler(s.Handler()))
 		sh.URL = sh.ts.URL
-		t.Cleanup(func() {
-			sh.Revive() // let Close finish even if the shard was killed
-			sh.ts.Close()
-			s.Shutdown(context.Background()) //nolint:errcheck // test teardown
-		})
 		c.Shards = append(c.Shards, sh)
 	}
 	rcfg.Shards = nil
@@ -184,12 +179,37 @@ func New(t testing.TB, n int, scfg server.Config, rcfg router.Config) *Cluster {
 	}
 	r, err := router.New(rcfg)
 	if err != nil {
-		t.Fatalf("clustertest: router.New: %v", err)
+		c.Close()
+		return nil, fmt.Errorf("clustertest: router.New: %w", err)
 	}
 	c.Router = r
 	c.rts = httptest.NewServer(r.Handler())
 	c.URL = c.rts.URL
-	t.Cleanup(c.rts.Close)
+	return c, nil
+}
+
+// Close tears the cluster down: router listener first, then every
+// shard (revived so a killed shard's listener can close cleanly).
+func (c *Cluster) Close() {
+	if c.rts != nil {
+		c.rts.Close()
+	}
+	for _, sh := range c.Shards {
+		sh.Revive() // let Close finish even if the shard was killed
+		sh.ts.Close()
+		sh.Server.Shutdown(context.Background()) //nolint:errcheck // teardown
+	}
+}
+
+// New is Boot wired to a test's lifecycle: failures become t.Fatal and
+// teardown runs via t.Cleanup.
+func New(t testing.TB, n int, scfg server.Config, rcfg router.Config) *Cluster {
+	t.Helper()
+	c, err := Boot(n, scfg, rcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(c.Close)
 	return c
 }
 

@@ -1,0 +1,55 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Debug fault injection, gated behind Config.DebugFaults. The fleet
+// benchmark orchestrator (internal/benchfleet) uses it to stall a
+// real-process shard mid-run the way the in-process harness's
+// ForceDelay does, so delay-phase scenarios behave the same in both
+// modes.
+
+// debugFaultRequest is the POST /debug/fault body.
+type debugFaultRequest struct {
+	// DelayMS stalls every subsequent /v1/* request by this long;
+	// 0 clears the fault.
+	DelayMS int `json:"delay_ms"`
+}
+
+// handleDebugFault sets or clears the injected delay.
+func (s *Server) handleDebugFault(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		s.writeJSON(w, http.StatusMethodNotAllowed, map[string]string{"error": "POST only"})
+		return
+	}
+	var req debugFaultRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": "bad JSON: " + err.Error()})
+		return
+	}
+	if req.DelayMS < 0 {
+		s.writeJSON(w, http.StatusBadRequest, map[string]string{"error": "delay_ms must be >= 0"})
+		return
+	}
+	s.faultDelayNs.Store(int64(req.DelayMS) * int64(time.Millisecond))
+	s.writeJSON(w, http.StatusOK, map[string]int{"delay_ms": req.DelayMS})
+}
+
+// maybeStall blocks a /v1/* request for the injected delay (or until
+// the client gives up). No-op when no fault is set.
+func (s *Server) maybeStall(r *http.Request) {
+	d := s.faultDelayNs.Load()
+	if d <= 0 || !strings.HasPrefix(r.URL.Path, "/v1/") {
+		return
+	}
+	t := time.NewTimer(time.Duration(d))
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-r.Context().Done():
+	}
+}

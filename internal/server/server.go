@@ -52,6 +52,10 @@ type Config struct {
 	// LatticePrefixEntries caps the lattice engine's prefix-snapshot
 	// cache (default 512; negative disables prefix reuse).
 	LatticePrefixEntries int
+	// DebugFaults mounts POST /debug/fault, which injects an artificial
+	// stall into every /v1/* request ({"delay_ms": N}; 0 clears it).
+	// Benchmark-fleet only — never enable it on a real deployment.
+	DebugFaults bool
 }
 
 func (c Config) withDefaults() Config {
@@ -106,6 +110,9 @@ type Server struct {
 	latticeGate   chan struct{}
 	latticeQueued atomic.Int64
 
+	// faultDelayNs is the /debug/fault injected stall (0 when none).
+	faultDelayNs atomic.Int64
+
 	mu sync.Mutex
 	hs *http.Server
 	ln net.Listener
@@ -134,6 +141,9 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/grammars", s.handleGrammars)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	if cfg.DebugFaults {
+		s.mux.HandleFunc("/debug/fault", s.handleDebugFault)
+	}
 	return s
 }
 
@@ -144,6 +154,7 @@ func (s *Server) Handler() http.Handler {
 		if s.cfg.ShardName != "" {
 			w.Header().Set(ShardHeader, s.cfg.ShardName)
 		}
+		s.maybeStall(r)
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		s.mux.ServeHTTP(rec, r)
 		s.m.countRequest(rec.status)
